@@ -1,0 +1,263 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! labeling builders, label compression, and R-tree loading strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsr_bench::Dataset;
+use gsr_core::methods::{CandidateMode, DynamicThreeDReach, ScanMode, SocReach, SpaReachBfl};
+use gsr_core::{RangeReachIndex, SccSpatialPolicy};
+use gsr_datagen::workload::WorkloadGen;
+use gsr_geo::{Aabb, Point, Rect};
+use gsr_graph::stats::DegreeBucket;
+use gsr_index::{KdTree, QuadTree, RTree, UniformGrid};
+use gsr_reach::bfl::BflIndex;
+use gsr_reach::feline::FelineIndex;
+use gsr_reach::grail::GrailIndex;
+use gsr_reach::interval::{BuildOptions, Builder, IntervalLabeling};
+use gsr_reach::pll::PllIndex;
+use gsr_reach::Reachability;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn labeling_builders(c: &mut Criterion) {
+    let ds = Dataset::small();
+    let dag = ds.prep.dag();
+
+    let mut group = c.benchmark_group("labeling_build");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group.bench_function("bottom_up", |b| {
+        b.iter(|| IntervalLabeling::build(black_box(dag)))
+    });
+    group.bench_function("paper_faithful", |b| {
+        b.iter(|| {
+            IntervalLabeling::build_with(
+                black_box(dag),
+                BuildOptions { builder: Builder::PaperFaithful, compress: true, ..BuildOptions::default() },
+            )
+        })
+    });
+    group.bench_function("uncompressed", |b| {
+        b.iter(|| {
+            IntervalLabeling::build_with(
+                black_box(dag),
+                BuildOptions { builder: Builder::BottomUp, compress: false, ..BuildOptions::default() },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn rtree_loading(c: &mut Criterion) {
+    let ds = Dataset::small();
+    let entries: Vec<(Aabb<2>, u32)> = ds
+        .prep
+        .network()
+        .spatial_vertices()
+        .map(|(v, p)| (Aabb::from_point([p.x, p.y]), v))
+        .collect();
+
+    let mut group = c.benchmark_group("rtree_load");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group.bench_with_input(BenchmarkId::new("bulk_str", entries.len()), &entries, |b, e| {
+        b.iter(|| RTree::bulk_load(e.clone()))
+    });
+    group.bench_with_input(BenchmarkId::new("insert", entries.len()), &entries, |b, e| {
+        b.iter(|| {
+            let mut t = RTree::new();
+            for (aabb, v) in e {
+                t.insert(*aabb, *v);
+            }
+            t
+        })
+    });
+    group.finish();
+}
+
+fn spatial_filters(c: &mut Criterion) {
+    // R-tree vs uniform grid for the spatial range query of SpaReach.
+    let ds = Dataset::small();
+    let entries_tree: Vec<(Aabb<2>, u32)> = ds
+        .prep
+        .network()
+        .spatial_vertices()
+        .map(|(v, p)| (Aabb::from_point([p.x, p.y]), v))
+        .collect();
+    let entries_grid: Vec<(Point, u32)> =
+        ds.prep.network().spatial_vertices().map(|(v, p)| (p, v)).collect();
+    let tree = RTree::bulk_load(entries_tree);
+    let grid = UniformGrid::bulk_load(ds.prep.space(), entries_grid.clone(), 16);
+    let kd = KdTree::bulk_load(entries_grid.clone());
+    let qt = QuadTree::bulk_load(ds.prep.space(), entries_grid);
+
+    let space = ds.prep.space();
+    let regions: Vec<Rect> = (0..64)
+        .map(|i| {
+            let f = i as f64 / 64.0;
+            Rect::square(
+                Point::new(
+                    space.min_x + space.width() * (0.1 + 0.8 * f),
+                    space.min_y + space.height() * (0.1 + 0.8 * ((i * 7) % 64) as f64 / 64.0),
+                ),
+                space.width() * 0.05,
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("spatial_filter");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group.bench_function("rtree_range", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for r in &regions {
+                count += tree.count_in(&(*r).into());
+            }
+            black_box(count)
+        })
+    });
+    group.bench_function("uniform_grid_range", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for r in &regions {
+                count += grid.count_in(r);
+            }
+            black_box(count)
+        })
+    });
+    group.bench_function("kdtree_range", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for r in &regions {
+                count += kd.count_in(r);
+            }
+            black_box(count)
+        })
+    });
+    group.bench_function("quadtree_range", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for r in &regions {
+                count += qt.count_in(r);
+            }
+            black_box(count)
+        })
+    });
+    group.finish();
+}
+
+fn greach_backends(c: &mut Criterion) {
+    // Raw GReach latency of the four reachability back-ends.
+    let ds = Dataset::small();
+    let dag = ds.prep.dag();
+    let ncomp = dag.num_vertices() as u64;
+    let pairs: Vec<(u32, u32)> = (0..4096u64)
+        .map(|i| {
+            (
+                (i.wrapping_mul(2654435761) % ncomp) as u32,
+                (i.wrapping_mul(40503) % ncomp) as u32,
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("greach_backend");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    let backends: Vec<(&str, Box<dyn Reachability>)> = vec![
+        ("BFL", Box::new(BflIndex::build(dag))),
+        ("INT", Box::new(IntervalLabeling::build(dag))),
+        ("PLL", Box::new(PllIndex::build(dag))),
+        ("FELINE", Box::new(FelineIndex::build(dag))),
+        ("GRAIL", Box::new(GrailIndex::build(dag))),
+    ];
+    for (name, idx) in &backends {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(u, v) in &pairs {
+                    hits += idx.reaches(u, v) as usize;
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fidelity_modes(c: &mut Criterion) {
+    // The faithful vs optimized variants of SpaReach and SocReach.
+    let ds = Dataset::small();
+    let gen = WorkloadGen::new(&ds.prep);
+    let workload = gen.extent_degree(5.0, DegreeBucket::PAPER_BUCKETS[0], 64, 1);
+
+    let variants: Vec<(&str, Box<dyn RangeReachIndex>)> = vec![
+        (
+            "spareach_materialize",
+            Box::new(SpaReachBfl::build(&ds.prep, SccSpatialPolicy::Replicate)),
+        ),
+        (
+            "spareach_streaming",
+            Box::new(
+                SpaReachBfl::build(&ds.prep, SccSpatialPolicy::Replicate)
+                    .with_candidate_mode(CandidateMode::Streaming),
+            ),
+        ),
+        ("socreach_per_post", Box::new(SocReach::build_with(&ds.prep, ScanMode::PerPost))),
+        ("socreach_compacted", Box::new(SocReach::build_with(&ds.prep, ScanMode::Compacted))),
+    ];
+
+    let mut group = c.benchmark_group("fidelity_modes");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for (name, idx) in &variants {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for (v, r) in &workload.queries {
+                    hits += idx.query(*v, black_box(r)) as usize;
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+fn dynamic_updates(c: &mut Criterion) {
+    // Incremental maintenance (Section 8 future work): the cost of one
+    // streamed check-in (new venue + edge) vs rebuilding the whole index.
+    let ds = Dataset::small();
+
+    let mut group = c.benchmark_group("dynamic_updates");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group.bench_function("checkin_batch_100", |b| {
+        b.iter_batched(
+            || DynamicThreeDReach::build(&ds.prep),
+            |mut idx| {
+                let user = idx.add_user();
+                for i in 0..100u32 {
+                    let p = gsr_geo::Point::new((i % 32) as f64 * 30.0, (i / 32) as f64 * 30.0);
+                    let venue = idx.add_venue(p);
+                    idx.add_checkin(user, venue).expect("check-ins never cycle");
+                }
+                idx
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| {
+            black_box(gsr_core::methods::ThreeDReach::build(
+                &ds.prep,
+                gsr_core::SccSpatialPolicy::Replicate,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    labeling_builders,
+    rtree_loading,
+    spatial_filters,
+    greach_backends,
+    fidelity_modes,
+    dynamic_updates
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 5: non-MBR vs MBR SCC policy (SpaReach-INT).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsr_bench::{Dataset, MethodKind};
+use gsr_core::SccSpatialPolicy;
+use gsr_datagen::workload::WorkloadGen;
+use gsr_graph::stats::DegreeBucket;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ds = Dataset::small();
+    let gen = WorkloadGen::new(&ds.prep);
+    let bucket = DegreeBucket::PAPER_BUCKETS[0];
+    let workload = gen.extent_degree(5.0, bucket, 64, 1);
+
+    let mut group = c.benchmark_group("fig5_scc_policy");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for policy in [SccSpatialPolicy::Replicate, SccSpatialPolicy::Mbr] {
+        let idx = MethodKind::SpaReachInt.build(&ds.prep, policy);
+        group.bench_with_input(
+            BenchmarkId::new("SpaReach-INT", format!("{policy:?}")),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    let mut hits = 0;
+                    for (v, r) in &w.queries {
+                        hits += idx.query(*v, black_box(r)) as usize;
+                    }
+                    hits
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 6: SpaReach-BFL vs SpaReach-INT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsr_bench::{Dataset, MethodKind};
+use gsr_core::SccSpatialPolicy;
+use gsr_datagen::workload::WorkloadGen;
+use gsr_graph::stats::DegreeBucket;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ds = Dataset::small();
+    let gen = WorkloadGen::new(&ds.prep);
+    let bucket = DegreeBucket::PAPER_BUCKETS[0];
+
+    let mut group = c.benchmark_group("fig6_spareach");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for method in [MethodKind::SpaReachBfl, MethodKind::SpaReachInt] {
+        let idx = method.build(&ds.prep, SccSpatialPolicy::Replicate);
+        for extent in [1.0, 5.0, 20.0] {
+            let workload = gen.extent_degree(extent, bucket, 64, 1);
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), format!("extent={extent}%")),
+                &workload,
+                |b, w| {
+                    b.iter(|| {
+                        let mut hits = 0;
+                        for (v, r) in &w.queries {
+                            hits += idx.query(*v, black_box(r)) as usize;
+                        }
+                        hits
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 7: the final method comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsr_bench::{Dataset, ALL_METHODS};
+use gsr_core::SccSpatialPolicy;
+use gsr_datagen::workload::WorkloadGen;
+use gsr_graph::stats::DegreeBucket;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ds = Dataset::small();
+    let gen = WorkloadGen::new(&ds.prep);
+    let bucket = DegreeBucket::PAPER_BUCKETS[DegreeBucket::DEFAULT_INDEX];
+    let workload = gen.extent_degree(5.0, bucket, 64, 1);
+
+    let mut group = c.benchmark_group("fig7_methods");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for method in ALL_METHODS {
+        let idx = method.build(&ds.prep, SccSpatialPolicy::Replicate);
+        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &workload, |b, w| {
+            b.iter(|| {
+                let mut hits = 0;
+                for (v, r) in &w.queries {
+                    hits += idx.query(*v, black_box(r)) as usize;
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

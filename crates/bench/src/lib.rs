@@ -1,0 +1,21 @@
+//! Experiment drivers that regenerate every table and figure of the
+//! paper's evaluation (Section 6) on the synthetic dataset analogs.
+//!
+//! The `repro` binary is the entry point:
+//!
+//! ```text
+//! cargo run --release -p gsr-bench --bin repro -- all
+//! cargo run --release -p gsr-bench --bin repro -- table4 --scale 1.0 --queries 1000
+//! ```
+//!
+//! Each experiment prints the same rows/series the paper reports; see
+//! EXPERIMENTS.md for the paper-vs-measured comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{Config, Dataset, MethodKind, ALL_METHODS};

@@ -1,0 +1,192 @@
+//! Minimal aligned-text table rendering for the harness output.
+
+/// A simple text table: a header row plus data rows, rendered with
+/// per-column alignment. Numeric-looking cells are right-aligned.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header cells.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one data row (padded or truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table; every line ends with `\n`.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let numeric: Vec<bool> = (0..cols)
+            .map(|i| {
+                !self.rows.is_empty()
+                    && self.rows.iter().all(|r| {
+                        let c = r[i].trim();
+                        c.is_empty()
+                            || c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
+                    })
+                    && i != 0
+            })
+            .collect();
+
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if numeric[i] {
+                    out.push_str(&" ".repeat(widths[i].saturating_sub(cell.len())));
+                    out.push_str(cell);
+                } else {
+                    out.push_str(cell);
+                    if i + 1 < cells.len() {
+                        out.push_str(&" ".repeat(widths[i].saturating_sub(cell.len())));
+                    }
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV (comma-separated, quotes around commas-in-cells).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            let line: Vec<String> = cells
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.header, &mut out);
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a byte count as MB with three significant-ish digits, matching
+/// the style of Table 4.
+pub fn fmt_mb(bytes: usize) -> String {
+    let mb = bytes as f64 / 1_000_000.0;
+    if mb >= 100.0 {
+        format!("{mb:.0}")
+    } else if mb >= 10.0 {
+        format!("{mb:.1}")
+    } else {
+        format!("{mb:.2}")
+    }
+}
+
+/// Formats a duration in seconds (Table 5 style).
+pub fn fmt_secs(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 10.0 {
+        format!("{s:.1}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+/// Formats an average per-query time in microseconds.
+pub fn fmt_micros(micros: f64) -> String {
+    if micros >= 1000.0 {
+        format!("{micros:.0}")
+    } else if micros >= 10.0 {
+        format!("{micros:.1}")
+    } else {
+        format!("{micros:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["dataset", "value"]);
+        t.row(["Foursquare", "123"]);
+        t.row(["Yelp", "7"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("dataset"));
+        assert!(lines[2].ends_with("123"));
+        assert!(lines[3].ends_with("  7"), "numeric column right-aligned: {:?}", lines[3]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["x,y", "has \"quote\""]);
+        let csv = t.render_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"has \"\"quote\"\"\""));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["only".to_string()]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_mb(28_600_000), "28.6");
+        assert_eq!(fmt_mb(7_880_000), "7.88");
+        assert_eq!(fmt_mb(240_000_000), "240");
+        assert_eq!(fmt_secs(std::time::Duration::from_millis(1370)), "1.37");
+        assert_eq!(fmt_micros(3.144), "3.14");
+        assert_eq!(fmt_micros(1234.6), "1235");
+    }
+}

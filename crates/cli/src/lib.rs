@@ -1,0 +1,395 @@
+//! Implementation of the `gsr` command-line tool.
+//!
+//! ```text
+//! gsr generate --preset foursquare --scale 0.5 --out network.gsr
+//! gsr stats network.gsr
+//! gsr query network.gsr --method 3dreach --vertex 12 --rect 10,10,50,50
+//! gsr query network.gsr --method all < queries.txt
+//! gsr report network.gsr --vertex 12 --rect 10,10,50,50
+//! ```
+//!
+//! The `query` subcommand without `--vertex/--rect` reads one query per
+//! stdin line: `<vertex> <min_x> <min_y> <max_x> <max_y>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gsr_core::methods::{
+    GeoReach, SocReach, SpaReachBfl, SpaReachInt, ThreeDReach, ThreeDReachRev, ThreeDReporter,
+};
+use gsr_core::{PreparedNetwork, RangeReachIndex, SccSpatialPolicy};
+use gsr_datagen::{io, NetworkSpec};
+use gsr_geo::Rect;
+use std::io::BufRead;
+use std::path::PathBuf;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `gsr generate --preset P --scale S --out FILE`
+    Generate {
+        /// Dataset preset name.
+        preset: String,
+        /// Scale factor (1.0 ≈ 1% of the paper's sizes).
+        scale: f64,
+        /// Output path.
+        out: PathBuf,
+    },
+    /// `gsr stats FILE`
+    Stats {
+        /// Network file.
+        file: PathBuf,
+    },
+    /// `gsr query FILE [--method M] [--vertex V --rect X0,Y0,X1,Y1]`
+    Query {
+        /// Network file.
+        file: PathBuf,
+        /// Method name or `all`.
+        method: String,
+        /// One-shot query (otherwise stdin).
+        one: Option<(u32, Rect)>,
+    },
+    /// `gsr report FILE --vertex V --rect X0,Y0,X1,Y1`
+    Report {
+        /// Network file.
+        file: PathBuf,
+        /// Query vertex.
+        vertex: u32,
+        /// Query region.
+        rect: Rect,
+    },
+}
+
+/// CLI errors with user-facing messages.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage:
+  gsr generate --preset <foursquare|gowalla|weeplaces|yelp> [--scale S] --out FILE
+  gsr stats FILE
+  gsr query FILE [--method <3dreach|3dreach-rev|spareach-bfl|spareach-int|georeach|socreach|all>]
+                 [--vertex V --rect X0,Y0,X1,Y1]   (otherwise queries from stdin)
+  gsr report FILE --vertex V --rect X0,Y0,X1,Y1
+";
+
+/// Parses a `x0,y0,x1,y1` rectangle.
+pub fn parse_rect(s: &str) -> Result<Rect, CliError> {
+    let parts: Vec<f64> = s
+        .split(',')
+        .map(|p| p.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| err(format!("invalid rect {s:?}; expected X0,Y0,X1,Y1")))?;
+    if parts.len() != 4 || parts[0] > parts[2] || parts[1] > parts[3] {
+        return Err(err(format!("invalid rect {s:?}; expected X0,Y0,X1,Y1 with X0<=X1, Y0<=Y1")));
+    }
+    Ok(Rect::new(parts[0], parts[1], parts[2], parts[3]))
+}
+
+/// Parses the argument list (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = it.next().ok_or_else(|| err(USAGE))?;
+
+    // Collect positionals and --flags.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next().ok_or_else(|| err(format!("--{name} needs a value")))?;
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            positional.push(a);
+        }
+    }
+    let flag = |name: &str| flags.get(name).cloned();
+
+    match sub.as_str() {
+        "generate" => {
+            let preset = flag("preset").ok_or_else(|| err("generate needs --preset"))?;
+            let scale = flag("scale").map(|s| s.parse()).transpose()
+                .map_err(|_| err("--scale must be a number"))?
+                .unwrap_or(1.0);
+            let out = flag("out").ok_or_else(|| err("generate needs --out"))?;
+            Ok(Command::Generate { preset, scale, out: PathBuf::from(out) })
+        }
+        "stats" => {
+            let file = positional.first().ok_or_else(|| err("stats needs a FILE"))?;
+            Ok(Command::Stats { file: PathBuf::from(file) })
+        }
+        "query" => {
+            let file = positional.first().ok_or_else(|| err("query needs a FILE"))?;
+            let method = flag("method").unwrap_or_else(|| "3dreach".to_string());
+            let one = match (flag("vertex"), flag("rect")) {
+                (Some(v), Some(r)) => Some((
+                    v.parse().map_err(|_| err("--vertex must be an id"))?,
+                    parse_rect(&r)?,
+                )),
+                (None, None) => None,
+                _ => return Err(err("--vertex and --rect go together")),
+            };
+            Ok(Command::Query { file: PathBuf::from(file), method, one })
+        }
+        "report" => {
+            let file = positional.first().ok_or_else(|| err("report needs a FILE"))?;
+            let vertex = flag("vertex")
+                .ok_or_else(|| err("report needs --vertex"))?
+                .parse()
+                .map_err(|_| err("--vertex must be an id"))?;
+            let rect = parse_rect(&flag("rect").ok_or_else(|| err("report needs --rect"))?)?;
+            Ok(Command::Report { file: PathBuf::from(file), vertex, rect })
+        }
+        other => Err(err(format!("unknown subcommand {other:?}\n{USAGE}"))),
+    }
+}
+
+fn spec_for(preset: &str, scale: f64) -> Result<NetworkSpec, CliError> {
+    Ok(match preset.to_ascii_lowercase().as_str() {
+        "foursquare" => NetworkSpec::foursquare(scale),
+        "gowalla" => NetworkSpec::gowalla(scale),
+        "weeplaces" => NetworkSpec::weeplaces(scale),
+        "yelp" => NetworkSpec::yelp(scale),
+        other => return Err(err(format!("unknown preset {other:?}"))),
+    })
+}
+
+fn build_method(
+    name: &str,
+    prep: &PreparedNetwork,
+) -> Result<Vec<Box<dyn RangeReachIndex>>, CliError> {
+    let policy = SccSpatialPolicy::Replicate;
+    let one = |idx: Box<dyn RangeReachIndex>| Ok(vec![idx]);
+    match name.to_ascii_lowercase().as_str() {
+        "3dreach" => one(Box::new(ThreeDReach::build(prep, policy))),
+        "3dreach-rev" => one(Box::new(ThreeDReachRev::build(prep, policy))),
+        "spareach-bfl" => one(Box::new(SpaReachBfl::build(prep, policy))),
+        "spareach-int" => one(Box::new(SpaReachInt::build(prep, policy))),
+        "georeach" => one(Box::new(GeoReach::build(prep))),
+        "socreach" => one(Box::new(SocReach::build(prep))),
+        "all" => Ok(vec![
+            Box::new(SpaReachBfl::build(prep, policy)),
+            Box::new(SpaReachInt::build(prep, policy)),
+            Box::new(GeoReach::build(prep)),
+            Box::new(SocReach::build(prep)),
+            Box::new(ThreeDReach::build(prep, policy)),
+            Box::new(ThreeDReachRev::build(prep, policy)),
+        ]),
+        other => Err(err(format!("unknown method {other:?}"))),
+    }
+}
+
+fn load_prepared(file: &PathBuf) -> Result<PreparedNetwork, CliError> {
+    let net = io::load_network(file).map_err(|e| err(format!("cannot load {file:?}: {e}")))?;
+    Ok(PreparedNetwork::new(net))
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Generate { preset, scale, out: path } => {
+            let spec = spec_for(&preset, scale)?;
+            let net = spec.generate();
+            io::save_network(&net, &path)?;
+            writeln!(
+                out,
+                "wrote {} ({} vertices, {} edges, {} spatial) to {}",
+                spec.name,
+                net.num_vertices(),
+                net.graph().num_edges(),
+                net.num_spatial(),
+                path.display()
+            )?;
+        }
+        Command::Stats { file } => {
+            let prep = load_prepared(&file)?;
+            let s = prep.stats();
+            writeln!(out, "vertices:     {}", s.vertices)?;
+            writeln!(out, "edges:        {}", s.edges)?;
+            writeln!(out, "users:        {}", s.users)?;
+            writeln!(out, "venues:       {}", s.venues)?;
+            writeln!(out, "SCCs:         {}", s.sccs)?;
+            writeln!(out, "largest SCC:  {}", s.largest_scc)?;
+            writeln!(out, "space:        {}", prep.space())?;
+        }
+        Command::Query { file, method, one } => {
+            let prep = load_prepared(&file)?;
+            let indexes = build_method(&method, &prep)?;
+            fn run_one(
+                prep: &PreparedNetwork,
+                indexes: &[Box<dyn RangeReachIndex>],
+                v: u32,
+                r: &Rect,
+                out: &mut impl std::io::Write,
+            ) -> Result<(), Box<dyn std::error::Error>> {
+                if v as usize >= prep.network().num_vertices() {
+                    writeln!(out, "vertex {v} out of range")?;
+                    return Ok(());
+                }
+                for idx in indexes {
+                    let start = std::time::Instant::now();
+                    let answer = idx.query(v, r);
+                    writeln!(
+                        out,
+                        "{}\tRangeReach({v}, {r}) = {answer}\t[{:?}]",
+                        idx.name(),
+                        start.elapsed()
+                    )?;
+                }
+                Ok(())
+            }
+            match one {
+                Some((v, r)) => run_one(&prep, &indexes, v, &r, out)?,
+                None => {
+                    let stdin = std::io::stdin();
+                    for line in stdin.lock().lines() {
+                        let line = line?;
+                        let fields: Vec<&str> = line.split_whitespace().collect();
+                        if fields.len() != 5 {
+                            writeln!(out, "skipping malformed line: {line:?}")?;
+                            continue;
+                        }
+                        let v: u32 = fields[0].parse()?;
+                        let r = Rect::new(
+                            fields[1].parse()?,
+                            fields[2].parse()?,
+                            fields[3].parse()?,
+                            fields[4].parse()?,
+                        );
+                        run_one(&prep, &indexes, v, &r, out)?;
+                    }
+                }
+            }
+        }
+        Command::Report { file, vertex, rect } => {
+            let prep = load_prepared(&file)?;
+            let reporter = ThreeDReporter::build(&prep);
+            let hits = reporter.report(vertex, &rect);
+            writeln!(out, "{} reachable spatial vertices inside {rect}:", hits.len())?;
+            for v in hits {
+                let p = prep.network().point(v).expect("reported vertices are spatial");
+                writeln!(out, "  vertex {v} at {p}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_generate() {
+        let cmd = parse_args(&args(&[
+            "generate", "--preset", "yelp", "--scale", "0.5", "--out", "x.gsr",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate { preset: "yelp".into(), scale: 0.5, out: "x.gsr".into() }
+        );
+    }
+
+    #[test]
+    fn parse_query_variants() {
+        let cmd = parse_args(&args(&["query", "n.gsr"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query { file: "n.gsr".into(), method: "3dreach".into(), one: None }
+        );
+        let cmd = parse_args(&args(&[
+            "query", "n.gsr", "--method", "all", "--vertex", "7", "--rect", "1,2,3,4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query { method, one: Some((7, r)), .. } => {
+                assert_eq!(method, "all");
+                assert_eq!(r, Rect::new(1.0, 2.0, 3.0, 4.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&args(&["nope"])).is_err());
+        assert!(parse_args(&args(&["generate", "--preset", "yelp"])).is_err());
+        assert!(parse_args(&args(&["query", "f", "--vertex", "1"])).is_err(), "rect missing");
+        assert!(parse_rect("1,2,3").is_err());
+        assert!(parse_rect("3,3,1,1").is_err(), "inverted");
+        assert!(parse_rect("a,b,c,d").is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_stats_query_report() {
+        let dir = std::env::temp_dir().join("gsr_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("net.gsr");
+        let path = file.to_string_lossy().to_string();
+
+        let mut out = Vec::new();
+        run(
+            parse_args(&args(&[
+                "generate", "--preset", "weeplaces", "--scale", "0.02", "--out", &path,
+            ]))
+            .unwrap(),
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("wrote WeePlaces"));
+
+        let mut out = Vec::new();
+        run(parse_args(&args(&["stats", &path])).unwrap(), &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(text.contains("vertices:"), "{text}");
+        assert!(text.contains("largest SCC:"));
+
+        let mut out = Vec::new();
+        run(
+            parse_args(&args(&[
+                "query", &path, "--method", "all", "--vertex", "0", "--rect",
+                "-1000,-1000,2000,2000",
+            ]))
+            .unwrap(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert_eq!(text.matches("RangeReach(0,").count(), 6, "{text}");
+        // All six methods agree on the answer.
+        let trues = text.matches("= true").count();
+        let falses = text.matches("= false").count();
+        assert!(trues == 6 || falses == 6, "methods disagree:\n{text}");
+
+        let mut out = Vec::new();
+        run(
+            parse_args(&args(&[
+                "report", &path, "--vertex", "0", "--rect", "-1000,-1000,2000,2000",
+            ]))
+            .unwrap(),
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("reachable spatial vertices"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,18 @@
+//! Entry point of the `gsr` CLI; all logic lives in the library so it can
+//! be tested.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match gsr_cli::parse_args(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = gsr_cli::run(cmd, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

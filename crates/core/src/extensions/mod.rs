@@ -1,0 +1,9 @@
+//! Generalizations beyond the paper's point-vertex, 2-D setting — the
+//! extensions its footnote 1 declares easy and Section 8 leaves for future
+//! work, carried out on the same substrates.
+
+pub mod regions;
+pub mod volumetric;
+
+pub use regions::{RegionNetwork, RegionReach};
+pub use volumetric::{Box3d, Point3d, VolumetricReach};

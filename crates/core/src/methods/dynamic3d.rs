@@ -1,0 +1,241 @@
+//! An incrementally updatable 3DReach index — the paper's Section 8 future
+//! work ("how our approach can efficiently handle updates in the network")
+//! carried through to the full query method.
+//!
+//! [`DynamicThreeDReach`] seeds itself from a [`PreparedNetwork`] and then
+//! absorbs, without any rebuild:
+//!
+//! * **new vertices** (users or venues) — each becomes a fresh singleton
+//!   component with the next free post-order number;
+//! * **new venue points** — inserted into the 3-D R-tree at the owning
+//!   component's post-order height;
+//! * **new edges** that keep the condensation acyclic — new *check-ins*
+//!   (user → venue, venues are sinks) can never create a cycle, which makes
+//!   exactly the dominant update stream of a live geosocial network safe;
+//!   a friendship edge closing a cycle is rejected with [`CycleError`] and
+//!   signals that a full rebuild (SCC merge) is required.
+//!
+//! Queries run exactly like the static 3DReach: one cuboid range query per
+//! label of `L(v)`. The incremental post-order numbering gradually loses
+//! the compactness of a fresh DFS numbering (labels fragment), so
+//! long-running deployments should rebuild periodically — the same
+//! trade-off the paper anticipates for gap-based numberings (Section 4.1).
+
+use crate::{PreparedNetwork, RangeReachIndex};
+use gsr_geo::{cuboid_from_rect, point3, Point, Rect};
+use gsr_graph::scc::CompId;
+use gsr_graph::VertexId;
+use gsr_index::RTree;
+pub use gsr_reach::dynamic::CycleError;
+use gsr_reach::dynamic::DynamicIntervalLabeling;
+use gsr_reach::Reachability;
+
+/// The updatable 3DReach evaluator.
+///
+/// ```
+/// use gsr_core::methods::DynamicThreeDReach;
+/// use gsr_core::{paper_example, RangeReachIndex};
+/// use gsr_geo::{Point, Rect};
+///
+/// let mut idx = DynamicThreeDReach::build(&paper_example::prepared());
+/// let venue = idx.add_venue(Point::new(1.0, 1.0));
+/// idx.add_checkin(paper_example::C, venue).unwrap();
+/// assert!(idx.query(paper_example::C, &Rect::new(0.0, 0.0, 2.0, 2.0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicThreeDReach {
+    /// Component of every original or added vertex.
+    comp_of: Vec<CompId>,
+    labeling: DynamicIntervalLabeling,
+    tree: RTree<3, CompId>,
+}
+
+impl DynamicThreeDReach {
+    /// Seeds the index from a prepared network (replicate layout: one 3-D
+    /// point per spatial vertex).
+    pub fn build(prep: &PreparedNetwork) -> Self {
+        let labeling = DynamicIntervalLabeling::from_graph(prep.dag());
+        let mut tree = RTree::new();
+        for (v, p) in prep.network().spatial_vertices() {
+            let comp = prep.comp(v);
+            tree.insert(point3(p, labeling.post(comp) as f64), comp);
+        }
+        DynamicThreeDReach {
+            comp_of: (0..prep.network().num_vertices() as VertexId)
+                .map(|v| prep.comp(v))
+                .collect(),
+            labeling,
+            tree,
+        }
+    }
+
+    /// Number of vertices currently known (original + added).
+    pub fn num_vertices(&self) -> usize {
+        self.comp_of.len()
+    }
+
+    /// Adds a social vertex (a user) and returns its id.
+    pub fn add_user(&mut self) -> VertexId {
+        let comp = self.labeling.add_vertex();
+        let v = self.comp_of.len() as VertexId;
+        self.comp_of.push(comp);
+        v
+    }
+
+    /// Adds a spatial vertex (a venue) at `point` and returns its id.
+    pub fn add_venue(&mut self, point: Point) -> VertexId {
+        let comp = self.labeling.add_vertex();
+        let v = self.comp_of.len() as VertexId;
+        self.comp_of.push(comp);
+        self.tree.insert(point3(point, self.labeling.post(comp) as f64), comp);
+        v
+    }
+
+    /// Adds a directed edge (check-in or follow). Edges that would merge
+    /// two components (i.e. create a cycle in the condensation) are
+    /// rejected; intra-component edges are no-ops.
+    pub fn add_edge(&mut self, from: VertexId, to: VertexId) -> Result<(), CycleError> {
+        let (cf, ct) = (self.comp_of[from as usize], self.comp_of[to as usize]);
+        if cf == ct {
+            return Ok(()); // already mutually reachable
+        }
+        self.labeling.add_edge(cf, ct)
+    }
+
+    /// Convenience: a check-in edge `user -> venue`. Venues have no
+    /// outgoing edges, so this can never cycle; the `Result` is still
+    /// surfaced in case the callee ids are misused.
+    pub fn add_checkin(&mut self, user: VertexId, venue: VertexId) -> Result<(), CycleError> {
+        self.add_edge(user, venue)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.comp_of.len() * 4 + self.labeling.heap_bytes() + self.tree.heap_bytes()
+    }
+}
+
+impl RangeReachIndex for DynamicThreeDReach {
+    fn query(&self, v: VertexId, region: &Rect) -> bool {
+        let from = self.comp_of[v as usize];
+        self.labeling.intervals(from).iter().any(|iv| {
+            self.tree.query_exists(&cuboid_from_rect(region, iv.lo as f64, iv.hi as f64))
+        })
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "3DReach-DYN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::ThreeDReach;
+    use crate::{paper_example, GeosocialNetwork, SccSpatialPolicy};
+    use gsr_graph::GraphBuilder;
+
+    #[test]
+    fn seeded_index_matches_static() {
+        for prep in [paper_example::prepared(), paper_example::cyclic_prepared()] {
+            let dynamic = DynamicThreeDReach::build(&prep);
+            let static_idx = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+            for v in prep.network().graph().vertices() {
+                for r in paper_example::probe_regions() {
+                    assert_eq!(dynamic.query(v, &r), static_idx.query(v, &r), "v={v} r={r}");
+                }
+            }
+        }
+    }
+
+    /// Applies the same updates incrementally and by rebuild, comparing.
+    #[test]
+    fn updates_match_full_rebuild() {
+        let prep = paper_example::prepared();
+        let mut dynamic = DynamicThreeDReach::build(&prep);
+
+        // Mirror the updates in a growing edge/point list for the rebuild.
+        let mut edges = paper_example::edges();
+        let mut points = paper_example::points();
+
+        // A new user follows a; a new venue opens; b checks in there; the
+        // new user checks in at the old venue l.
+        let user = dynamic.add_user();
+        assert_eq!(user, 12);
+        points.push(None);
+        let venue = dynamic.add_venue(Point::new(3.0, 3.0));
+        assert_eq!(venue, 13);
+        points.push(Some(Point::new(3.0, 3.0)));
+
+        dynamic.add_edge(user, paper_example::A).unwrap();
+        edges.push((user, paper_example::A));
+        dynamic.add_checkin(paper_example::B, venue).unwrap();
+        edges.push((paper_example::B, venue));
+        dynamic.add_checkin(user, paper_example::L).unwrap();
+        edges.push((user, paper_example::L));
+
+        let rebuilt = crate::PreparedNetwork::new(
+            GeosocialNetwork::new(
+                gsr_graph::graph_from_edges(14, &edges),
+                points,
+            )
+            .unwrap(),
+        );
+        let static_idx = ThreeDReach::build(&rebuilt, SccSpatialPolicy::Replicate);
+
+        for v in 0..14u32 {
+            for r in paper_example::probe_regions() {
+                assert_eq!(
+                    dynamic.query(v, &r),
+                    static_idx.query(v, &r),
+                    "v={v} r={r} after updates"
+                );
+            }
+            // Plus the region around the new venue.
+            let around = Rect::square(Point::new(3.0, 3.0), 1.0);
+            assert_eq!(dynamic.query(v, &around), static_idx.query(v, &around), "v={v}");
+        }
+    }
+
+    #[test]
+    fn cycle_creating_edges_are_rejected() {
+        let prep = paper_example::prepared();
+        let mut dynamic = DynamicThreeDReach::build(&prep);
+        // a reaches d; d -> a would merge their components.
+        assert!(dynamic.add_edge(paper_example::D, paper_example::A).is_err());
+        // Within an existing SCC the edge is a no-op, not an error.
+        let cyclic = paper_example::cyclic_prepared();
+        let mut dyn2 = DynamicThreeDReach::build(&cyclic);
+        assert!(dyn2.add_edge(paper_example::A, paper_example::B).is_ok());
+    }
+
+    #[test]
+    fn checkin_stream_grows_reachability() {
+        // Start from an empty network and stream users, venues, check-ins.
+        let empty = crate::PreparedNetwork::new(
+            GeosocialNetwork::new(GraphBuilder::new(0).build(), vec![]).unwrap(),
+        );
+        let mut dynamic = DynamicThreeDReach::build(&empty);
+        let alice = dynamic.add_user();
+        let bob = dynamic.add_user();
+        let cafe = dynamic.add_venue(Point::new(10.0, 10.0));
+        let park = dynamic.add_venue(Point::new(90.0, 90.0));
+
+        dynamic.add_edge(alice, bob).unwrap();
+        dynamic.add_checkin(bob, cafe).unwrap();
+
+        let near_cafe = Rect::square(Point::new(10.0, 10.0), 4.0);
+        let near_park = Rect::square(Point::new(90.0, 90.0), 4.0);
+        assert!(dynamic.query(alice, &near_cafe), "alice -> bob -> cafe");
+        assert!(!dynamic.query(alice, &near_park));
+        assert!(dynamic.query(park, &near_park), "reflexive venue query");
+
+        dynamic.add_checkin(alice, park).unwrap();
+        assert!(dynamic.query(alice, &near_park));
+        assert!(!dynamic.query(bob, &near_park), "bob still can't reach the park");
+    }
+}

@@ -1,0 +1,233 @@
+//! SocReach: the social-first approach (Section 4.1).
+//!
+//! SocReach prioritizes the graph predicate: the interval labels of the
+//! query vertex `v` directly describe its descendant set `D(v)` as ranges
+//! of post-order numbers, and each descendant with a point is tested for
+//! containment in the query region until one hits.
+//!
+//! Following the paper, no spatial index accelerates the containment tests
+//! ("as the set of descendant vertices D(v) is computed on-the-fly, the
+//! spatial containment tests cannot be truly accelerated by any spatial
+//! indexing"): the method scans a post-order-aligned point table, which is
+//! what makes it uncompetitive for high-out-degree query vertices — the
+//! second takeaway of Section 6.4.
+
+use crate::{PreparedNetwork, QueryCost, RangeReachIndex};
+use gsr_geo::{Point, Rect};
+use gsr_graph::scc::CompId;
+use gsr_graph::VertexId;
+use gsr_reach::interval::IntervalLabeling;
+
+/// How SocReach enumerates the descendant set `D(v)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Faithful to the paper (Section 4.1): each label `[l, h]` is "a
+    /// simple for loop on the array storing the network vertices" — every
+    /// post-order number in the range is visited, spatial or not. This is
+    /// what makes SocReach uncompetitive on networks whose vertices are
+    /// mostly social (users).
+    #[default]
+    PerPost,
+    /// An engineering improvement over the paper: the point table is
+    /// compacted so each label scans only the *spatial* descendants,
+    /// skipping user vertices entirely. Benched as an ablation.
+    Compacted,
+}
+
+/// The social-first evaluator.
+///
+/// ```
+/// use gsr_core::methods::SocReach;
+/// use gsr_core::{paper_example, RangeReachIndex};
+///
+/// let prep = paper_example::prepared();
+/// let idx = SocReach::build(&prep);
+/// assert!(idx.query(paper_example::A, &paper_example::query_region()));
+/// assert!(!idx.query(paper_example::C, &paper_example::query_region()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SocReach {
+    comp_of: Vec<CompId>,
+    labeling: IntervalLabeling,
+    /// Spatial member points grouped by the post-order number of their
+    /// component: points of the component with post `p` are
+    /// `points[post_offsets[p - 1] .. post_offsets[p]]`.
+    post_offsets: Vec<u32>,
+    points: Vec<Point>,
+    mode: ScanMode,
+}
+
+impl SocReach {
+    /// Builds the interval labeling over the condensation DAG and the
+    /// post-order-aligned point table.
+    ///
+    /// SocReach has no MBR variant: it "does not involve any spatial
+    /// indexing" (Section 6.2), so the SCC policy does not apply.
+    pub fn build(prep: &PreparedNetwork) -> Self {
+        Self::build_with(prep, ScanMode::PerPost)
+    }
+
+    /// Builds the evaluator with an explicit descendant-scan mode.
+    pub fn build_with(prep: &PreparedNetwork, mode: ScanMode) -> Self {
+        let labeling = IntervalLabeling::build(prep.dag());
+        let ncomp = prep.num_components();
+
+        let mut post_offsets = Vec::with_capacity(ncomp + 1);
+        let mut points = Vec::with_capacity(prep.network().num_spatial());
+        post_offsets.push(0u32);
+        for p in 1..=ncomp as u32 {
+            let comp = labeling.vertex_of_post(p);
+            points.extend(prep.spatial_member_points(comp));
+            post_offsets.push(points.len() as u32);
+        }
+
+        let comp_of = (0..prep.network().num_vertices() as VertexId)
+            .map(|v| prep.comp(v))
+            .collect();
+
+        SocReach { comp_of, labeling, post_offsets, points, mode }
+    }
+
+    /// The points of the component with post-order number `p` — the unit of
+    /// the per-label scans performed by [`RangeReachIndex::query`].
+    #[inline]
+    pub fn points_of_post(&self, p: u32) -> &[Point] {
+        let lo = self.post_offsets[(p - 1) as usize] as usize;
+        let hi = self.post_offsets[p as usize] as usize;
+        &self.points[lo..hi]
+    }
+
+    /// The underlying labeling (exposed for stats and tests).
+    pub fn labeling(&self) -> &IntervalLabeling {
+        &self.labeling
+    }
+
+    /// Number of descendants (components) the method would enumerate for a
+    /// query from `v` — useful for analyzing query cost.
+    pub fn descendant_count(&self, v: VertexId) -> usize {
+        self.labeling.num_descendants(self.comp_of[v as usize])
+    }
+}
+
+impl RangeReachIndex for SocReach {
+    fn query(&self, v: VertexId, region: &Rect) -> bool {
+        self.query_with_cost(v, region).0
+    }
+
+    fn query_with_cost(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
+        let from = self.comp_of[v as usize];
+        let mut cost = QueryCost::default();
+        // Every label [l, h] of L(v) is a range query over the post-order
+        // numbers (Equation of Section 4.1).
+        let answer = match self.mode {
+            ScanMode::PerPost => {
+                // Faithful: walk every descendant post, spatial or not, and
+                // test the points of the spatial ones until one hits.
+                'outer: {
+                    for iv in self.labeling.intervals(from) {
+                        for p in iv.lo..=iv.hi {
+                            cost.vertices_visited += 1;
+                            let hit = self.points_of_post(p).iter().any(|pt| {
+                                cost.containment_tests += 1;
+                                region.contains_point(pt)
+                            });
+                            if hit {
+                                break 'outer true;
+                            }
+                        }
+                    }
+                    false
+                }
+            }
+            ScanMode::Compacted => {
+                // Optimized: the point table is post-order-aligned, so each
+                // label is one contiguous scan over spatial descendants.
+                'outer: {
+                    for iv in self.labeling.intervals(from) {
+                        let lo = self.post_offsets[(iv.lo - 1) as usize] as usize;
+                        let hi = self.post_offsets[iv.hi as usize] as usize;
+                        let hit = self.points[lo..hi].iter().any(|p| {
+                            cost.containment_tests += 1;
+                            region.contains_point(p)
+                        });
+                        if hit {
+                            break 'outer true;
+                        }
+                    }
+                    false
+                }
+            }
+        };
+        (answer, cost)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.labeling.heap_bytes()
+            + self.post_offsets.len() * 4
+            + self.points.len() * std::mem::size_of::<Point>()
+            + self.comp_of.len() * 4
+    }
+
+    fn name(&self) -> &'static str {
+        "SocReach"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    #[test]
+    fn paper_example_4_1() {
+        let prep = paper_example::prepared();
+        let idx = SocReach::build(&prep);
+        let r = paper_example::query_region();
+        // Example 4.1: D(a) contains e whose point is in R -> TRUE;
+        // D(c) = {f, d, i, k, c} with no point in R -> FALSE.
+        assert!(idx.query(paper_example::A, &r));
+        assert!(!idx.query(paper_example::C, &r));
+        assert_eq!(idx.descendant_count(paper_example::A), 10);
+        assert_eq!(idx.descendant_count(paper_example::C), 5);
+    }
+
+    #[test]
+    fn matches_bfs_on_probe_regions() {
+        for prep in [paper_example::prepared(), paper_example::cyclic_prepared()] {
+            let idx = SocReach::build(&prep);
+            for v in prep.network().graph().vertices() {
+                for r in paper_example::probe_regions() {
+                    assert_eq!(
+                        idx.query(v, &r),
+                        prep.range_reach_bfs(v, &r),
+                        "vertex {v}, region {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_modes_agree() {
+        for prep in [paper_example::prepared(), paper_example::cyclic_prepared()] {
+            let faithful = SocReach::build_with(&prep, ScanMode::PerPost);
+            let compacted = SocReach::build_with(&prep, ScanMode::Compacted);
+            for v in prep.network().graph().vertices() {
+                for r in paper_example::probe_regions() {
+                    assert_eq!(faithful.query(v, &r), compacted.query(v, &r), "v={v} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_table_is_consistent() {
+        let prep = paper_example::prepared();
+        let idx = SocReach::build(&prep);
+        // Every post's slice holds exactly the points of that component.
+        let total: usize = (1..=prep.num_components() as u32)
+            .map(|p| idx.points_of_post(p).len())
+            .sum();
+        assert_eq!(total, prep.network().num_spatial());
+    }
+}

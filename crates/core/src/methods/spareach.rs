@@ -1,0 +1,464 @@
+//! SpaReach: the spatial-first approach (Section 2.2.1).
+//!
+//! A `RangeReach(G, v, R)` query is answered in two steps: a spatial range
+//! query over a 2-D R-tree identifies every spatial vertex inside `R`, and
+//! a graph-reachability query is issued per candidate until one succeeds.
+//! The method is sensitive to the selectivity of the spatial predicate —
+//! for negative answers *every* candidate must be tested — which is the
+//! weakness the paper's SocReach/3DReach methods address.
+//!
+//! The reachability back-end is pluggable: the paper evaluates
+//! [`SpaReachBfl`] (Bloom-filter labeling, the overall best `GReach` scheme)
+//! and [`SpaReachInt`] (interval-based labeling).
+
+use crate::{PreparedNetwork, QueryCost, RangeReachIndex, SccSpatialPolicy};
+use gsr_geo::{Aabb, Rect};
+use gsr_graph::scc::CompId;
+use gsr_graph::{DiGraph, VertexId};
+use gsr_geo::Point;
+use gsr_index::{KdTree, QuadTree, RTree, UniformGrid};
+use gsr_reach::bfl::BflIndex;
+use gsr_reach::feline::FelineIndex;
+use gsr_reach::grail::GrailIndex;
+use gsr_reach::interval::IntervalLabeling;
+use gsr_reach::pll::PllIndex;
+use gsr_reach::Reachability;
+
+/// How SpaReach consumes the spatial range query's result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateMode {
+    /// Faithful to the paper (Section 2.2.1): the spatial range query is
+    /// evaluated *first*, materializing every spatial vertex inside `R`;
+    /// only then are `GReach` queries issued one by one until a positive.
+    /// This is what makes SpaReach sensitive to the spatial selectivity.
+    #[default]
+    Materialize,
+    /// An engineering improvement over the paper: candidates stream out of
+    /// the R-tree and the reachability test runs per candidate, so a
+    /// positive answer can stop the range query early. Benched as an
+    /// ablation.
+    Streaming,
+}
+
+/// Which spatial index evaluates the range query of SpaReach's first
+/// phase. The paper uses an R-tree "as it is the most dominant structure
+/// for spatial data" (Section 7.2); the space-oriented-partitioning
+/// alternatives it cites are available for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpatialBackend {
+    /// Guttman R-tree (the paper's choice; supports both SCC policies).
+    #[default]
+    RTree,
+    /// Single-level uniform grid (replicate policy only).
+    UniformGrid,
+    /// Static kd-tree (replicate policy only).
+    KdTree,
+    /// Point-region quadtree (replicate policy only).
+    QuadTree,
+}
+
+/// The spatial filter structure, depending on backend and SCC policy.
+#[derive(Debug, Clone)]
+enum SpatialFilter {
+    /// One point entry per spatial vertex, tagged with its component.
+    Points(RTree<2, CompId>),
+    /// One rectangle entry per spatial *component* (its member MBR).
+    CompBoxes(RTree<2, CompId>),
+    /// Uniform-grid over points.
+    Grid(UniformGrid<CompId>),
+    /// kd-tree over points.
+    Kd(KdTree<CompId>),
+    /// Quadtree over points.
+    Quad(QuadTree<CompId>),
+}
+
+/// Generic spatial-first evaluator over any [`Reachability`] back-end.
+#[derive(Debug, Clone)]
+pub struct SpaReach<R> {
+    /// Snapshot of per-component spatial membership for MBR refinement.
+    comp_of: Vec<CompId>,
+    filter: SpatialFilter,
+    reach: R,
+    name: &'static str,
+    mode: CandidateMode,
+    /// Per-component spatial member points (flattened CSR), used to refine
+    /// partially overlapping MBR candidates.
+    member_offsets: Vec<u32>,
+    member_points: Vec<gsr_geo::Point>,
+}
+
+/// SpaReach with the BFL reachability index (the paper's best spatial-first
+/// variant, kept for the main comparison of Section 6.4).
+pub type SpaReachBfl = SpaReach<BflIndex>;
+
+/// SpaReach with the interval-based labeling (Section 6.3 shows BFL wins,
+/// matching the graph-reachability literature).
+pub type SpaReachInt = SpaReach<IntervalLabeling>;
+
+/// SpaReach with pruned landmark labeling — the "SpaReach-PLL" variant of
+/// the original GeoReach paper (Section 2.2.1).
+pub type SpaReachPll = SpaReach<PllIndex>;
+
+/// SpaReach with the FELINE index — the "SpaReach-Feline" variant of the
+/// original GeoReach paper (Section 2.2.1).
+pub type SpaReachFeline = SpaReach<FelineIndex>;
+
+/// SpaReach with the GRAIL index (Section 7.1 of the paper's related work).
+pub type SpaReachGrail = SpaReach<GrailIndex>;
+
+impl SpaReachBfl {
+    /// Builds the 2-D R-tree and the BFL index over the condensation.
+    pub fn build(prep: &PreparedNetwork, policy: SccSpatialPolicy) -> Self {
+        SpaReach::build_with(prep, policy, "SpaReach-BFL", BflIndex::build)
+    }
+}
+
+impl<R: Reachability> SpaReach<R> {
+    /// Switches the candidate-consumption mode (see [`CandidateMode`]).
+    pub fn with_candidate_mode(mut self, mode: CandidateMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+impl SpaReachInt {
+    /// Builds the 2-D R-tree and the interval labeling over the condensation.
+    pub fn build(prep: &PreparedNetwork, policy: SccSpatialPolicy) -> Self {
+        SpaReach::build_with(prep, policy, "SpaReach-INT", IntervalLabeling::build)
+    }
+}
+
+impl SpaReachPll {
+    /// Builds the 2-D R-tree and the PLL index over the condensation.
+    pub fn build(prep: &PreparedNetwork, policy: SccSpatialPolicy) -> Self {
+        SpaReach::build_with(prep, policy, "SpaReach-PLL", PllIndex::build)
+    }
+}
+
+impl SpaReachFeline {
+    /// Builds the 2-D R-tree and the FELINE index over the condensation.
+    pub fn build(prep: &PreparedNetwork, policy: SccSpatialPolicy) -> Self {
+        SpaReach::build_with(prep, policy, "SpaReach-Feline", FelineIndex::build)
+    }
+}
+
+impl SpaReachGrail {
+    /// Builds the 2-D R-tree and the GRAIL index over the condensation.
+    pub fn build(prep: &PreparedNetwork, policy: SccSpatialPolicy) -> Self {
+        SpaReach::build_with(prep, policy, "SpaReach-GRAIL", GrailIndex::build)
+    }
+}
+
+impl<R: Reachability> SpaReach<R> {
+    /// Builds a spatial-first evaluator with a custom reachability back-end.
+    pub fn build_with(
+        prep: &PreparedNetwork,
+        policy: SccSpatialPolicy,
+        name: &'static str,
+        build_reach: impl FnOnce(&DiGraph) -> R,
+    ) -> Self {
+        Self::build_with_backend(prep, policy, SpatialBackend::RTree, name, build_reach)
+    }
+
+    /// Builds a spatial-first evaluator with explicit spatial and
+    /// reachability back-ends.
+    ///
+    /// # Panics
+    /// Panics when a space-oriented-partitioning backend is combined with
+    /// the MBR policy (those structures index points, not rectangles).
+    pub fn build_with_backend(
+        prep: &PreparedNetwork,
+        policy: SccSpatialPolicy,
+        backend: SpatialBackend,
+        name: &'static str,
+        build_reach: impl FnOnce(&DiGraph) -> R,
+    ) -> Self {
+        assert!(
+            backend == SpatialBackend::RTree || policy == SccSpatialPolicy::Replicate,
+            "only the R-tree backend supports the MBR policy"
+        );
+        let point_entries = || -> Vec<(Point, CompId)> {
+            prep.network().spatial_vertices().map(|(v, p)| (p, prep.comp(v))).collect()
+        };
+        let filter = match (backend, policy) {
+            (SpatialBackend::RTree, SccSpatialPolicy::Replicate) => {
+                let entries: Vec<(Aabb<2>, CompId)> = prep
+                    .network()
+                    .spatial_vertices()
+                    .map(|(v, p)| (Aabb::from_point([p.x, p.y]), prep.comp(v)))
+                    .collect();
+                SpatialFilter::Points(RTree::bulk_load(entries))
+            }
+            (SpatialBackend::RTree, SccSpatialPolicy::Mbr) => {
+                let entries: Vec<(Aabb<2>, CompId)> = (0..prep.num_components() as CompId)
+                    .filter_map(|c| prep.comp_mbr(c).map(|m| (m.into(), c)))
+                    .collect();
+                SpatialFilter::CompBoxes(RTree::bulk_load(entries))
+            }
+            (SpatialBackend::UniformGrid, _) => {
+                SpatialFilter::Grid(UniformGrid::bulk_load(prep.space(), point_entries(), 16))
+            }
+            (SpatialBackend::KdTree, _) => SpatialFilter::Kd(KdTree::bulk_load(point_entries())),
+            (SpatialBackend::QuadTree, _) => {
+                SpatialFilter::Quad(QuadTree::bulk_load(prep.space(), point_entries()))
+            }
+        };
+
+        // Flatten per-component member points for MBR refinement.
+        let ncomp = prep.num_components();
+        let mut member_offsets = Vec::with_capacity(ncomp + 1);
+        let mut member_points = Vec::new();
+        member_offsets.push(0u32);
+        for c in 0..ncomp as CompId {
+            member_points.extend(prep.spatial_member_points(c));
+            member_offsets.push(member_points.len() as u32);
+        }
+
+        let comp_of = (0..prep.network().num_vertices() as VertexId)
+            .map(|v| prep.comp(v))
+            .collect();
+
+        SpaReach {
+            comp_of,
+            filter,
+            reach: build_reach(prep.dag()),
+            name,
+            mode: CandidateMode::Materialize,
+            member_offsets,
+            member_points,
+        }
+    }
+
+    /// Access to the reachability back-end (for tests and stats).
+    pub fn reachability(&self) -> &R {
+        &self.reach
+    }
+
+    fn member_points(&self, c: CompId) -> &[gsr_geo::Point] {
+        let lo = self.member_offsets[c as usize] as usize;
+        let hi = self.member_offsets[c as usize + 1] as usize;
+        &self.member_points[lo..hi]
+    }
+}
+
+impl<R: Reachability> RangeReachIndex for SpaReach<R> {
+    fn query(&self, v: VertexId, region: &Rect) -> bool {
+        self.query_with_cost(v, region).0
+    }
+
+    fn query_with_cost(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
+        let from = self.comp_of[v as usize];
+        let window: Aabb<2> = (*region).into();
+        let mut cost = QueryCost::default();
+        let answer = match &self.filter {
+            SpatialFilter::Grid(grid) => {
+                let mut candidates: Vec<CompId> = Vec::new();
+                grid.query_until(region, |_, &comp| {
+                    candidates.push(comp);
+                    false
+                });
+                cost.spatial_candidates = candidates.len();
+                candidates.into_iter().any(|comp| {
+                    cost.reach_tests += 1;
+                    self.reach.reaches(from, comp)
+                })
+            }
+            SpatialFilter::Kd(tree) => {
+                let candidates: Vec<CompId> =
+                    tree.query(region).into_iter().map(|(_, &c)| c).collect();
+                cost.spatial_candidates = candidates.len();
+                candidates.into_iter().any(|comp| {
+                    cost.reach_tests += 1;
+                    self.reach.reaches(from, comp)
+                })
+            }
+            SpatialFilter::Quad(tree) => {
+                let candidates: Vec<CompId> =
+                    tree.query(region).into_iter().map(|(_, &c)| c).collect();
+                cost.spatial_candidates = candidates.len();
+                candidates.into_iter().any(|comp| {
+                    cost.reach_tests += 1;
+                    self.reach.reaches(from, comp)
+                })
+            }
+            SpatialFilter::Points(tree) => match self.mode {
+                CandidateMode::Materialize => {
+                    // Step 1 (Example 2.4): evaluate SRange(P, R) in full.
+                    let candidates: Vec<CompId> =
+                        tree.query(&window).map(|(_, &comp)| comp).collect();
+                    cost.spatial_candidates = candidates.len();
+                    // Step 2: one GReach per candidate until a positive.
+                    candidates.into_iter().any(|comp| {
+                        cost.reach_tests += 1;
+                        self.reach.reaches(from, comp)
+                    })
+                }
+                CandidateMode::Streaming => tree.query(&window).any(|(_, &comp)| {
+                    cost.spatial_candidates += 1;
+                    cost.reach_tests += 1;
+                    self.reach.reaches(from, comp)
+                }),
+            },
+            SpatialFilter::CompBoxes(tree) => {
+                let test = |mbr: &Aabb<2>, comp: CompId, cost: &mut QueryCost| {
+                    cost.reach_tests += 1;
+                    if !self.reach.reaches(from, comp) {
+                        return false;
+                    }
+                    // A fully contained MBR guarantees a member inside R;
+                    // partial overlap is refined against the member points.
+                    let mbr_rect: Rect = (*mbr).into();
+                    region.contains_rect(&mbr_rect) || {
+                        self.member_points(comp).iter().any(|p| {
+                            cost.containment_tests += 1;
+                            region.contains_point(p)
+                        })
+                    }
+                };
+                match self.mode {
+                    CandidateMode::Materialize => {
+                        let candidates: Vec<(Aabb<2>, CompId)> =
+                            tree.query(&window).map(|(b, &c)| (*b, c)).collect();
+                        cost.spatial_candidates = candidates.len();
+                        candidates.into_iter().any(|(b, c)| test(&b, c, &mut cost))
+                    }
+                    CandidateMode::Streaming => tree.query(&window).any(|(b, &c)| {
+                        cost.spatial_candidates += 1;
+                        test(b, c, &mut cost)
+                    }),
+                }
+            }
+        };
+        (answer, cost)
+    }
+
+    fn index_bytes(&self) -> usize {
+        let tree = match &self.filter {
+            SpatialFilter::Points(t) => t.heap_bytes(),
+            SpatialFilter::CompBoxes(t) => t.heap_bytes(),
+            SpatialFilter::Grid(g) => g.heap_bytes(),
+            SpatialFilter::Kd(t) => t.heap_bytes(),
+            SpatialFilter::Quad(t) => t.heap_bytes(),
+        };
+        tree + self.reach.heap_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    #[test]
+    fn paper_example_queries() {
+        let prep = paper_example::prepared();
+        let r = paper_example::query_region();
+        for policy in [SccSpatialPolicy::Replicate, SccSpatialPolicy::Mbr] {
+            let bfl = SpaReachBfl::build(&prep, policy);
+            let int = SpaReachInt::build(&prep, policy);
+            // RangeReach(G, a, R) = TRUE and RangeReach(G, c, R) = FALSE
+            // (Examples 2.3 / 2.4).
+            assert!(bfl.query(paper_example::A, &r), "a reaches R ({policy:?})");
+            assert!(int.query(paper_example::A, &r));
+            assert!(!bfl.query(paper_example::C, &r), "c cannot reach R ({policy:?})");
+            assert!(!int.query(paper_example::C, &r));
+        }
+    }
+
+    #[test]
+    fn matches_bfs_on_paper_example_everywhere() {
+        let prep = paper_example::prepared();
+        let idx = SpaReachBfl::build(&prep, SccSpatialPolicy::Replicate);
+        let regions = paper_example::probe_regions();
+        for v in prep.network().graph().vertices() {
+            for r in &regions {
+                assert_eq!(
+                    idx.query(v, r),
+                    prep.range_reach_bfs(v, r),
+                    "vertex {v}, region {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_spatial_backends_agree() {
+        use gsr_reach::bfl::BflIndex;
+        for prep in [paper_example::prepared(), paper_example::cyclic_prepared()] {
+            let backends = [
+                SpatialBackend::RTree,
+                SpatialBackend::UniformGrid,
+                SpatialBackend::KdTree,
+                SpatialBackend::QuadTree,
+            ];
+            let indexes: Vec<_> = backends
+                .iter()
+                .map(|&b| {
+                    SpaReach::build_with_backend(
+                        &prep,
+                        SccSpatialPolicy::Replicate,
+                        b,
+                        "SpaReach-ablate",
+                        BflIndex::build,
+                    )
+                })
+                .collect();
+            for v in prep.network().graph().vertices() {
+                for r in paper_example::probe_regions() {
+                    let expected = prep.range_reach_bfs(v, &r);
+                    for (idx, b) in indexes.iter().zip(backends) {
+                        assert_eq!(idx.query(v, &r), expected, "{b:?} at v={v} r={r}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pll_and_feline_backends_match_bfs() {
+        for prep in [paper_example::prepared(), paper_example::cyclic_prepared()] {
+            let pll = SpaReachPll::build(&prep, SccSpatialPolicy::Replicate);
+            let feline = SpaReachFeline::build(&prep, SccSpatialPolicy::Replicate);
+            for v in prep.network().graph().vertices() {
+                for r in paper_example::probe_regions() {
+                    let expected = prep.range_reach_bfs(v, &r);
+                    assert_eq!(pll.query(v, &r), expected, "PLL v={v} r={r}");
+                    assert_eq!(feline.query(v, &r), expected, "FELINE v={v} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_modes_agree() {
+        for prep in [paper_example::prepared(), paper_example::cyclic_prepared()] {
+            for policy in [SccSpatialPolicy::Replicate, SccSpatialPolicy::Mbr] {
+                let faithful = SpaReachBfl::build(&prep, policy);
+                let streaming =
+                    SpaReachBfl::build(&prep, policy).with_candidate_mode(CandidateMode::Streaming);
+                for v in prep.network().graph().vertices() {
+                    for r in paper_example::probe_regions() {
+                        assert_eq!(
+                            faithful.query(v, &r),
+                            streaming.query(v, &r),
+                            "v={v} r={r} {policy:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_bytes_include_both_structures() {
+        let prep = paper_example::prepared();
+        let idx = SpaReachInt::build(&prep, SccSpatialPolicy::Replicate);
+        assert!(idx.index_bytes() > 0);
+        assert!(idx.index_bytes() >= idx.reachability().heap_bytes());
+        assert_eq!(idx.name(), "SpaReach-INT");
+    }
+}

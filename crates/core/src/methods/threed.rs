@@ -1,0 +1,336 @@
+//! 3DReach and 3DReach-REV: the three-dimensional transformation
+//! (Section 4.2) — the paper's headline contribution.
+//!
+//! **3DReach** models every spatial vertex `u` as the 3-D point
+//! `(u.point, post(u))` and rewrites `RangeReach(G, v, R)` as one 3-D range
+//! query per label `[l, h] ∈ L(v)`: the cuboid with base `R` spanning
+//! `[l, h]` in the third dimension. A point inside a cuboid certifies both
+//! predicates at once — `u.point ∈ R` *and* `l ≤ post(u) ≤ h`, i.e.
+//! `GReach(v, u)`.
+//!
+//! **3DReach-REV** instead builds the *reversed* labeling (run Algorithm 1
+//! on the edge-reversed graph): each label of `L_rev(u)` covers the
+//! reversed-post-order numbers of `u`'s ancestors, so a spatial vertex
+//! becomes a set of *vertical line segments* and a query becomes a single
+//! plane at `post_rev(v)`. One range query per query instead of `|L(v)|`,
+//! at the cost of indexing segments instead of points.
+
+use crate::{PreparedNetwork, QueryCost, RangeReachIndex, SccSpatialPolicy};
+use gsr_geo::{cuboid_from_rect, Aabb, Cuboid, Point, Rect};
+use gsr_graph::scc::CompId;
+use gsr_graph::VertexId;
+use gsr_index::RTree;
+use gsr_reach::interval::IntervalLabeling;
+
+/// Payload of a 3-D entry: which component it certifies, so MBR-policy
+/// candidates can be refined against actual member points.
+type Entry = CompId;
+
+/// Shared plumbing of the two 3-D methods.
+#[derive(Debug, Clone)]
+struct ThreeDCommon {
+    comp_of: Vec<CompId>,
+    labeling: IntervalLabeling,
+    tree: RTree<3, Entry>,
+    policy: SccSpatialPolicy,
+    /// Member points per component for MBR refinement (CSR).
+    member_offsets: Vec<u32>,
+    member_points: Vec<Point>,
+}
+
+impl ThreeDCommon {
+    fn collect_members(prep: &PreparedNetwork) -> (Vec<u32>, Vec<Point>) {
+        let ncomp = prep.num_components();
+        let mut offsets = Vec::with_capacity(ncomp + 1);
+        let mut points = Vec::new();
+        offsets.push(0u32);
+        for c in 0..ncomp as CompId {
+            points.extend(prep.spatial_member_points(c));
+            offsets.push(points.len() as u32);
+        }
+        (offsets, points)
+    }
+
+    fn comp_of(prep: &PreparedNetwork) -> Vec<CompId> {
+        (0..prep.network().num_vertices() as VertexId).map(|v| prep.comp(v)).collect()
+    }
+
+    fn member_points(&self, c: CompId) -> &[Point] {
+        let lo = self.member_offsets[c as usize] as usize;
+        let hi = self.member_offsets[c as usize + 1] as usize;
+        &self.member_points[lo..hi]
+    }
+
+    /// Whether a candidate entry inside the query cuboid certifies the
+    /// answer: point entries always do; MBR entries only after refinement.
+    fn candidate_hits(
+        &self,
+        entry_box: &Cuboid,
+        comp: CompId,
+        region: &Rect,
+        cost: &mut QueryCost,
+    ) -> bool {
+        cost.spatial_candidates += 1;
+        match self.policy {
+            SccSpatialPolicy::Replicate => true,
+            SccSpatialPolicy::Mbr => {
+                let mbr = Rect::new(entry_box.min[0], entry_box.min[1], entry_box.max[0], entry_box.max[1]);
+                region.contains_rect(&mbr)
+                    || self.member_points(comp).iter().any(|p| {
+                        cost.containment_tests += 1;
+                        region.contains_point(p)
+                    })
+            }
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.labeling.heap_bytes()
+            + self.tree.heap_bytes()
+            + self.comp_of.len() * 4
+            + match self.policy {
+                SccSpatialPolicy::Replicate => 0,
+                SccSpatialPolicy::Mbr => {
+                    self.member_offsets.len() * 4
+                        + self.member_points.len() * std::mem::size_of::<Point>()
+                }
+            }
+    }
+}
+
+/// The forward 3DReach method: 3-D points, one cuboid query per label.
+#[derive(Debug, Clone)]
+pub struct ThreeDReach {
+    common: ThreeDCommon,
+}
+
+impl ThreeDReach {
+    /// Builds the forward labeling and the 3-D R-tree of spatial entries.
+    pub fn build(prep: &PreparedNetwork, policy: SccSpatialPolicy) -> Self {
+        let labeling = IntervalLabeling::build(prep.dag());
+
+        let entries: Vec<(Cuboid, Entry)> = match policy {
+            SccSpatialPolicy::Replicate => prep
+                .network()
+                .spatial_vertices()
+                .map(|(v, p)| {
+                    let comp = prep.comp(v);
+                    let z = labeling.post(comp) as f64;
+                    (gsr_geo::point3(p, z), comp)
+                })
+                .collect(),
+            SccSpatialPolicy::Mbr => (0..prep.num_components() as CompId)
+                .filter_map(|c| {
+                    prep.comp_mbr(c).map(|m| {
+                        let z = labeling.post(c) as f64;
+                        (Aabb::new([m.min_x, m.min_y, z], [m.max_x, m.max_y, z]), c)
+                    })
+                })
+                .collect(),
+        };
+        let (member_offsets, member_points) = ThreeDCommon::collect_members(prep);
+
+        ThreeDReach {
+            common: ThreeDCommon {
+                comp_of: ThreeDCommon::comp_of(prep),
+                labeling,
+                tree: RTree::bulk_load(entries),
+                policy,
+                member_offsets,
+                member_points,
+            },
+        }
+    }
+
+    /// The forward labeling (for stats).
+    pub fn labeling(&self) -> &IntervalLabeling {
+        &self.common.labeling
+    }
+}
+
+impl RangeReachIndex for ThreeDReach {
+    fn query(&self, v: VertexId, region: &Rect) -> bool {
+        self.query_with_cost(v, region).0
+    }
+
+    fn query_with_cost(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
+        let mut cost = QueryCost::default();
+        let from = self.common.comp_of[v as usize];
+        // One rectangular cuboid per label of L(v) (Example 4.2); stop at
+        // the first certified hit.
+        for iv in self.common.labeling.intervals(from) {
+            cost.range_queries += 1;
+            let cuboid = cuboid_from_rect(region, iv.lo as f64, iv.hi as f64);
+            let mut hits = self.common.tree.query(&cuboid);
+            if hits.any(|(b, &comp)| self.common.candidate_hits(b, comp, region, &mut cost)) {
+                return (true, cost);
+            }
+        }
+        (false, cost)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.common.bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "3DReach"
+    }
+}
+
+/// The line-based 3DReach-REV variant: reversed labeling, vertical
+/// segments, a single plane query per `RangeReach`.
+#[derive(Debug, Clone)]
+pub struct ThreeDReachRev {
+    common: ThreeDCommon,
+    /// `post_rev` of every component (the plane height of a query).
+    rev_post: Vec<u32>,
+}
+
+impl ThreeDReachRev {
+    /// Builds the reversed labeling and the 3-D segment R-tree.
+    pub fn build(prep: &PreparedNetwork, policy: SccSpatialPolicy) -> Self {
+        let reversed_dag = prep.dag().reversed();
+        let labeling = IntervalLabeling::build(&reversed_dag);
+        let rev_post: Vec<u32> =
+            (0..prep.num_components() as CompId).map(|c| labeling.post(c)).collect();
+
+        // Every spatial vertex u contributes one vertical segment per label
+        // of L_rev(comp(u)): the segment covers exactly the plane heights of
+        // the vertices that can reach u.
+        let mut entries: Vec<(Cuboid, Entry)> = Vec::new();
+        match policy {
+            SccSpatialPolicy::Replicate => {
+                for (v, p) in prep.network().spatial_vertices() {
+                    let comp = prep.comp(v);
+                    for iv in labeling.intervals(comp) {
+                        entries.push((gsr_geo::segment_at(p, iv.lo as f64, iv.hi as f64), comp));
+                    }
+                }
+            }
+            SccSpatialPolicy::Mbr => {
+                for c in 0..prep.num_components() as CompId {
+                    if let Some(m) = prep.comp_mbr(c) {
+                        for iv in labeling.intervals(c) {
+                            entries.push((
+                                Aabb::new(
+                                    [m.min_x, m.min_y, iv.lo as f64],
+                                    [m.max_x, m.max_y, iv.hi as f64],
+                                ),
+                                c,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        let (member_offsets, member_points) = ThreeDCommon::collect_members(prep);
+
+        ThreeDReachRev {
+            common: ThreeDCommon {
+                comp_of: ThreeDCommon::comp_of(prep),
+                labeling,
+                tree: RTree::bulk_load(entries),
+                policy,
+                member_offsets,
+                member_points,
+            },
+            rev_post,
+        }
+    }
+
+    /// The reversed labeling (for stats).
+    pub fn labeling(&self) -> &IntervalLabeling {
+        &self.common.labeling
+    }
+}
+
+impl RangeReachIndex for ThreeDReachRev {
+    fn query(&self, v: VertexId, region: &Rect) -> bool {
+        self.query_with_cost(v, region).0
+    }
+
+    fn query_with_cost(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
+        let mut cost = QueryCost { range_queries: 1, ..QueryCost::default() };
+        let from = self.common.comp_of[v as usize];
+        // A single plane parallel to the spatial dimensions, positioned at
+        // post_rev(v) (Example 4.3): the answer is TRUE iff the plane cuts a
+        // vertical segment whose base point lies inside R.
+        let z = self.rev_post[from as usize] as f64;
+        let plane = cuboid_from_rect(region, z, z);
+        let mut hits = self.common.tree.query(&plane);
+        let answer = hits.any(|(b, &comp)| self.common.candidate_hits(b, comp, region, &mut cost));
+        (answer, cost)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.common.bytes() + self.rev_post.len() * 4
+    }
+
+    fn name(&self) -> &'static str {
+        "3DReach-REV"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    #[test]
+    fn paper_examples_4_2_and_4_3() {
+        let prep = paper_example::prepared();
+        let r = paper_example::query_region();
+        for policy in [SccSpatialPolicy::Replicate, SccSpatialPolicy::Mbr] {
+            let fwd = ThreeDReach::build(&prep, policy);
+            let rev = ThreeDReachRev::build(&prep, policy);
+            assert!(fwd.query(paper_example::A, &r), "{policy:?}");
+            assert!(!fwd.query(paper_example::C, &r), "{policy:?}");
+            assert!(rev.query(paper_example::A, &r), "{policy:?}");
+            assert!(!rev.query(paper_example::C, &r), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn forward_uses_one_cuboid_per_label_of_a() {
+        // L(a) compresses to a single interval (Table 1), so the query for a
+        // is one 3-D range query; c has three labels.
+        let prep = paper_example::prepared();
+        let fwd = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+        assert_eq!(fwd.labeling().intervals(prep.comp(paper_example::A)).len(), 1);
+        assert_eq!(fwd.labeling().intervals(prep.comp(paper_example::C)).len(), 3);
+    }
+
+    #[test]
+    fn both_match_bfs_everywhere() {
+        for prep in [paper_example::prepared(), paper_example::cyclic_prepared()] {
+            for policy in [SccSpatialPolicy::Replicate, SccSpatialPolicy::Mbr] {
+                let fwd = ThreeDReach::build(&prep, policy);
+                let rev = ThreeDReachRev::build(&prep, policy);
+                for v in prep.network().graph().vertices() {
+                    for r in paper_example::probe_regions() {
+                        let expected = prep.range_reach_bfs(v, &r);
+                        assert_eq!(fwd.query(v, &r), expected, "3DReach v={v} r={r} {policy:?}");
+                        assert_eq!(
+                            rev.query(v, &r),
+                            expected,
+                            "3DReach-REV v={v} r={r} {policy:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rev_indexes_segments_not_points() {
+        let prep = paper_example::prepared();
+        let fwd = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+        let rev = ThreeDReachRev::build(&prep, SccSpatialPolicy::Replicate);
+        // Forward: one entry per spatial vertex. Reverse: one per (vertex,
+        // reversed label) pair, which is at least as many.
+        assert!(rev.index_bytes() >= fwd.index_bytes() / 2);
+        assert_eq!(fwd.name(), "3DReach");
+        assert_eq!(rev.name(), "3DReach-REV");
+    }
+}

@@ -1,0 +1,381 @@
+//! Geosocial networks and their condensed (DAG) form.
+
+use gsr_geo::{Point, Rect};
+use gsr_graph::scc::{CompId, Condensation};
+use gsr_graph::{DiGraph, VertexId};
+
+/// Errors raised when constructing a [`GeosocialNetwork`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// `points` must have exactly one slot per vertex.
+    PointCountMismatch {
+        /// Number of graph vertices.
+        vertices: usize,
+        /// Number of point slots supplied.
+        points: usize,
+    },
+    /// A spatial vertex carried a NaN or infinite coordinate.
+    NonFinitePoint {
+        /// The offending vertex.
+        vertex: VertexId,
+    },
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::PointCountMismatch { vertices, points } => {
+                write!(f, "graph has {vertices} vertices but {points} point slots")
+            }
+            NetworkError::NonFinitePoint { vertex } => {
+                write!(f, "vertex {vertex} has a non-finite coordinate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A geosocial network `G = (V, E, P)` (Section 2.1 of the paper): a
+/// directed graph whose vertices optionally carry a point in the plane.
+/// Vertices with a point are *spatial vertices* (venues); vertices without
+/// are social vertices (users).
+#[derive(Debug, Clone)]
+pub struct GeosocialNetwork {
+    graph: DiGraph,
+    points: Vec<Option<Point>>,
+}
+
+impl GeosocialNetwork {
+    /// Wraps a graph and one optional point per vertex.
+    pub fn new(graph: DiGraph, points: Vec<Option<Point>>) -> Result<Self, NetworkError> {
+        if points.len() != graph.num_vertices() {
+            return Err(NetworkError::PointCountMismatch {
+                vertices: graph.num_vertices(),
+                points: points.len(),
+            });
+        }
+        for (v, p) in points.iter().enumerate() {
+            if let Some(p) = p {
+                if !p.is_finite() {
+                    return Err(NetworkError::NonFinitePoint { vertex: v as VertexId });
+                }
+            }
+        }
+        Ok(GeosocialNetwork { graph, points })
+    }
+
+    /// The underlying directed graph.
+    #[inline]
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// The point of vertex `v`, if it is spatial.
+    #[inline]
+    pub fn point(&self, v: VertexId) -> Option<Point> {
+        self.points[v as usize]
+    }
+
+    /// Whether `v` is a spatial vertex.
+    #[inline]
+    pub fn is_spatial(&self, v: VertexId) -> bool {
+        self.points[v as usize].is_some()
+    }
+
+    /// Iterator over `(vertex, point)` for all spatial vertices.
+    pub fn spatial_vertices(&self) -> impl Iterator<Item = (VertexId, Point)> + '_ {
+        self.points
+            .iter()
+            .enumerate()
+            .filter_map(|(v, p)| p.map(|p| (v as VertexId, p)))
+    }
+
+    /// Number of spatial vertices (`|P|`).
+    pub fn num_spatial(&self) -> usize {
+        self.points.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// The MBR of all points — the `SPACE` of the paper's GeoReach
+    /// parameters. `None` when the network has no spatial vertex.
+    pub fn space(&self) -> Option<Rect> {
+        Rect::mbr_of(self.points.iter().filter_map(|p| *p))
+    }
+}
+
+/// Summary characteristics of a network — the columns of Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Social (non-spatial) vertices, "# users".
+    pub users: usize,
+    /// Spatial vertices, "# venues".
+    pub venues: usize,
+    /// `|V|`.
+    pub vertices: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// `|P|` (equals `venues`).
+    pub points: usize,
+    /// Number of strongly connected components.
+    pub sccs: usize,
+    /// Number of vertices in the largest SCC.
+    pub largest_scc: usize,
+}
+
+/// A geosocial network condensed into its SCC DAG, with per-component
+/// spatial information precomputed — the common preprocessing shared by all
+/// evaluation methods ("following the typical practice, we converted them
+/// into DAGs", Section 6.2).
+#[derive(Debug, Clone)]
+pub struct PreparedNetwork {
+    net: GeosocialNetwork,
+    cond: Condensation,
+    /// Per component: flattened spatial members (vertex ids), CSR layout.
+    spatial_offsets: Vec<u32>,
+    spatial_members: Vec<VertexId>,
+    /// Per component: MBR of member points (`None` if no spatial member).
+    comp_mbr: Vec<Option<Rect>>,
+    space: Rect,
+}
+
+impl PreparedNetwork {
+    /// Condenses `net` and precomputes the spatial side of each component.
+    pub fn new(net: GeosocialNetwork) -> Self {
+        let cond = Condensation::of(net.graph());
+        let ncomp = cond.num_components();
+
+        let mut spatial_offsets = vec![0u32; ncomp + 1];
+        for (v, p) in net.points.iter().enumerate() {
+            if p.is_some() {
+                spatial_offsets[cond.comp(v as VertexId) as usize + 1] += 1;
+            }
+        }
+        for i in 0..ncomp {
+            spatial_offsets[i + 1] += spatial_offsets[i];
+        }
+        let mut cursor = spatial_offsets.clone();
+        let mut spatial_members = vec![0 as VertexId; *spatial_offsets.last().unwrap() as usize];
+        for (v, p) in net.points.iter().enumerate() {
+            if p.is_some() {
+                let c = cond.comp(v as VertexId) as usize;
+                spatial_members[cursor[c] as usize] = v as VertexId;
+                cursor[c] += 1;
+            }
+        }
+
+        let mut comp_mbr: Vec<Option<Rect>> = vec![None; ncomp];
+        for (c, slot) in comp_mbr.iter_mut().enumerate() {
+            let lo = spatial_offsets[c] as usize;
+            let hi = spatial_offsets[c + 1] as usize;
+            *slot = Rect::mbr_of(
+                spatial_members[lo..hi].iter().map(|&v| net.points[v as usize].unwrap()),
+            );
+        }
+
+        let space = net.space().unwrap_or(Rect::new(0.0, 0.0, 1.0, 1.0));
+        PreparedNetwork { net, cond, spatial_offsets, spatial_members, comp_mbr, space }
+    }
+
+    /// The original network.
+    #[inline]
+    pub fn network(&self) -> &GeosocialNetwork {
+        &self.net
+    }
+
+    /// The condensation DAG (one vertex per SCC).
+    #[inline]
+    pub fn dag(&self) -> &DiGraph {
+        &self.cond.dag
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.cond.num_components()
+    }
+
+    /// The component of original vertex `v`.
+    #[inline]
+    pub fn comp(&self, v: VertexId) -> CompId {
+        self.cond.comp(v)
+    }
+
+    /// All original members of component `c`.
+    #[inline]
+    pub fn members(&self, c: CompId) -> &[VertexId] {
+        self.cond.members(c)
+    }
+
+    /// The spatial members of component `c` (original vertex ids).
+    #[inline]
+    pub fn spatial_members(&self, c: CompId) -> &[VertexId] {
+        let lo = self.spatial_offsets[c as usize] as usize;
+        let hi = self.spatial_offsets[c as usize + 1] as usize;
+        &self.spatial_members[lo..hi]
+    }
+
+    /// Iterator over the member points of component `c`.
+    pub fn spatial_member_points(&self, c: CompId) -> impl Iterator<Item = Point> + '_ {
+        self.spatial_members(c).iter().map(|&v| self.net.points[v as usize].unwrap())
+    }
+
+    /// Whether any member point of `c` lies inside `region`.
+    pub fn any_member_in(&self, c: CompId, region: &Rect) -> bool {
+        self.spatial_member_points(c).any(|p| region.contains_point(&p))
+    }
+
+    /// The MBR of component `c`'s member points.
+    #[inline]
+    pub fn comp_mbr(&self, c: CompId) -> Option<Rect> {
+        self.comp_mbr[c as usize]
+    }
+
+    /// Whether component `c` contains at least one spatial vertex.
+    #[inline]
+    pub fn comp_is_spatial(&self, c: CompId) -> bool {
+        self.comp_mbr[c as usize].is_some()
+    }
+
+    /// The MBR of all points of the network (the paper's `SPACE`).
+    #[inline]
+    pub fn space(&self) -> Rect {
+        self.space
+    }
+
+    /// Table 3 statistics of the underlying network.
+    pub fn stats(&self) -> NetworkStats {
+        let venues = self.net.num_spatial();
+        NetworkStats {
+            users: self.net.num_vertices() - venues,
+            venues,
+            vertices: self.net.num_vertices(),
+            edges: self.net.graph().num_edges(),
+            points: venues,
+            sccs: self.cond.num_components(),
+            largest_scc: self.cond.largest_component_size(),
+        }
+    }
+
+    /// Ground-truth `RangeReach` evaluation by BFS over the condensation —
+    /// used by the test suites to validate every index.
+    pub fn range_reach_bfs(&self, v: VertexId, region: &Rect) -> bool {
+        let start = self.comp(v);
+        let mut visited = vec![false; self.num_components()];
+        let mut stack = vec![start];
+        visited[start as usize] = true;
+        while let Some(c) = stack.pop() {
+            if self.any_member_in(c, region) {
+                return true;
+            }
+            for &w in self.dag().out_neighbors(c) {
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsr_graph::graph_from_edges;
+
+    fn p(x: f64, y: f64) -> Option<Point> {
+        Some(Point::new(x, y))
+    }
+
+    #[test]
+    fn construction_validation() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        assert!(matches!(
+            GeosocialNetwork::new(g.clone(), vec![None]),
+            Err(NetworkError::PointCountMismatch { vertices: 2, points: 1 })
+        ));
+        assert!(matches!(
+            GeosocialNetwork::new(g.clone(), vec![None, p(f64::NAN, 0.0)]),
+            Err(NetworkError::NonFinitePoint { vertex: 1 })
+        ));
+        assert!(GeosocialNetwork::new(g, vec![None, p(1.0, 2.0)]).is_ok());
+    }
+
+    #[test]
+    fn spatial_accessors() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let net = GeosocialNetwork::new(g, vec![None, p(1.0, 2.0), p(3.0, 4.0)]).unwrap();
+        assert_eq!(net.num_spatial(), 2);
+        assert!(!net.is_spatial(0));
+        assert!(net.is_spatial(1));
+        assert_eq!(net.point(2), Some(Point::new(3.0, 4.0)));
+        assert_eq!(net.space(), Some(Rect::new(1.0, 2.0, 3.0, 4.0)));
+        let spatial: Vec<_> = net.spatial_vertices().collect();
+        assert_eq!(spatial.len(), 2);
+        assert_eq!(spatial[0].0, 1);
+    }
+
+    #[test]
+    fn prepared_network_component_spatial_info() {
+        // 0 <-> 1 form an SCC with one spatial member; 2 is spatial alone.
+        let g = graph_from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        let net = GeosocialNetwork::new(g, vec![None, p(1.0, 1.0), p(5.0, 5.0)]).unwrap();
+        let prep = PreparedNetwork::new(net);
+        assert_eq!(prep.num_components(), 2);
+        let c01 = prep.comp(0);
+        let c2 = prep.comp(2);
+        assert_eq!(prep.comp(1), c01);
+        assert_ne!(c01, c2);
+        assert_eq!(prep.spatial_members(c01), &[1]);
+        assert_eq!(prep.spatial_members(c2), &[2]);
+        assert_eq!(prep.comp_mbr(c01), Some(Rect::new(1.0, 1.0, 1.0, 1.0)));
+        assert!(prep.comp_is_spatial(c2));
+        assert!(prep.any_member_in(c01, &Rect::new(0.0, 0.0, 2.0, 2.0)));
+        assert!(!prep.any_member_in(c01, &Rect::new(4.0, 4.0, 6.0, 6.0)));
+    }
+
+    #[test]
+    fn stats_match_table3_columns() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 0), (0, 2), (1, 3)]);
+        let net =
+            GeosocialNetwork::new(g, vec![None, None, p(0.0, 0.0), p(1.0, 1.0)]).unwrap();
+        let prep = PreparedNetwork::new(net);
+        let s = prep.stats();
+        assert_eq!(s.users, 2);
+        assert_eq!(s.venues, 2);
+        assert_eq!(s.vertices, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.points, 2);
+        assert_eq!(s.sccs, 3);
+        assert_eq!(s.largest_scc, 2);
+    }
+
+    #[test]
+    fn bfs_ground_truth() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (3, 2)]);
+        let net =
+            GeosocialNetwork::new(g, vec![None, None, p(5.0, 5.0), p(0.0, 0.0)]).unwrap();
+        let prep = PreparedNetwork::new(net);
+        let near_venue = Rect::new(4.0, 4.0, 6.0, 6.0);
+        assert!(prep.range_reach_bfs(0, &near_venue));
+        assert!(prep.range_reach_bfs(2, &near_venue), "reflexive");
+        let near_three = Rect::new(-1.0, -1.0, 1.0, 1.0);
+        assert!(!prep.range_reach_bfs(0, &near_three), "3 is not reachable from 0");
+        assert!(prep.range_reach_bfs(3, &near_three));
+    }
+
+    #[test]
+    fn network_without_points_gets_default_space() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let net = GeosocialNetwork::new(g, vec![None, None]).unwrap();
+        let prep = PreparedNetwork::new(net);
+        assert_eq!(prep.network().num_spatial(), 0);
+        assert!(!prep.range_reach_bfs(0, &prep.space()));
+    }
+}

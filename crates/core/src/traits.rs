@@ -1,0 +1,92 @@
+//! The common interface of all RangeReach evaluation methods.
+
+use gsr_geo::Rect;
+use gsr_graph::VertexId;
+
+/// How the spatial information of a strongly connected component with
+/// spatial members is modeled (Section 5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SccSpatialPolicy {
+    /// Replace the super-vertex by its spatial members, replicating the
+    /// component's reachability information onto each member point. Indexes
+    /// stay point-based. This is the non-MBR variant, which the paper's
+    /// Figure 5 finds uniformly faster; it is the default.
+    #[default]
+    Replicate,
+    /// Give the super-vertex the minimum bounding rectangle of its members'
+    /// points as its spatial geometry. Indexes store one rectangle/box per
+    /// spatial component; answers stay exact because partially overlapping
+    /// candidates are refined against the actual member points.
+    Mbr,
+}
+
+impl SccSpatialPolicy {
+    /// Short label used in tables ("" for the default, "(MBR)" otherwise).
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            SccSpatialPolicy::Replicate => "",
+            SccSpatialPolicy::Mbr => " (MBR)",
+        }
+    }
+}
+
+/// Work counters collected by [`RangeReachIndex::query_with_cost`]. Each
+/// method fills the counters that describe *its* work, so the numbers
+/// explain the performance trends of Section 6.4 (e.g. SpaReach's candidate
+/// count grows with the region extent, GeoReach's traversal shrinks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryCost {
+    /// Spatial candidates produced by the first phase (SpaReach: range
+    /// query results; 3DReach: entries inside the query cuboids).
+    pub spatial_candidates: usize,
+    /// Graph-reachability (`GReach`) tests issued (SpaReach).
+    pub reach_tests: usize,
+    /// Graph/DAG vertices visited by a traversal or descendant scan
+    /// (GeoReach: BFS pops; SocReach: post-order numbers scanned).
+    pub vertices_visited: usize,
+    /// Point-in-rectangle containment tests performed.
+    pub containment_tests: usize,
+    /// Multidimensional range queries issued (3DReach: one per label;
+    /// 3DReach-REV: always one).
+    pub range_queries: usize,
+}
+
+impl QueryCost {
+    /// Accumulates another cost into `self` (used to average workloads).
+    pub fn accumulate(&mut self, other: &QueryCost) {
+        self.spatial_candidates += other.spatial_candidates;
+        self.reach_tests += other.reach_tests;
+        self.vertices_visited += other.vertices_visited;
+        self.containment_tests += other.containment_tests;
+        self.range_queries += other.range_queries;
+    }
+}
+
+/// An evaluation method for `RangeReach(G, v, R)` queries (Problem 1).
+///
+/// Implementations are built once from a [`crate::PreparedNetwork`] and then
+/// answer arbitrarily many queries. Reachability is reflexive: a query
+/// vertex whose own point lies inside `R` yields `true`.
+///
+/// Indexes are immutable after construction, so the trait requires
+/// `Send + Sync` and a shared reference can serve queries from many
+/// threads concurrently (see the harness's parallel driver).
+pub trait RangeReachIndex: Send + Sync {
+    /// Evaluates `RangeReach(G, v, region)`: can `v` reach a vertex whose
+    /// point lies inside `region`?
+    fn query(&self, v: VertexId, region: &Rect) -> bool;
+
+    /// Like [`RangeReachIndex::query`], additionally returning the work
+    /// counters of this query. The default implementation reports empty
+    /// counters.
+    fn query_with_cost(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
+        (self.query(v, region), QueryCost::default())
+    }
+
+    /// Approximate heap footprint of the index structures in bytes —
+    /// the "index size" column of Table 4.
+    fn index_bytes(&self) -> usize;
+
+    /// Display name, e.g. `"3DReach"` or `"SpaReach-BFL"`.
+    fn name(&self) -> &'static str;
+}

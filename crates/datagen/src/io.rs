@@ -1,0 +1,209 @@
+//! A simple text format for geosocial networks, so the synthetic analogs
+//! can be swapped for real datasets (Foursquare/Gowalla/WeePlaces/Yelp
+//! dumps) without code changes.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! V <num_vertices>
+//! P <vertex> <x> <y>     # one per spatial vertex
+//! E <source> <target>    # one per directed edge
+//! ```
+
+use gsr_core::{GeosocialNetwork, NetworkError};
+use gsr_geo::Point;
+use gsr_graph::GraphBuilder;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors raised while reading a network file.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number and content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line.
+        content: String,
+    },
+    /// The parsed data failed network validation.
+    Network(NetworkError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse { line, content } => {
+                write!(f, "malformed line {line}: {content:?}")
+            }
+            LoadError::Network(e) => write!(f, "invalid network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Writes `net` in the text format.
+pub fn write_network<W: Write>(net: &GeosocialNetwork, out: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "# gsr geosocial network v1")?;
+    writeln!(w, "V {}", net.num_vertices())?;
+    for (v, p) in net.spatial_vertices() {
+        writeln!(w, "P {} {} {}", v, p.x, p.y)?;
+    }
+    for (u, v) in net.graph().edges() {
+        writeln!(w, "E {u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Saves `net` to a file.
+pub fn save_network(net: &GeosocialNetwork, path: &Path) -> std::io::Result<()> {
+    write_network(net, std::fs::File::create(path)?)
+}
+
+/// Reads a network from the text format.
+pub fn read_network<R: Read>(input: R) -> Result<GeosocialNetwork, LoadError> {
+    let reader = BufReader::new(input);
+    let mut builder = GraphBuilder::new(0);
+    let mut points: Vec<Option<Point>> = Vec::new();
+    let mut declared = 0usize;
+
+    let malformed = |line: usize, content: &str| LoadError::Parse {
+        line,
+        content: content.to_string(),
+    };
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        match fields.next() {
+            Some("V") => {
+                declared = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(lineno, trimmed))?;
+            }
+            Some("P") => {
+                let v: u32 = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(lineno, trimmed))?;
+                let x: f64 = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(lineno, trimmed))?;
+                let y: f64 = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(lineno, trimmed))?;
+                if points.len() <= v as usize {
+                    points.resize(v as usize + 1, None);
+                }
+                points[v as usize] = Some(Point::new(x, y));
+                builder.ensure_vertex(v);
+            }
+            Some("E") => {
+                let u: u32 = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(lineno, trimmed))?;
+                let v: u32 = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(lineno, trimmed))?;
+                builder.add_edge(u, v);
+            }
+            _ => return Err(malformed(lineno, trimmed)),
+        }
+    }
+
+    let n = declared.max(builder.num_vertices()).max(points.len());
+    for v in 0..n {
+        builder.ensure_vertex(v as u32);
+    }
+    points.resize(n, None);
+    GeosocialNetwork::new(builder.build(), points).map_err(LoadError::Network)
+}
+
+/// Loads a network from a file.
+pub fn load_network(path: &Path) -> Result<GeosocialNetwork, LoadError> {
+    read_network(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkSpec;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let net = NetworkSpec::weeplaces(0.05).generate();
+        let mut buf = Vec::new();
+        write_network(&net, &mut buf).unwrap();
+        let loaded = read_network(buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.num_vertices(), net.num_vertices());
+        assert_eq!(loaded.graph().num_edges(), net.graph().num_edges());
+        assert_eq!(loaded.num_spatial(), net.num_spatial());
+        for v in net.graph().vertices() {
+            assert_eq!(loaded.point(v), net.point(v), "point of {v}");
+            assert_eq!(loaded.graph().out_neighbors(v), net.graph().out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\nV 3\nP 2 1.5 2.5\n  # indented comment\nE 0 1\nE 1 2\n";
+        let net = read_network(text.as_bytes()).unwrap();
+        assert_eq!(net.num_vertices(), 3);
+        assert_eq!(net.graph().num_edges(), 2);
+        assert_eq!(net.point(2), Some(Point::new(1.5, 2.5)));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let text = "V 2\nE 0\n";
+        match read_network(text.as_bytes()) {
+            Err(LoadError::Parse { line: 2, .. }) => {}
+            other => panic!("expected parse error on line 2, got {other:?}"),
+        }
+        let text2 = "X what\n";
+        assert!(matches!(read_network(text2.as_bytes()), Err(LoadError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn vertex_count_grows_to_fit_ids() {
+        // V undercounts; ids in P/E lines win.
+        let text = "V 1\nP 5 0 0\nE 0 9\n";
+        let net = read_network(text.as_bytes()).unwrap();
+        assert_eq!(net.num_vertices(), 10);
+        assert!(net.is_spatial(5));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("gsr_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.gsr");
+        let net = NetworkSpec::yelp(0.01).generate();
+        save_network(&net, &path).unwrap();
+        let loaded = load_network(&path).unwrap();
+        assert_eq!(loaded.num_vertices(), net.num_vertices());
+        assert_eq!(loaded.graph().num_edges(), net.graph().num_edges());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests for the generators and workloads.
+
+use gsr_core::PreparedNetwork;
+use gsr_datagen::networks::ZipfSampler;
+use gsr_datagen::workload::WorkloadGen;
+use gsr_datagen::NetworkSpec;
+use gsr_graph::stats::DegreeBucket;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn zipf_always_in_range(n in 1usize..500, skew in 0.0..2.0f64, seed in any::<u64>()) {
+        let sampler = ZipfSampler::new(n, skew);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(sampler.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn generated_networks_are_structurally_sound(
+        scale in 0.005..0.05f64,
+        which in 0usize..4,
+    ) {
+        let spec = NetworkSpec::paper_datasets(scale).swap_remove(which);
+        let net = spec.generate();
+        // Spatial vertices are exactly the venues and are all sinks.
+        prop_assert_eq!(net.num_spatial(), spec.venues.max(1));
+        for (v, p) in net.spatial_vertices() {
+            prop_assert_eq!(net.graph().out_degree(v), 0);
+            prop_assert!(spec.space.contains_point(&p));
+        }
+        // No dangling edges.
+        for (u, v) in net.graph().edges() {
+            prop_assert!((u as usize) < net.num_vertices());
+            prop_assert!((v as usize) < net.num_vertices());
+        }
+    }
+
+    #[test]
+    fn workload_regions_always_inside_space(
+        extent in 0.5..25.0f64,
+        seed in any::<u64>(),
+    ) {
+        let spec = NetworkSpec::weeplaces(0.02);
+        let prep = PreparedNetwork::new(spec.generate());
+        let gen = WorkloadGen::new(&prep);
+        let w = gen.extent_degree(extent, DegreeBucket::PAPER_BUCKETS[0], 25, seed);
+        let space = prep.space();
+        for (v, r) in &w.queries {
+            prop_assert!(space.contains_rect(r), "region {} escapes the space", r);
+            prop_assert!((*v as usize) < prep.network().num_vertices());
+            prop_assert!(prep.network().graph().out_degree(*v) >= 1);
+        }
+    }
+}

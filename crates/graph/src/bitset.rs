@@ -1,0 +1,82 @@
+//! A dense bit matrix for small-to-medium reachability closures.
+
+/// An `n x n` bit matrix with row-wise unions — the workhorse of the DAG
+/// reductions and handy for test oracles.
+#[derive(Debug, Clone)]
+pub struct BitMatrix {
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-zero `n x n` matrix.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64).max(1);
+        BitMatrix { words_per_row, bits: vec![0; n * words_per_row] }
+    }
+
+    /// Sets bit `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize) {
+        self.bits[row * self.words_per_row + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// Reads bit `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.bits[row * self.words_per_row + col / 64] & (1u64 << (col % 64)) != 0
+    }
+
+    /// `row |= other` (row-wise union). No-op when `row == other`.
+    pub fn union_row(&mut self, row: usize, other: usize) {
+        if row == other {
+            return;
+        }
+        let w = self.words_per_row;
+        let (dst, src) = if row < other {
+            let (lo, hi) = self.bits.split_at_mut(other * w);
+            (&mut lo[row * w..(row + 1) * w], &hi[..w])
+        } else {
+            let (lo, hi) = self.bits.split_at_mut(row * w);
+            (&mut hi[..w], &lo[other * w..(other + 1) * w])
+        };
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d |= *s;
+        }
+    }
+
+    /// Number of set bits in `row`.
+    pub fn count_row(&self, row: usize) -> usize {
+        self.bits[row * self.words_per_row..(row + 1) * self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_union() {
+        let mut m = BitMatrix::new(130); // forces 3 words per row
+        m.set(0, 0);
+        m.set(0, 129);
+        m.set(1, 64);
+        assert!(m.get(0, 0) && m.get(0, 129) && m.get(1, 64));
+        assert!(!m.get(1, 0));
+        m.union_row(1, 0);
+        assert!(m.get(1, 0) && m.get(1, 129) && m.get(1, 64));
+        assert_eq!(m.count_row(1), 3);
+        // Self-union is a no-op.
+        m.union_row(1, 1);
+        assert_eq!(m.count_row(1), 3);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = BitMatrix::new(0);
+        let _ = m; // must simply not panic on construction
+    }
+}

@@ -1,0 +1,201 @@
+//! Compressed-sparse-row storage for directed graphs.
+
+use crate::VertexId;
+
+/// A directed graph stored in CSR form, with both forward (out-neighbour)
+/// and reverse (in-neighbour) adjacency.
+///
+/// Vertices are dense `u32` indices. Parallel edges are removed at build
+/// time; self-loops are kept (they are collapsed later by the SCC
+/// condensation). The reverse adjacency doubles memory but is required by
+/// the reversed interval labeling of 3DReach-REV and by in-degree priorities
+/// in the labeling construction (Algorithm 1 of the paper).
+#[derive(Debug, Clone)]
+pub struct DiGraph {
+    /// Forward CSR offsets: edges of vertex `v` are
+    /// `targets[offsets[v] .. offsets[v + 1]]`.
+    out_offsets: Vec<u32>,
+    out_targets: Vec<VertexId>,
+    in_offsets: Vec<u32>,
+    in_sources: Vec<VertexId>,
+}
+
+impl DiGraph {
+    /// Builds a graph from `n` vertices and a sorted, deduplicated edge list.
+    /// Callers normally go through [`crate::GraphBuilder`].
+    pub(crate) fn from_sorted_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+dedup");
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(u, _) in edges {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<VertexId> = edges.iter().map(|&(_, v)| v).collect();
+
+        // Reverse adjacency via counting sort on targets.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, v) in edges {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0 as VertexId; edges.len()];
+        for &(u, v) in edges {
+            let slot = cursor[v as usize];
+            in_sources[slot as usize] = u;
+            cursor[v as usize] += 1;
+        }
+
+        DiGraph { out_offsets, out_targets, in_offsets, in_sources }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of (deduplicated) directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-neighbours of `v`, sorted ascending.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.out_offsets[v as usize] as usize;
+        let hi = self.out_offsets[v as usize + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// In-neighbours of `v` (sources of edges into `v`).
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.in_offsets[v as usize] as usize;
+        let hi = self.in_offsets[v as usize + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Whether the (directed) edge `(u, v)` exists. `O(log out_degree(u))`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over all edges `(u, v)` in source order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// The graph with every edge reversed. Used to build the reversed
+    /// interval labeling of 3DReach-REV (Section 4.2).
+    pub fn reversed(&self) -> DiGraph {
+        let mut rev: Vec<(VertexId, VertexId)> = self.edges().map(|(u, v)| (v, u)).collect();
+        rev.sort_unstable();
+        DiGraph::from_sorted_edges(self.num_vertices(), &rev)
+    }
+
+    /// Approximate heap footprint in bytes, for the index-size accounting of
+    /// Table 4 in the paper.
+    pub fn heap_bytes(&self) -> usize {
+        self.out_offsets.len() * 4
+            + self.out_targets.len() * 4
+            + self.in_offsets.len() * 4
+            + self.in_sources.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn diamond() -> crate::DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn adjacency_round_trip() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(3), &[] as &[u32]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[] as &[u32]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+    }
+
+    #[test]
+    fn has_edge_checks() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edge_iterator_in_source_order() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn reversal_flips_every_edge() {
+        let g = diamond();
+        let r = g.reversed();
+        assert_eq!(r.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(r.has_edge(v, u));
+        }
+        assert_eq!(r.out_neighbors(3), &[1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(g.num_vertices(), 3);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 0);
+            assert_eq!(g.in_degree(v), 0);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Directed-graph substrate for the geosocial reachability library.
+//!
+//! The paper models a (geo)social network as a directed graph `G = (V, E)`
+//! (Section 2.1). This crate provides:
+//!
+//! * [`DiGraph`] — a compact CSR (compressed sparse row) representation with
+//!   both forward and reverse adjacency, built through [`GraphBuilder`];
+//! * [`scc`] — an iterative Tarjan strongly-connected-components algorithm
+//!   and the [`scc::Condensation`] of an arbitrary graph into a DAG, the
+//!   standard preprocessing step of all graph-reachability indexes
+//!   (Section 5 of the paper);
+//! * [`topo`] — Kahn topological ordering over DAGs;
+//! * [`dfs`] — DFS spanning forests with global post-order numbering, the
+//!   backbone of the interval-based labeling scheme (Section 3);
+//! * [`stats`] — degree statistics used by the workload generators
+//!   (query vertices are bucketed by out-degree in Section 6.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+mod builder;
+mod csr;
+pub mod dfs;
+pub mod reduction;
+pub mod scc;
+pub mod stats;
+pub mod topo;
+
+pub use builder::{graph_from_edges, GraphBuilder};
+pub use csr::DiGraph;
+
+/// Identifier of a vertex: a dense index in `0..graph.num_vertices()`.
+pub type VertexId = u32;

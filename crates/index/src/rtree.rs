@@ -1,0 +1,1007 @@
+//! A const-generic R-tree (Guttman) with quadratic split and STR bulk load.
+//!
+//! The tree indexes axis-aligned boxes ([`Aabb<N>`]) with an arbitrary
+//! payload `T`. Points are degenerate boxes, so the same structure serves as
+//! the paper's 2-D point R-tree (SpaReach), its 2-D rectangle R-tree (the
+//! MBR-based SCC variants of Section 5), the 3-D point R-tree (3DReach) and
+//! the 3-D segment/box R-tree (3DReach-REV).
+
+use gsr_geo::Aabb;
+
+/// Fan-out parameters of an [`RTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeParams {
+    /// Maximum entries per node before a split (Guttman's `M`).
+    pub max_entries: usize,
+    /// Minimum entries per node after a split (Guttman's `m <= M/2`).
+    pub min_entries: usize,
+}
+
+impl Default for RTreeParams {
+    fn default() -> Self {
+        RTreeParams { max_entries: 16, min_entries: 6 }
+    }
+}
+
+impl RTreeParams {
+    /// Creates parameters, clamping `min_entries` into the valid
+    /// `1 ..= max_entries / 2` range.
+    pub fn new(max_entries: usize, min_entries: usize) -> Self {
+        let max_entries = max_entries.max(4);
+        let min_entries = min_entries.clamp(1, max_entries / 2);
+        RTreeParams { max_entries, min_entries }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind<const N: usize, T> {
+    /// Data entries.
+    Leaf(Vec<(Aabb<N>, T)>),
+    /// Child node ids into the arena.
+    Inner(Vec<u32>),
+}
+
+#[derive(Debug, Clone)]
+struct Node<const N: usize, T> {
+    mbr: Aabb<N>,
+    kind: NodeKind<N, T>,
+}
+
+impl<const N: usize, T> Node<N, T> {
+    fn len(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(e) => e.len(),
+            NodeKind::Inner(c) => c.len(),
+        }
+    }
+}
+
+/// An R-tree over `N`-dimensional boxes with payloads of type `T`.
+///
+/// ```
+/// use gsr_geo::Aabb;
+/// use gsr_index::RTree;
+///
+/// let mut t: RTree<2, u32> = RTree::new();
+/// for i in 0..100u32 {
+///     let p = [i as f64, (i * 7 % 100) as f64];
+///     t.insert(Aabb::from_point(p), i);
+/// }
+/// let region = Aabb::new([0.0, 0.0], [10.0, 100.0]);
+/// assert!(t.query_exists(&region));
+/// assert_eq!(t.query(&region).count(), 11);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RTree<const N: usize, T> {
+    params: RTreeParams,
+    nodes: Vec<Node<N, T>>,
+    root: u32,
+    len: usize,
+}
+
+impl<const N: usize, T> Default for RTree<N, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize, T> RTree<N, T> {
+    /// An empty tree with default parameters.
+    pub fn new() -> Self {
+        Self::with_params(RTreeParams::default())
+    }
+
+    /// An empty tree with the given fan-out parameters.
+    pub fn with_params(params: RTreeParams) -> Self {
+        RTree {
+            params,
+            nodes: vec![Node { mbr: Aabb::empty(), kind: NodeKind::Leaf(Vec::new()) }],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Bulk-loads the tree with Sort-Tile-Recursive packing, which produces
+    /// nearly fully packed nodes with little overlap — the standard loading
+    /// strategy for static datasets such as the paper's networks.
+    pub fn bulk_load(entries: Vec<(Aabb<N>, T)>) -> Self {
+        Self::bulk_load_with_params(entries, RTreeParams::default())
+    }
+
+    /// [`RTree::bulk_load`] with explicit parameters.
+    pub fn bulk_load_with_params(entries: Vec<(Aabb<N>, T)>, params: RTreeParams) -> Self {
+        let len = entries.len();
+        let mut tree = RTree { params, nodes: Vec::new(), root: 0, len };
+        if entries.is_empty() {
+            tree.nodes.push(Node { mbr: Aabb::empty(), kind: NodeKind::Leaf(Vec::new()) });
+            return tree;
+        }
+
+        // Build the leaf level.
+        let mut leaf_groups: Vec<Vec<(Aabb<N>, T)>> = Vec::new();
+        str_tile(entries, params.max_entries, 0, &mut leaf_groups);
+        let mut level: Vec<u32> = leaf_groups
+            .into_iter()
+            .map(|group| {
+                let mbr = Aabb::mbr_of(group.iter().map(|(b, _)| *b)).expect("non-empty group");
+                tree.push_node(Node { mbr, kind: NodeKind::Leaf(group) })
+            })
+            .collect();
+
+        // Build upper levels until a single root remains.
+        while level.len() > 1 {
+            let with_mbrs: Vec<(Aabb<N>, u32)> =
+                level.iter().map(|&id| (tree.nodes[id as usize].mbr, id)).collect();
+            let mut groups: Vec<Vec<(Aabb<N>, u32)>> = Vec::new();
+            str_tile(with_mbrs, params.max_entries, 0, &mut groups);
+            level = groups
+                .into_iter()
+                .map(|group| {
+                    let mbr =
+                        Aabb::mbr_of(group.iter().map(|(b, _)| *b)).expect("non-empty group");
+                    let children = group.into_iter().map(|(_, id)| id).collect();
+                    tree.push_node(Node { mbr, kind: NodeKind::Inner(children) })
+                })
+                .collect();
+        }
+        tree.root = level[0];
+        tree
+    }
+
+    fn push_node(&mut self, node: Node<N, T>) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node);
+        id
+    }
+
+    /// Number of data entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The MBR of all entries ([`Aabb::empty`] when the tree is empty).
+    #[inline]
+    pub fn mbr(&self) -> Aabb<N> {
+        self.nodes[self.root as usize].mbr
+    }
+
+    /// Inserts one entry (Guttman insertion with quadratic split).
+    pub fn insert(&mut self, aabb: Aabb<N>, value: T) {
+        self.len += 1;
+
+        // Descend to a leaf, remembering the path.
+        let mut path: Vec<u32> = Vec::new();
+        let mut current = self.root;
+        loop {
+            path.push(current);
+            match &self.nodes[current as usize].kind {
+                NodeKind::Leaf(_) => break,
+                NodeKind::Inner(children) => {
+                    current = choose_child(&self.nodes, children, &aabb);
+                }
+            }
+        }
+
+        // Insert into the leaf and expand MBRs along the path.
+        let leaf = *path.last().expect("path contains the leaf");
+        match &mut self.nodes[leaf as usize].kind {
+            NodeKind::Leaf(entries) => entries.push((aabb, value)),
+            NodeKind::Inner(_) => unreachable!("descent must end at a leaf"),
+        }
+        for &id in &path {
+            self.nodes[id as usize].mbr.expand(&aabb);
+        }
+
+        // Split overflowing nodes bottom-up, recomputing ancestor MBRs: a
+        // split shrinks the original node, so the simple expansion above is
+        // no longer tight on the path.
+        let mut overflow: Option<u32> = None; // node created by the last split
+        let mut split_below = false;
+        for depth in (0..path.len()).rev() {
+            let id = path[depth];
+            if let Some(new_child) = overflow.take() {
+                match &mut self.nodes[id as usize].kind {
+                    NodeKind::Inner(children) => children.push(new_child),
+                    NodeKind::Leaf(_) => unreachable!("split child under a leaf"),
+                }
+            }
+            if split_below {
+                self.recompute_mbr(id);
+            }
+            if self.nodes[id as usize].len() > self.params.max_entries {
+                overflow = Some(self.split_node(id));
+                split_below = true;
+            } else if overflow.is_none() && !split_below {
+                break;
+            }
+        }
+
+        // A pending overflow at the top means the root itself split.
+        if let Some(sibling) = overflow {
+            let old_root = self.root;
+            let mbr = self.nodes[old_root as usize].mbr.union(&self.nodes[sibling as usize].mbr);
+            let new_root =
+                self.push_node(Node { mbr, kind: NodeKind::Inner(vec![old_root, sibling]) });
+            self.root = new_root;
+        }
+    }
+
+    /// Recomputes a node's MBR tightly from its contents.
+    fn recompute_mbr(&mut self, id: u32) {
+        let mbr = match &self.nodes[id as usize].kind {
+            NodeKind::Leaf(entries) => Aabb::mbr_of(entries.iter().map(|(b, _)| *b)),
+            NodeKind::Inner(children) => {
+                Aabb::mbr_of(children.iter().map(|&c| self.nodes[c as usize].mbr))
+            }
+        };
+        self.nodes[id as usize].mbr = mbr.unwrap_or_else(Aabb::empty);
+    }
+
+    /// Splits node `id` in place, returning the id of the new sibling.
+    fn split_node(&mut self, id: u32) -> u32 {
+        let min = self.params.min_entries;
+        match std::mem::replace(
+            &mut self.nodes[id as usize].kind,
+            NodeKind::Leaf(Vec::new()),
+        ) {
+            NodeKind::Leaf(entries) => {
+                let (a, b) = quadratic_split(entries, min);
+                let mbr_a = Aabb::mbr_of(a.iter().map(|(m, _)| *m)).expect("non-empty");
+                let mbr_b = Aabb::mbr_of(b.iter().map(|(m, _)| *m)).expect("non-empty");
+                self.nodes[id as usize].kind = NodeKind::Leaf(a);
+                self.nodes[id as usize].mbr = mbr_a;
+                self.push_node(Node { mbr: mbr_b, kind: NodeKind::Leaf(b) })
+            }
+            NodeKind::Inner(children) => {
+                let with_mbrs: Vec<(Aabb<N>, u32)> =
+                    children.iter().map(|&c| (self.nodes[c as usize].mbr, c)).collect();
+                let (a, b) = quadratic_split(with_mbrs, min);
+                let mbr_a = Aabb::mbr_of(a.iter().map(|(m, _)| *m)).expect("non-empty");
+                let mbr_b = Aabb::mbr_of(b.iter().map(|(m, _)| *m)).expect("non-empty");
+                self.nodes[id as usize].kind =
+                    NodeKind::Inner(a.into_iter().map(|(_, c)| c).collect());
+                self.nodes[id as usize].mbr = mbr_a;
+                self.push_node(Node {
+                    mbr: mbr_b,
+                    kind: NodeKind::Inner(b.into_iter().map(|(_, c)| c).collect()),
+                })
+            }
+        }
+    }
+
+    /// Removes one entry whose box equals `aabb` and whose value satisfies
+    /// `matches`, returning it. Underfull nodes are condensed (Guttman's
+    /// CondenseTree): their surviving entries are reinserted and the root
+    /// is shrunk when it degenerates to a single inner child.
+    pub fn remove_one(&mut self, aabb: &Aabb<N>, matches: impl Fn(&T) -> bool) -> Option<T> {
+        // Find a path (root -> leaf) to a leaf holding a matching entry.
+        let mut path: Vec<u32> = Vec::new();
+        let mut removed: Option<T> = None;
+        self.find_and_remove(self.root, aabb, &matches, &mut path, &mut removed);
+        let value = removed?;
+        self.len -= 1;
+
+        // Condense bottom-up: drop underfull non-root nodes, collecting
+        // their remaining entries for reinsertion.
+        let min = self.params.min_entries;
+        let mut orphans: Vec<(Aabb<N>, T)> = Vec::new();
+        for depth in (1..path.len()).rev() {
+            let id = path[depth];
+            let parent = path[depth - 1];
+            if self.nodes[id as usize].len() < min {
+                match &mut self.nodes[parent as usize].kind {
+                    NodeKind::Inner(children) => children.retain(|&c| c != id),
+                    NodeKind::Leaf(_) => unreachable!("parents are inner nodes"),
+                }
+                self.collect_entries(id, &mut orphans);
+            } else {
+                self.recompute_mbr(id);
+            }
+        }
+        self.recompute_mbr(self.root);
+
+        // Shrink a degenerate root.
+        loop {
+            let next = match &self.nodes[self.root as usize].kind {
+                NodeKind::Inner(children) if children.len() == 1 => children[0],
+                NodeKind::Inner(children) if children.is_empty() => {
+                    self.nodes[self.root as usize] =
+                        Node { mbr: Aabb::empty(), kind: NodeKind::Leaf(Vec::new()) };
+                    break;
+                }
+                _ => break,
+            };
+            self.root = next;
+        }
+
+        // Reinsert orphans (insert() bumps len, so compensate first).
+        self.len -= orphans.len();
+        for (b, t) in orphans {
+            self.insert(b, t);
+        }
+        Some(value)
+    }
+
+    /// Removes one entry equal to `(aabb, value)`; see [`RTree::remove_one`].
+    pub fn remove(&mut self, aabb: &Aabb<N>, value: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        self.remove_one(aabb, |t| t == value).is_some()
+    }
+
+    /// Depth-first search for a matching entry; fills `path` with the node
+    /// chain to the leaf it was removed from.
+    fn find_and_remove(
+        &mut self,
+        id: u32,
+        aabb: &Aabb<N>,
+        matches: &impl Fn(&T) -> bool,
+        path: &mut Vec<u32>,
+        removed: &mut Option<T>,
+    ) {
+        if removed.is_some() || !self.nodes[id as usize].mbr.contains(aabb) {
+            return;
+        }
+        path.push(id);
+        match &mut self.nodes[id as usize].kind {
+            NodeKind::Leaf(entries) => {
+                if let Some(pos) = entries.iter().position(|(b, t)| b == aabb && matches(t)) {
+                    *removed = Some(entries.swap_remove(pos).1);
+                    return;
+                }
+            }
+            NodeKind::Inner(children) => {
+                for c in children.clone() {
+                    self.find_and_remove(c, aabb, matches, path, removed);
+                    if removed.is_some() {
+                        return;
+                    }
+                }
+            }
+        }
+        path.pop();
+    }
+
+    /// Drains every data entry under `id` into `out` (used by condensing).
+    fn collect_entries(&mut self, id: u32, out: &mut Vec<(Aabb<N>, T)>) {
+        match std::mem::replace(&mut self.nodes[id as usize].kind, NodeKind::Inner(Vec::new())) {
+            NodeKind::Leaf(entries) => out.extend(entries),
+            NodeKind::Inner(children) => {
+                for c in children {
+                    self.collect_entries(c, out);
+                }
+            }
+        }
+    }
+
+    /// The entry nearest to `point` (minimum Euclidean distance from the
+    /// point to the entry's box), or `None` for an empty tree. Best-first
+    /// branch-and-bound over node MBRs.
+    pub fn nearest_neighbor(&self, point: &[f64; N]) -> Option<(&Aabb<N>, &T)> {
+        self.nearest_where(point, |_, _| true)
+    }
+
+    /// The nearest entry whose `(box, value)` satisfies `accept` — e.g. the
+    /// nearest *reachable* spatial vertex. Entries failing the predicate
+    /// are skipped without terminating the search.
+    pub fn nearest_where(
+        &self,
+        point: &[f64; N],
+        accept: impl FnMut(&Aabb<N>, &T) -> bool,
+    ) -> Option<(&Aabb<N>, &T)> {
+        self.nearest_k_where(point, 1, accept).into_iter().next()
+    }
+
+    /// The `k` nearest accepted entries, ordered by ascending distance.
+    /// Best-first search that stops once every remaining node is farther
+    /// than the current k-th best.
+    pub fn nearest_k_where(
+        &self,
+        point: &[f64; N],
+        k: usize,
+        mut accept: impl FnMut(&Aabb<N>, &T) -> bool,
+    ) -> Vec<(&Aabb<N>, &T)> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        // Heap over (distance, node id); OrderedF64 wraps the comparison.
+        let mut heap: BinaryHeap<(Reverse<OrderedF64>, u32)> = BinaryHeap::new();
+        heap.push((Reverse(OrderedF64(min_dist_sq(&self.nodes[self.root as usize].mbr, point))), self.root));
+        // The k best accepted entries so far, sorted ascending by distance.
+        let mut best: Vec<(f64, (&Aabb<N>, &T))> = Vec::with_capacity(k + 1);
+
+        while let Some((Reverse(OrderedF64(dist)), id)) = heap.pop() {
+            if best.len() == k && dist > best[k - 1].0 {
+                break; // every remaining node is farther than the k-th best
+            }
+            match &self.nodes[id as usize].kind {
+                NodeKind::Leaf(entries) => {
+                    for (b, t) in entries {
+                        let d = min_dist_sq(b, point);
+                        let qualifies = best.len() < k || d < best[k - 1].0;
+                        if qualifies && accept(b, t) {
+                            let pos = best
+                                .iter()
+                                .position(|(bd, _)| d < *bd)
+                                .unwrap_or(best.len());
+                            best.insert(pos, (d, (b, t)));
+                            best.truncate(k);
+                        }
+                    }
+                }
+                NodeKind::Inner(children) => {
+                    for &c in children {
+                        heap.push((
+                            Reverse(OrderedF64(min_dist_sq(&self.nodes[c as usize].mbr, point))),
+                            c,
+                        ));
+                    }
+                }
+            }
+        }
+        best.into_iter().map(|(_, entry)| entry).collect()
+    }
+
+    /// Iterator over all entries whose box intersects `region`.
+    pub fn query<'a>(&'a self, region: &Aabb<N>) -> Query<'a, N, T> {
+        let mut stack = Vec::new();
+        if self.nodes[self.root as usize].mbr.intersects(region) {
+            stack.push(self.root);
+        }
+        Query { tree: self, region: *region, stack, leaf: None }
+    }
+
+    /// Whether any entry intersects `region` (early-exit traversal). This is
+    /// the access pattern of 3DReach: a `RangeReach` answer needs only the
+    /// *existence* of a point inside the query cuboid, not the result set.
+    pub fn query_exists(&self, region: &Aabb<N>) -> bool {
+        self.query(region).next().is_some()
+    }
+
+    /// Number of entries intersecting `region`.
+    pub fn count_in(&self, region: &Aabb<N>) -> usize {
+        self.query(region).count()
+    }
+
+    /// Iterator over all entries in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Aabb<N>, &T)> {
+        self.nodes.iter().flat_map(|n| match &n.kind {
+            NodeKind::Leaf(entries) => entries.iter(),
+            NodeKind::Inner(_) => [].iter(),
+        })
+        .map(|(b, t)| (b, t))
+    }
+
+    /// Height of the tree (1 for a single leaf root).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize].kind {
+                NodeKind::Leaf(_) => return h,
+                NodeKind::Inner(children) => {
+                    h += 1;
+                    id = children[0];
+                }
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes: node headers plus entry storage.
+    /// Used for the index-size accounting of Table 4.
+    pub fn heap_bytes(&self) -> usize {
+        let node_header = std::mem::size_of::<Node<N, T>>();
+        let entry = std::mem::size_of::<(Aabb<N>, T)>();
+        self.nodes
+            .iter()
+            .map(|n| {
+                node_header
+                    + match &n.kind {
+                        NodeKind::Leaf(e) => e.len() * entry,
+                        NodeKind::Inner(c) => c.len() * 4,
+                    }
+            })
+            .sum()
+    }
+
+    /// Checks structural invariants (entry count, MBR containment, fan-out
+    /// bounds). Intended for tests; panics with a description on violation.
+    pub fn check_invariants(&self) {
+        fn walk<const N: usize, T>(
+            tree: &RTree<N, T>,
+            id: u32,
+            is_root: bool,
+            count: &mut usize,
+        ) -> Aabb<N> {
+            let node = &tree.nodes[id as usize];
+            assert!(
+                node.len() <= tree.params.max_entries,
+                "node {id} overflows: {} > {}",
+                node.len(),
+                tree.params.max_entries
+            );
+            if !is_root && tree.len > tree.params.max_entries {
+                // Bulk-loaded trees pack nodes; underfull nodes can only be
+                // the last of a level, which is still >= 1 entry.
+                assert!(node.len() >= 1, "empty non-root node {id}");
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    *count += entries.len();
+                    for (b, _) in entries {
+                        assert!(node.mbr.contains(b), "leaf {id} mbr misses an entry");
+                    }
+                    node.mbr
+                }
+                NodeKind::Inner(children) => {
+                    assert!(!children.is_empty(), "inner node {id} has no children");
+                    let mut acc = Aabb::empty();
+                    for &c in children {
+                        let child_mbr = walk(tree, c, false, count);
+                        assert!(node.mbr.contains(&child_mbr), "node {id} mbr misses child {c}");
+                        acc.expand(&child_mbr);
+                    }
+                    assert_eq!(acc, node.mbr, "node {id} mbr is not tight");
+                    node.mbr
+                }
+            }
+        }
+        let mut count = 0;
+        if self.len > 0 {
+            walk(self, self.root, true, &mut count);
+        }
+        assert_eq!(count, self.len, "entry count mismatch");
+    }
+}
+
+/// Squared distance from `point` to the closest point of `aabb` (zero when
+/// the point lies inside).
+fn min_dist_sq<const N: usize>(aabb: &Aabb<N>, point: &[f64; N]) -> f64 {
+    let mut d = 0.0;
+    for (i, &p) in point.iter().enumerate() {
+        let delta = if p < aabb.min[i] {
+            aabb.min[i] - p
+        } else if p > aabb.max[i] {
+            p - aabb.max[i]
+        } else {
+            0.0
+        };
+        d += delta * delta;
+    }
+    d
+}
+
+/// A total order over finite f64 distances for the best-first heap.
+#[derive(PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// Picks the child needing the least MBR enlargement (ties: smaller volume).
+fn choose_child<const N: usize, T>(nodes: &[Node<N, T>], children: &[u32], aabb: &Aabb<N>) -> u32 {
+    debug_assert!(!children.is_empty());
+    let mut best = children[0];
+    let mut best_enl = f64::INFINITY;
+    let mut best_vol = f64::INFINITY;
+    for &c in children {
+        let mbr = nodes[c as usize].mbr;
+        let enl = mbr.enlargement(aabb);
+        let vol = mbr.volume();
+        if enl < best_enl || (enl == best_enl && vol < best_vol) {
+            best = c;
+            best_enl = enl;
+            best_vol = vol;
+        }
+    }
+    best
+}
+
+/// Guttman's quadratic split: seeds are the pair wasting the most area; the
+/// remaining entries go to the group whose MBR grows the least, with the
+/// `min` lower bound enforced.
+type SplitGroups<const N: usize, E> = (Vec<(Aabb<N>, E)>, Vec<(Aabb<N>, E)>);
+
+fn quadratic_split<const N: usize, E>(
+    mut entries: Vec<(Aabb<N>, E)>,
+    min: usize,
+) -> SplitGroups<N, E> {
+    debug_assert!(entries.len() >= 2);
+
+    // Pick seeds.
+    let (mut seed_a, mut seed_b, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let d = entries[i].0.union(&entries[j].0).volume()
+                - entries[i].0.volume()
+                - entries[j].0.volume();
+            if d > worst {
+                worst = d;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    // Move the seeds out (larger index first so removal is stable).
+    let (hi, lo) = (seed_a.max(seed_b), seed_a.min(seed_b));
+    let b0 = entries.swap_remove(hi);
+    let a0 = entries.swap_remove(lo);
+    let mut group_a = vec![a0];
+    let mut group_b = vec![b0];
+    let mut mbr_a = group_a[0].0;
+    let mut mbr_b = group_b[0].0;
+
+    while let Some((aabb, e)) = entries.pop() {
+        let remaining = entries.len();
+        // Force-assign when a group must absorb everything left to reach min.
+        if group_a.len() + remaining < min {
+            mbr_a.expand(&aabb);
+            group_a.push((aabb, e));
+            continue;
+        }
+        if group_b.len() + remaining < min {
+            mbr_b.expand(&aabb);
+            group_b.push((aabb, e));
+            continue;
+        }
+        let enl_a = mbr_a.enlargement(&aabb);
+        let enl_b = mbr_b.enlargement(&aabb);
+        let to_a = match enl_a.partial_cmp(&enl_b) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => group_a.len() <= group_b.len(),
+        };
+        if to_a {
+            mbr_a.expand(&aabb);
+            group_a.push((aabb, e));
+        } else {
+            mbr_b.expand(&aabb);
+            group_b.push((aabb, e));
+        }
+    }
+    (group_a, group_b)
+}
+
+/// Recursive Sort-Tile-Recursive partitioning: sorts by the centre of
+/// dimension `dim`, cuts into vertical slabs, and recurses on the remaining
+/// dimensions; at the last dimension it emits groups of up to `cap` entries.
+fn str_tile<const N: usize, E>(
+    mut entries: Vec<(Aabb<N>, E)>,
+    cap: usize,
+    dim: usize,
+    out: &mut Vec<Vec<(Aabb<N>, E)>>,
+) {
+    if entries.len() <= cap {
+        if !entries.is_empty() {
+            out.push(entries);
+        }
+        return;
+    }
+    entries.sort_by(|a, b| {
+        a.0.center()[dim].partial_cmp(&b.0.center()[dim]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if dim + 1 == N {
+        // Final dimension: emit runs of `cap`.
+        while !entries.is_empty() {
+            let rest = entries.split_off(entries.len().min(cap));
+            out.push(std::mem::replace(&mut entries, rest));
+        }
+        return;
+    }
+    // Number of slabs: ceil((P)^(1/(N-dim))) where P = pages needed.
+    let pages = entries.len().div_ceil(cap);
+    let slabs = (pages as f64).powf(1.0 / (N - dim) as f64).ceil() as usize;
+    let per_slab = entries.len().div_ceil(slabs.max(1));
+    while !entries.is_empty() {
+        let rest = entries.split_off(entries.len().min(per_slab));
+        let slab = std::mem::replace(&mut entries, rest);
+        str_tile(slab, cap, dim + 1, out);
+    }
+}
+
+/// Range-query iterator over an [`RTree`]; see [`RTree::query`].
+pub struct Query<'a, const N: usize, T> {
+    tree: &'a RTree<N, T>,
+    region: Aabb<N>,
+    stack: Vec<u32>,
+    leaf: Option<(&'a [(Aabb<N>, T)], usize)>,
+}
+
+impl<'a, const N: usize, T> Iterator for Query<'a, N, T> {
+    type Item = (&'a Aabb<N>, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((entries, pos)) = &mut self.leaf {
+                while *pos < entries.len() {
+                    let (b, t) = &entries[*pos];
+                    *pos += 1;
+                    if b.intersects(&self.region) {
+                        return Some((b, t));
+                    }
+                }
+                self.leaf = None;
+            }
+            let id = self.stack.pop()?;
+            match &self.tree.nodes[id as usize].kind {
+                NodeKind::Leaf(entries) => {
+                    self.leaf = Some((entries.as_slice(), 0));
+                }
+                NodeKind::Inner(children) => {
+                    for &c in children {
+                        if self.tree.nodes[c as usize].mbr.intersects(&self.region) {
+                            self.stack.push(c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Aabb<2> {
+        Aabb::from_point([x, y])
+    }
+
+    fn grid_points(n: usize) -> Vec<(Aabb<2>, usize)> {
+        (0..n).map(|i| (pt((i % 32) as f64, (i / 32) as f64), i)).collect()
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: RTree<2, u32> = RTree::new();
+        assert!(t.is_empty());
+        let all = Aabb::new([-1e9, -1e9], [1e9, 1e9]);
+        assert_eq!(t.query(&all).count(), 0);
+        assert!(!t.query_exists(&all));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insertion_finds_everything() {
+        let mut t: RTree<2, usize> = RTree::new();
+        for (b, i) in grid_points(1000) {
+            t.insert(b, i);
+        }
+        assert_eq!(t.len(), 1000);
+        t.check_invariants();
+        let all = Aabb::new([-1.0, -1.0], [1000.0, 1000.0]);
+        assert_eq!(t.query(&all).count(), 1000);
+        // A tight region.
+        let region = Aabb::new([0.0, 0.0], [3.0, 0.0]);
+        let mut hits: Vec<usize> = t.query(&region).map(|(_, &i)| i).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bulk_load_finds_everything() {
+        let t = RTree::bulk_load(grid_points(1000));
+        assert_eq!(t.len(), 1000);
+        t.check_invariants();
+        let region = Aabb::new([10.0, 10.0], [12.0, 11.0]);
+        let mut hits: Vec<usize> = t.query(&region).map(|(_, &i)| i).collect();
+        hits.sort_unstable();
+        // Points with x in 10..=12, y in 10..=11: i = y*32 + x.
+        assert_eq!(hits, vec![330, 331, 332, 362, 363, 364]);
+    }
+
+    #[test]
+    fn bulk_load_is_shallower_than_insertion() {
+        let pts = grid_points(4096);
+        let ins = {
+            let mut t = RTree::new();
+            for (b, i) in pts.clone() {
+                t.insert(b, i);
+            }
+            t
+        };
+        let bulk = RTree::bulk_load(pts);
+        assert!(bulk.height() <= ins.height());
+        assert!(bulk.height() >= 2);
+    }
+
+    #[test]
+    fn query_exists_early_exit_agrees_with_count() {
+        let t = RTree::bulk_load(grid_points(500));
+        for (lo, hi) in [([0.0, 0.0], [1.0, 1.0]), ([900.0, 900.0], [950.0, 950.0])] {
+            let r = Aabb::new(lo, hi);
+            assert_eq!(t.query_exists(&r), t.count_in(&r) > 0);
+        }
+    }
+
+    #[test]
+    fn boxes_not_only_points() {
+        let mut t: RTree<2, &str> = RTree::new();
+        t.insert(Aabb::new([0.0, 0.0], [10.0, 10.0]), "big");
+        t.insert(Aabb::new([20.0, 20.0], [21.0, 21.0]), "small");
+        let probe = Aabb::new([5.0, 5.0], [6.0, 6.0]);
+        let hits: Vec<&str> = t.query(&probe).map(|(_, &s)| s).collect();
+        assert_eq!(hits, vec!["big"]);
+    }
+
+    #[test]
+    fn three_dimensional_segments() {
+        // Vertical segments as in 3DReach-REV: degenerate in x/y.
+        let mut t: RTree<3, u32> = RTree::new();
+        for i in 0..100u32 {
+            let x = (i % 10) as f64;
+            let y = (i / 10) as f64;
+            t.insert(Aabb::new([x, y, 0.0], [x, y, i as f64]), i);
+        }
+        t.check_invariants();
+        // A plane at z = 50 over the whole xy extent cuts segments with
+        // i >= 50.
+        let plane = Aabb::new([0.0, 0.0, 50.0], [10.0, 10.0, 50.0]);
+        assert_eq!(t.count_in(&plane), 50);
+    }
+
+    #[test]
+    fn duplicate_geometry_is_allowed() {
+        let mut t: RTree<2, u32> = RTree::new();
+        for i in 0..50 {
+            t.insert(pt(1.0, 1.0), i);
+        }
+        t.check_invariants();
+        assert_eq!(t.count_in(&Aabb::from_point([1.0, 1.0])), 50);
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let t = RTree::bulk_load(grid_points(333));
+        let mut ids: Vec<usize> = t.iter().map(|(_, &i)| i).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..333).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn custom_params_respected() {
+        let params = RTreeParams::new(8, 3);
+        let mut t: RTree<2, usize> = RTree::with_params(params);
+        for (b, i) in grid_points(200) {
+            t.insert(b, i);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 200);
+    }
+
+    #[test]
+    fn remove_keeps_queries_consistent() {
+        let mut t: RTree<2, usize> = RTree::new();
+        for (b, i) in grid_points(400) {
+            t.insert(b, i);
+        }
+        // Remove every third entry.
+        for i in (0..400).step_by(3) {
+            let b = pt((i % 32) as f64, (i / 32) as f64);
+            assert!(t.remove(&b, &i), "entry {i} must be removable");
+        }
+        assert_eq!(t.len(), 400 - 134);
+        t.check_invariants();
+        let all = Aabb::new([-1.0, -1.0], [1000.0, 1000.0]);
+        let mut left: Vec<usize> = t.query(&all).map(|(_, &i)| i).collect();
+        left.sort_unstable();
+        let expected: Vec<usize> = (0..400).filter(|i| i % 3 != 0).collect();
+        assert_eq!(left, expected);
+        // Removing a non-existent entry is a no-op.
+        assert!(!t.remove(&pt(0.0, 0.0), &0));
+    }
+
+    #[test]
+    fn remove_down_to_empty_and_reuse() {
+        let mut t: RTree<2, u32> = RTree::new();
+        for i in 0..100u32 {
+            t.insert(pt(i as f64, 0.0), i);
+        }
+        for i in 0..100u32 {
+            assert!(t.remove(&pt(i as f64, 0.0), &i));
+        }
+        assert!(t.is_empty());
+        t.check_invariants();
+        // The tree is reusable after total removal.
+        t.insert(pt(1.0, 1.0), 7);
+        assert_eq!(t.count_in(&Aabb::from_point([1.0, 1.0])), 1);
+    }
+
+    #[test]
+    fn remove_one_with_predicate() {
+        let mut t: RTree<2, (u32, &str)> = RTree::new();
+        t.insert(pt(1.0, 1.0), (1, "keep"));
+        t.insert(pt(1.0, 1.0), (2, "drop"));
+        let removed = t.remove_one(&pt(1.0, 1.0), |(_, tag)| *tag == "drop");
+        assert_eq!(removed, Some((2, "drop")));
+        assert_eq!(t.len(), 1);
+        assert!(t.query_exists(&pt(1.0, 1.0)));
+    }
+
+    #[test]
+    fn nearest_neighbor_matches_linear_scan() {
+        let entries = grid_points(777);
+        let t = RTree::bulk_load(entries.clone());
+        for probe in [[0.0, 0.0], [15.5, 10.2], [100.0, 100.0], [-5.0, 3.0]] {
+            let (_, &got) = t.nearest_neighbor(&probe).unwrap();
+            let best = entries
+                .iter()
+                .min_by(|(a, _), (b, _)| {
+                    min_dist_sq(a, &probe).partial_cmp(&min_dist_sq(b, &probe)).unwrap()
+                })
+                .unwrap();
+            let got_d = min_dist_sq(&entries[got].0, &probe);
+            let best_d = min_dist_sq(&best.0, &probe);
+            assert_eq!(got_d, best_d, "probe {probe:?}");
+        }
+        let empty: RTree<2, u32> = RTree::new();
+        assert!(empty.nearest_neighbor(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn k_nearest_matches_sorted_scan() {
+        let entries = grid_points(500);
+        let t = RTree::bulk_load(entries.clone());
+        for probe in [[0.0, 0.0], [16.0, 8.0], [40.0, 40.0]] {
+            for k in [1usize, 3, 10, 600] {
+                let got: Vec<usize> =
+                    t.nearest_k_where(&probe, k, |_, _| true).iter().map(|(_, &i)| i).collect();
+                let mut expected: Vec<(f64, usize)> = entries
+                    .iter()
+                    .map(|&(b, i)| (min_dist_sq(&b, &probe), i))
+                    .collect();
+                expected.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                assert_eq!(got.len(), k.min(entries.len()), "probe {probe:?} k {k}");
+                // Compare by distance (ties may reorder ids).
+                for (j, &i) in got.iter().enumerate() {
+                    let d = min_dist_sq(&entries[i].0, &probe);
+                    assert_eq!(d, expected[j].0, "probe {probe:?} k {k} rank {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_with_predicate_skips_rejected() {
+        let entries = grid_points(200);
+        let t = RTree::bulk_load(entries.clone());
+        // Accept only even payloads.
+        let got: Vec<usize> = t
+            .nearest_k_where(&[0.0, 0.0], 5, |_, &i| i % 2 == 0)
+            .iter()
+            .map(|(_, &i)| i)
+            .collect();
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(|i| i % 2 == 0));
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_entries() {
+        let small = RTree::bulk_load(grid_points(10));
+        let large = RTree::bulk_load(grid_points(10_000));
+        assert!(large.heap_bytes() > small.heap_bytes());
+    }
+}

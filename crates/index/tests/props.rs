@@ -1,0 +1,269 @@
+//! Property-based tests: the R-tree must agree with a linear scan, and the
+//! grid must behave like a partition.
+
+use gsr_geo::{Aabb, Point, Rect};
+use gsr_index::grid::HierarchicalGrid;
+use gsr_index::{KdTree, QuadTree, RTree, RTreeParams, UniformGrid};
+use proptest::prelude::*;
+
+fn arb_box2() -> impl Strategy<Value = Aabb<2>> {
+    ((-100.0..100.0f64, -100.0..100.0f64), (0.0..20.0f64, 0.0..20.0f64)).prop_map(
+        |((x, y), (w, h))| Aabb::new([x, y], [x + w, y + h]),
+    )
+}
+
+fn arb_point3() -> impl Strategy<Value = Aabb<3>> {
+    (-100.0..100.0f64, -100.0..100.0f64, 0.0..1000.0f64)
+        .prop_map(|(x, y, z)| Aabb::from_point([x, y, z]))
+}
+
+fn linear_scan<const N: usize>(entries: &[(Aabb<N>, usize)], region: &Aabb<N>) -> Vec<usize> {
+    let mut hits: Vec<usize> =
+        entries.iter().filter(|(b, _)| b.intersects(region)).map(|&(_, i)| i).collect();
+    hits.sort_unstable();
+    hits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn inserted_tree_matches_linear_scan(
+        boxes in prop::collection::vec(arb_box2(), 0..300),
+        region in arb_box2(),
+    ) {
+        let entries: Vec<(Aabb<2>, usize)> =
+            boxes.into_iter().enumerate().map(|(i, b)| (b, i)).collect();
+        let mut tree = RTree::new();
+        for (b, i) in entries.iter() {
+            tree.insert(*b, *i);
+        }
+        tree.check_invariants();
+        let mut hits: Vec<usize> = tree.query(&region).map(|(_, &i)| i).collect();
+        hits.sort_unstable();
+        prop_assert_eq!(hits, linear_scan(&entries, &region));
+    }
+
+    #[test]
+    fn bulk_tree_matches_linear_scan(
+        boxes in prop::collection::vec(arb_box2(), 0..300),
+        region in arb_box2(),
+    ) {
+        let entries: Vec<(Aabb<2>, usize)> =
+            boxes.into_iter().enumerate().map(|(i, b)| (b, i)).collect();
+        let tree = RTree::bulk_load(entries.clone());
+        tree.check_invariants();
+        let mut hits: Vec<usize> = tree.query(&region).map(|(_, &i)| i).collect();
+        hits.sort_unstable();
+        prop_assert_eq!(hits, linear_scan(&entries, &region));
+    }
+
+    #[test]
+    fn bulk_and_inserted_agree_in_3d(
+        pts in prop::collection::vec(arb_point3(), 1..200),
+        region_lo in (-100.0..100.0f64, -100.0..100.0f64, 0.0..1000.0f64),
+        extent in (0.0..100.0f64, 0.0..100.0f64, 0.0..500.0f64),
+    ) {
+        let entries: Vec<(Aabb<3>, usize)> =
+            pts.into_iter().enumerate().map(|(i, b)| (b, i)).collect();
+        let region = Aabb::new(
+            [region_lo.0, region_lo.1, region_lo.2],
+            [region_lo.0 + extent.0, region_lo.1 + extent.1, region_lo.2 + extent.2],
+        );
+        let bulk = RTree::bulk_load(entries.clone());
+        let mut ins = RTree::with_params(RTreeParams::new(8, 3));
+        for (b, i) in entries.iter() {
+            ins.insert(*b, *i);
+        }
+        let mut a: Vec<usize> = bulk.query(&region).map(|(_, &i)| i).collect();
+        let mut b: Vec<usize> = ins.query(&region).map(|(_, &i)| i).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(bulk.query_exists(&region), !a.is_empty());
+    }
+
+    #[test]
+    fn removal_then_query_matches_scan(
+        boxes in prop::collection::vec(arb_box2(), 1..150),
+        removals in prop::collection::vec(0usize..150, 0..60),
+        region in arb_box2(),
+    ) {
+        let entries: Vec<(Aabb<2>, usize)> =
+            boxes.into_iter().enumerate().map(|(i, b)| (b, i)).collect();
+        let mut tree = RTree::with_params(RTreeParams::new(8, 3));
+        for (b, i) in entries.iter() {
+            tree.insert(*b, *i);
+        }
+        let mut alive: Vec<bool> = vec![true; entries.len()];
+        for r in removals {
+            let i = r % entries.len();
+            let did = tree.remove(&entries[i].0, &i);
+            prop_assert_eq!(did, alive[i], "removal {} mismatch", i);
+            alive[i] = false;
+        }
+        tree.check_invariants();
+        let mut hits: Vec<usize> = tree.query(&region).map(|(_, &i)| i).collect();
+        hits.sort_unstable();
+        let expected: Vec<usize> = entries
+            .iter()
+            .filter(|(b, i)| alive[*i] && b.intersects(&region))
+            .map(|&(_, i)| i)
+            .collect();
+        prop_assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn uniform_grid_matches_rtree(
+        pts in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 0..250),
+        region in arb_box2(),
+        per_cell in 1usize..20,
+    ) {
+        let entries: Vec<(Point, usize)> =
+            pts.iter().enumerate().map(|(i, &(x, y))| (Point::new(x, y), i)).collect();
+        let tree = RTree::bulk_load(
+            entries
+                .iter()
+                .map(|&(p, i)| (Aabb::from_point([p.x, p.y]), i))
+                .collect(),
+        );
+        let grid = UniformGrid::bulk_load(
+            Rect::new(-100.0, -100.0, 100.0, 100.0),
+            entries.clone(),
+            per_cell,
+        );
+        let rect: Rect = region.into();
+        let mut a: Vec<usize> = tree.query(&region).map(|(_, &i)| i).collect();
+        let mut b: Vec<usize> = grid.query(&rect).iter().map(|(_, &i)| i).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(grid.query_exists(&rect), tree.query_exists(&region));
+    }
+
+    #[test]
+    fn kdtree_matches_rtree(
+        pts in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 0..250),
+        region in arb_box2(),
+        probe in (-150.0..150.0f64, -150.0..150.0f64),
+    ) {
+        let entries: Vec<(Point, usize)> =
+            pts.iter().enumerate().map(|(i, &(x, y))| (Point::new(x, y), i)).collect();
+        let rt = RTree::bulk_load(
+            entries.iter().map(|&(p, i)| (Aabb::from_point([p.x, p.y]), i)).collect(),
+        );
+        let kd = KdTree::bulk_load(entries.clone());
+        let rect: Rect = region.into();
+        let mut a: Vec<usize> = rt.query(&region).map(|(_, &i)| i).collect();
+        let mut b: Vec<usize> = kd.query(&rect).iter().map(|(_, &i)| i).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // Nearest neighbours agree on distance.
+        let target = Point::new(probe.0, probe.1);
+        match (rt.nearest_neighbor(&[target.x, target.y]), kd.nearest(&target)) {
+            (None, None) => {}
+            (Some((rb, _)), Some((kp, _))) => {
+                let rd = (rb.min[0] - target.x).powi(2) + (rb.min[1] - target.y).powi(2);
+                let kdist = kp.distance_sq(&target);
+                prop_assert!((rd - kdist).abs() < 1e-9);
+            }
+            other => prop_assert!(false, "presence mismatch {:?}", other.0.is_some()),
+        }
+    }
+
+    #[test]
+    fn quadtree_matches_rtree(
+        pts in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 0..250),
+        region in arb_box2(),
+    ) {
+        let entries: Vec<(Point, usize)> =
+            pts.iter().enumerate().map(|(i, &(x, y))| (Point::new(x, y), i)).collect();
+        let rt = RTree::bulk_load(
+            entries.iter().map(|&(p, i)| (Aabb::from_point([p.x, p.y]), i)).collect(),
+        );
+        // A space smaller than the data exercises the clamping path.
+        let qt = QuadTree::bulk_load(Rect::new(-50.0, -50.0, 50.0, 50.0), entries);
+        let rect: Rect = region.into();
+        let mut a: Vec<usize> = rt.query(&region).map(|(_, &i)| i).collect();
+        let mut b: Vec<usize> = qt.query(&rect).iter().map(|(_, &i)| i).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearest_neighbor_is_globally_nearest(
+        pts in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..200),
+        probe in (-150.0..150.0f64, -150.0..150.0f64),
+    ) {
+        let entries: Vec<(Aabb<2>, usize)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Aabb::from_point([x, y]), i))
+            .collect();
+        let tree = RTree::bulk_load(entries.clone());
+        let probe_pt = [probe.0, probe.1];
+        let (got_box, _) = tree.nearest_neighbor(&probe_pt).unwrap();
+        let d = |b: &Aabb<2>| {
+            let dx = b.min[0] - probe_pt[0];
+            let dy = b.min[1] - probe_pt[1];
+            dx * dx + dy * dy
+        };
+        let got_d = d(got_box);
+        for (b, _) in &entries {
+            prop_assert!(got_d <= d(b) + 1e-9, "a closer point exists");
+        }
+    }
+
+    #[test]
+    fn grid_cells_tile_the_space(
+        xs in prop::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..100),
+        exp in 1u8..6,
+    ) {
+        let grid = HierarchicalGrid::new(Rect::new(0.0, 0.0, 1.0, 1.0), exp);
+        for (x, y) in xs {
+            let p = Point::new(x, y);
+            let cell = grid.cell_of(&p);
+            prop_assert!(grid.cell_rect(&cell).contains_point(&p));
+            // The parent chain is nested.
+            let mut cur = cell;
+            let mut rect = grid.cell_rect(&cur);
+            while cur.level + 1 < grid.num_levels() {
+                cur = cur.parent();
+                let parent_rect = grid.cell_rect(&cur);
+                prop_assert!(parent_rect.contains_rect(&rect));
+                rect = parent_rect;
+            }
+            prop_assert_eq!(rect, *grid.space());
+        }
+    }
+
+    #[test]
+    fn merge_preserves_coverage(
+        xs in prop::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..60),
+        exp in 2u8..6,
+        merge_count in 1usize..4,
+    ) {
+        let grid = HierarchicalGrid::new(Rect::new(0.0, 0.0, 1.0, 1.0), exp);
+        let cells: Vec<_> = xs.iter().map(|&(x, y)| grid.cell_of(&Point::new(x, y))).collect();
+        let mut merged = cells.clone();
+        grid.merge_cells(&mut merged, merge_count);
+        // Every original point is still covered by some merged cell.
+        for (x, y) in xs {
+            let p = Point::new(x, y);
+            prop_assert!(merged.iter().any(|c| grid.cell_rect(c).contains_point(&p)));
+        }
+        // No merged cell is covered by another merged cell.
+        for (i, a) in merged.iter().enumerate() {
+            for (j, b) in merged.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !grid.cell_rect(a).contains_rect(&grid.cell_rect(b))
+                            || a.level == b.level
+                    );
+                }
+            }
+        }
+    }
+}

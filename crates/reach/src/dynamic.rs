@@ -1,0 +1,275 @@
+//! Incremental maintenance of the interval labeling (future work of the
+//! paper's Section 8: "how our approach can efficiently handle updates in
+//! the network").
+//!
+//! [`DynamicIntervalLabeling`] supports appending vertices and inserting
+//! DAG-preserving edges after the initial build. Post-order numbers are
+//! *not* renumbered on update: a new vertex receives the next free number,
+//! and an inserted edge `(u, v)` propagates `L(v)` to `u` and to everything
+//! that currently reaches `u` (found through reverse adjacency). Labels
+//! therefore stay sound and complete, at the cost of gradually losing the
+//! compactness a fresh DFS numbering would give — the same trade-off the
+//! paper anticipates for gap-based updatable numberings (Section 4.1).
+
+use crate::interval::{coalesce, Interval, IntervalLabeling};
+use crate::Reachability;
+use gsr_graph::{DiGraph, VertexId};
+
+/// An updatable interval labeling over an adjacency-list DAG.
+///
+/// ```
+/// use gsr_reach::dynamic::DynamicIntervalLabeling;
+/// use gsr_reach::Reachability;
+///
+/// let mut labels = DynamicIntervalLabeling::new();
+/// let a = labels.add_vertex();
+/// let b = labels.add_vertex();
+/// let c = labels.add_vertex();
+/// labels.add_edge(a, b).unwrap();
+/// labels.add_edge(b, c).unwrap();
+/// assert!(labels.reaches(a, c));
+/// assert!(labels.add_edge(c, a).is_err(), "cycles are rejected");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DynamicIntervalLabeling {
+    out: Vec<Vec<VertexId>>,
+    rin: Vec<Vec<VertexId>>,
+    sets: Vec<Vec<Interval>>,
+    post: Vec<u32>,
+    next_post: u32,
+}
+
+/// Error returned when an update would break the DAG invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleError {
+    /// Source of the rejected edge.
+    pub from: VertexId,
+    /// Target of the rejected edge.
+    pub to: VertexId,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "edge ({}, {}) would create a cycle", self.from, self.to)
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+impl DynamicIntervalLabeling {
+    /// Seeds the structure from a static labeling of `g`.
+    pub fn from_graph(g: &DiGraph) -> Self {
+        let labeling = IntervalLabeling::build(g);
+        let n = g.num_vertices();
+        let out: Vec<Vec<VertexId>> = g.vertices().map(|v| g.out_neighbors(v).to_vec()).collect();
+        let rin: Vec<Vec<VertexId>> = g.vertices().map(|v| g.in_neighbors(v).to_vec()).collect();
+        let sets: Vec<Vec<Interval>> =
+            g.vertices().map(|v| labeling.intervals(v).to_vec()).collect();
+        let post: Vec<u32> = g.vertices().map(|v| labeling.post(v)).collect();
+        DynamicIntervalLabeling { out, rin, sets, post, next_post: n as u32 + 1 }
+    }
+
+    /// An empty structure (no vertices).
+    pub fn new() -> Self {
+        DynamicIntervalLabeling { next_post: 1, ..Default::default() }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Appends an isolated vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let v = self.out.len() as VertexId;
+        self.out.push(Vec::new());
+        self.rin.push(Vec::new());
+        self.sets.push(vec![Interval::point(self.next_post)]);
+        self.post.push(self.next_post);
+        self.next_post += 1;
+        v
+    }
+
+    /// Inserts edge `(from, to)`. Rejects edges that would create a cycle
+    /// (including self-loops); duplicate edges are no-ops.
+    pub fn add_edge(&mut self, from: VertexId, to: VertexId) -> Result<(), CycleError> {
+        if from == to || self.reaches(to, from) {
+            return Err(CycleError { from, to });
+        }
+        if self.out[from as usize].contains(&to) {
+            return Ok(());
+        }
+        self.out[from as usize].push(to);
+        self.rin[to as usize].push(from);
+
+        // Propagate L(to) into every vertex that reaches `from` (including
+        // `from` itself), via reverse BFS. Vertices whose labels already
+        // cover L(to) stop the propagation early.
+        let addition = self.sets[to as usize].clone();
+        let mut visited = vec![false; self.out.len()];
+        let mut stack = vec![from];
+        visited[from as usize] = true;
+        while let Some(v) = stack.pop() {
+            if !self.union_labels(v, &addition) {
+                // Already covered. The invariant "L(w) ⊇ L(v) for every edge
+                // (w, v)" then guarantees every ancestor is covered too, so
+                // the walk can stop here.
+                continue;
+            }
+            for &w in &self.rin[v as usize].clone() {
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Unions `add` into `L(v)`; returns whether anything changed.
+    fn union_labels(&mut self, v: VertexId, add: &[Interval]) -> bool {
+        let set = &mut self.sets[v as usize];
+        let before = set.clone();
+        set.extend_from_slice(add);
+        set.sort_unstable();
+        coalesce(set, true);
+        *set != before
+    }
+
+    /// The current label set of `v`.
+    pub fn intervals(&self, v: VertexId) -> &[Interval] {
+        &self.sets[v as usize]
+    }
+
+    /// The post-order number assigned to `v`.
+    pub fn post(&self, v: VertexId) -> u32 {
+        self.post[v as usize]
+    }
+}
+
+impl Reachability for DynamicIntervalLabeling {
+    fn reaches(&self, from: VertexId, to: VertexId) -> bool {
+        let p = self.post[to as usize];
+        let labels = &self.sets[from as usize];
+        match labels.binary_search_by(|iv| iv.lo.cmp(&p)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => labels[i - 1].contains(p),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        let intervals: usize = self.sets.iter().map(|s| s.len()).sum();
+        let adjacency: usize = self.out.iter().chain(&self.rin).map(|a| a.len() * 4).sum();
+        intervals * std::mem::size_of::<Interval>() + adjacency + self.post.len() * 4
+    }
+
+    fn name(&self) -> &'static str {
+        "DYN-INT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::reaches_bfs;
+    use gsr_graph::{graph_from_edges, GraphBuilder};
+
+    #[test]
+    fn incremental_matches_static() {
+        // Build the same DAG once statically and once edge by edge.
+        let edges = [(0u32, 1u32), (0, 2), (1, 3), (2, 3), (3, 4), (5, 2)];
+        let g = graph_from_edges(6, &edges);
+
+        let mut dynamic = DynamicIntervalLabeling::new();
+        for _ in 0..6 {
+            dynamic.add_vertex();
+        }
+        for (u, v) in edges {
+            dynamic.add_edge(u, v).unwrap();
+        }
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(dynamic.reaches(u, v), reaches_bfs(&g, u, v), "pair ({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_from_graph_then_extended() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2)]);
+        let mut dynamic = DynamicIntervalLabeling::from_graph(&g);
+        assert!(dynamic.reaches(0, 2));
+        assert!(!dynamic.reaches(0, 3));
+        dynamic.add_edge(2, 3).unwrap();
+        assert!(dynamic.reaches(0, 3), "propagation must reach transitive ancestors");
+        assert!(dynamic.reaches(1, 3));
+        let v = dynamic.add_vertex();
+        assert!(!dynamic.reaches(0, v));
+        dynamic.add_edge(3, v).unwrap();
+        assert!(dynamic.reaches(0, v));
+    }
+
+    #[test]
+    fn cycle_rejection() {
+        let mut dynamic = DynamicIntervalLabeling::new();
+        let a = dynamic.add_vertex();
+        let b = dynamic.add_vertex();
+        dynamic.add_edge(a, b).unwrap();
+        assert_eq!(dynamic.add_edge(b, a), Err(CycleError { from: b, to: a }));
+        assert_eq!(dynamic.add_edge(a, a), Err(CycleError { from: a, to: a }));
+        // The failed insert must not have corrupted anything.
+        assert!(dynamic.reaches(a, b));
+        assert!(!dynamic.reaches(b, a));
+    }
+
+    #[test]
+    fn duplicate_edges_are_noops() {
+        let mut dynamic = DynamicIntervalLabeling::new();
+        let a = dynamic.add_vertex();
+        let b = dynamic.add_vertex();
+        dynamic.add_edge(a, b).unwrap();
+        let labels_before = dynamic.intervals(a).to_vec();
+        dynamic.add_edge(a, b).unwrap();
+        assert_eq!(dynamic.intervals(a), labels_before.as_slice());
+    }
+
+    #[test]
+    fn random_insertion_order_stays_correct() {
+        // Insert a batch of DAG edges in a scrambled order and compare
+        // against BFS on the final graph.
+        let n = 15u32;
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut x = 11u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if x.is_multiple_of(5) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        // Scramble deterministically.
+        let len = edges.len();
+        for i in 0..len {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            edges.swap(i, (x as usize) % len);
+        }
+
+        let mut dynamic = DynamicIntervalLabeling::new();
+        for _ in 0..n {
+            dynamic.add_vertex();
+        }
+        let mut b = GraphBuilder::new(n as usize);
+        for &(u, v) in &edges {
+            dynamic.add_edge(u, v).unwrap();
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(dynamic.reaches(u, v), reaches_bfs(&g, u, v), "pair ({u}, {v})");
+            }
+        }
+    }
+}

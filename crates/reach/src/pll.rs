@@ -1,0 +1,268 @@
+//! Pruned Landmark Labeling (PLL) for graph reachability.
+//!
+//! A from-scratch 2-hop cover index in the style of Akiba, Iwata and
+//! Yoshida's pruned landmark labeling, which the original GeoReach paper
+//! used as one of its SpaReach back-ends ("SpaReach-PLL", Section 2.2.1 of
+//! the paper). Every vertex `v` keeps two sorted landmark lists:
+//!
+//! * `L_out(v)` — landmarks reachable *from* `v`,
+//! * `L_in(v)`  — landmarks that reach `v`,
+//!
+//! and `GReach(u, t)` holds iff `(L_out(u) ∪ {u})` and `(L_in(t) ∪ {t})`
+//! share a landmark. Landmarks are processed in decreasing degree order;
+//! each performs one forward and one backward BFS whose expansions are
+//! *pruned* whenever the labels built so far already answer the pair —
+//! the pruning is what keeps the label lists short on real graphs.
+//!
+//! The input must be a DAG (condense SCCs first). Unlike BFL, PLL is a
+//! pure Label-Only scheme: queries never touch the graph.
+
+use crate::Reachability;
+use gsr_graph::{DiGraph, VertexId};
+use std::collections::VecDeque;
+
+/// The PLL reachability index.
+///
+/// ```
+/// use gsr_graph::graph_from_edges;
+/// use gsr_reach::pll::PllIndex;
+/// use gsr_reach::Reachability;
+///
+/// let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (1, 4)]);
+/// let idx = PllIndex::build(&g);
+/// assert!(idx.reaches(0, 4));
+/// assert!(!idx.reaches(4, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PllIndex {
+    /// Landmark rank of every vertex (0 = highest-degree, processed first).
+    rank: Vec<u32>,
+    /// CSR label lists over ranks, sorted ascending.
+    out_offsets: Vec<u32>,
+    out_labels: Vec<u32>,
+    in_offsets: Vec<u32>,
+    in_labels: Vec<u32>,
+}
+
+impl PllIndex {
+    /// Builds the index over a DAG.
+    pub fn build(g: &DiGraph) -> Self {
+        let n = g.num_vertices();
+
+        // Landmark order: total degree descending, ties by id. High-degree
+        // hubs cover the most pairs, which maximizes pruning.
+        let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+        order.sort_by_key(|&v| {
+            (std::cmp::Reverse(g.out_degree(v) + g.in_degree(v)), v)
+        });
+        let mut rank = vec![0u32; n];
+        for (k, &v) in order.iter().enumerate() {
+            rank[v as usize] = k as u32;
+        }
+
+        // Growable label lists during construction.
+        let mut out_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut in_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+        // `covered(u, t)` via the labels built so far, treating u and t as
+        // implicit members of their own lists.
+        let covered = |u: usize, t: usize,
+                       rank: &[u32],
+                       out_lists: &[Vec<u32>],
+                       in_lists: &[Vec<u32>]| {
+            if u == t {
+                return true;
+            }
+            let a = &out_lists[u];
+            let b = &in_lists[t];
+            // Sorted-merge intersection, including the implicit self ranks.
+            let (mut i, mut j) = (0usize, 0usize);
+            let ra = rank[u];
+            let rb = rank[t];
+            // Check implicit members first.
+            if a.binary_search(&rb).is_ok() || b.binary_search(&ra).is_ok() {
+                return true;
+            }
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => return true,
+                }
+            }
+            false
+        };
+
+        let mut queue: VecDeque<VertexId> = VecDeque::new();
+        let mut visited = vec![false; n];
+        for (k, &w) in order.iter().enumerate() {
+            let k = k as u32;
+
+            // Forward pruned BFS: w's descendants gain w in L_in.
+            visited.iter_mut().for_each(|x| *x = false);
+            queue.clear();
+            queue.push_back(w);
+            visited[w as usize] = true;
+            while let Some(v) = queue.pop_front() {
+                if v != w {
+                    if covered(w as usize, v as usize, &rank, &out_lists, &in_lists) {
+                        continue; // already answered: prune the subtree
+                    }
+                    in_lists[v as usize].push(k);
+                }
+                for &x in g.out_neighbors(v) {
+                    if !visited[x as usize] {
+                        visited[x as usize] = true;
+                        queue.push_back(x);
+                    }
+                }
+            }
+
+            // Backward pruned BFS: w's ancestors gain w in L_out.
+            visited.iter_mut().for_each(|x| *x = false);
+            queue.clear();
+            queue.push_back(w);
+            visited[w as usize] = true;
+            while let Some(v) = queue.pop_front() {
+                if v != w {
+                    if covered(v as usize, w as usize, &rank, &out_lists, &in_lists) {
+                        continue;
+                    }
+                    out_lists[v as usize].push(k);
+                }
+                for &x in g.in_neighbors(v) {
+                    if !visited[x as usize] {
+                        visited[x as usize] = true;
+                        queue.push_back(x);
+                    }
+                }
+            }
+        }
+
+        // Freeze into CSR. Lists are pushed in increasing rank, so they are
+        // already sorted.
+        let flatten = |lists: Vec<Vec<u32>>| {
+            let mut offsets = Vec::with_capacity(lists.len() + 1);
+            let mut labels = Vec::new();
+            offsets.push(0u32);
+            for list in lists {
+                debug_assert!(list.windows(2).all(|w| w[0] < w[1]));
+                labels.extend_from_slice(&list);
+                offsets.push(labels.len() as u32);
+            }
+            (offsets, labels)
+        };
+        let (out_offsets, out_labels) = flatten(out_lists);
+        let (in_offsets, in_labels) = flatten(in_lists);
+
+        PllIndex { rank, out_offsets, out_labels, in_offsets, in_labels }
+    }
+
+    fn out_list(&self, v: usize) -> &[u32] {
+        &self.out_labels[self.out_offsets[v] as usize..self.out_offsets[v + 1] as usize]
+    }
+
+    fn in_list(&self, v: usize) -> &[u32] {
+        &self.in_labels[self.in_offsets[v] as usize..self.in_offsets[v + 1] as usize]
+    }
+
+    /// Total number of labels (both directions) — the size statistic of
+    /// 2-hop schemes.
+    pub fn num_labels(&self) -> usize {
+        self.out_labels.len() + self.in_labels.len()
+    }
+}
+
+impl Reachability for PllIndex {
+    fn reaches(&self, from: VertexId, to: VertexId) -> bool {
+        let (f, t) = (from as usize, to as usize);
+        if f == t {
+            return true;
+        }
+        let a = self.out_list(f);
+        let b = self.in_list(t);
+        if a.binary_search(&self.rank[t]).is_ok() || b.binary_search(&self.rank[f]).is_ok() {
+            return true;
+        }
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    fn heap_bytes(&self) -> usize {
+        (self.rank.len()
+            + self.out_offsets.len()
+            + self.out_labels.len()
+            + self.in_offsets.len()
+            + self.in_labels.len())
+            * 4
+    }
+
+    fn name(&self) -> &'static str {
+        "PLL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::reaches_bfs;
+    use gsr_graph::graph_from_edges;
+
+    fn check_all_pairs(g: &DiGraph) {
+        let idx = PllIndex::build(g);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(
+                    idx.reaches(u, v),
+                    reaches_bfs(g, u, v),
+                    "PLL wrong for ({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chains_diamonds_forests() {
+        check_all_pairs(&graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]));
+        check_all_pairs(&graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]));
+        check_all_pairs(&graph_from_edges(
+            9,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (4, 5), (5, 6), (4, 6), (6, 1), (7, 8)],
+        ));
+    }
+
+    #[test]
+    fn hub_centric_graph_has_compact_labels() {
+        // A star through a hub: the hub is processed first and covers all
+        // pairs, so label lists stay tiny.
+        let mut edges = Vec::new();
+        for i in 1..20u32 {
+            edges.push((i, 0));
+            edges.push((0, 20 + i));
+        }
+        let g = graph_from_edges(40, &edges);
+        let idx = PllIndex::build(&g);
+        check_all_pairs(&g);
+        // Every source/sink needs only the hub in its list.
+        assert!(
+            idx.num_labels() <= 2 * 40,
+            "pruning must keep 2-hop labels near-minimal, got {}",
+            idx.num_labels()
+        );
+    }
+
+    #[test]
+    fn isolated_and_empty() {
+        check_all_pairs(&graph_from_edges(3, &[]));
+        let g = graph_from_edges(1, &[]);
+        let idx = PllIndex::build(&g);
+        assert!(idx.reaches(0, 0));
+    }
+}

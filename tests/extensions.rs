@@ -1,0 +1,151 @@
+//! Integration tests for the extension features: reporting/counting,
+//! nearest-reachable, and the dynamic 3DReach index — all validated on
+//! random cyclic networks against brute force.
+
+use gsr_core::methods::{report_bfs, DynamicThreeDReach, NearestReach, ThreeDReach, ThreeDReporter};
+use gsr_core::{GeosocialNetwork, PreparedNetwork, RangeReachIndex, SccSpatialPolicy};
+use gsr_geo::{Point, Rect};
+use gsr_graph::{GraphBuilder, VertexId};
+use gsr_tests::{random_network, random_regions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn reporter_matches_bfs_on_random_networks() {
+    for seed in 0..5 {
+        let net = random_network(120, 420, 0.4, 700 + seed);
+        let prep = PreparedNetwork::new(net);
+        let reporter = ThreeDReporter::build(&prep);
+        for region in random_regions(10, seed) {
+            for v in (0..120).step_by(11) {
+                let expected = report_bfs(&prep, v, &region);
+                assert_eq!(reporter.report(v, &region), expected, "v={v} region={region}");
+                assert_eq!(reporter.count(v, &region), expected.len());
+                assert_eq!(reporter.exists(v, &region), !expected.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn nearest_reach_matches_brute_force_on_random_networks() {
+    for seed in 0..5 {
+        let net = random_network(100, 350, 0.5, 300 + seed);
+        let prep = PreparedNetwork::new(net);
+        let idx = NearestReach::build(&prep);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..12 {
+            let target = Point::new(rng.gen_range(-20.0..120.0), rng.gen_range(-20.0..120.0));
+            for v in (0..100).step_by(13) {
+                // Brute force over the full report of the whole space.
+                let everything = Rect::new(-1e9, -1e9, 1e9, 1e9);
+                let reachable = report_bfs(&prep, v, &everything);
+                let expected = reachable
+                    .iter()
+                    .map(|&u| prep.network().point(u).unwrap().distance(&target))
+                    .fold(f64::INFINITY, f64::min);
+                match idx.nearest(v, &target) {
+                    None => assert!(reachable.is_empty(), "v={v}: missing answer"),
+                    Some((_, _, d)) => {
+                        assert!(
+                            (d - expected).abs() < 1e-9,
+                            "v={v} target={target}: {d} vs {expected}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streams random updates into the dynamic index and compares against a
+/// full rebuild after every batch.
+#[test]
+fn dynamic_index_tracks_rebuilds_through_random_update_streams() {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Seed network: a small cyclic geosocial network.
+    let seed_net = random_network(40, 120, 0.4, 1234);
+    let mut edges: Vec<(VertexId, VertexId)> = seed_net.graph().edges().collect();
+    let mut points: Vec<Option<Point>> =
+        (0..40).map(|v| seed_net.point(v as VertexId)).collect();
+    let prep = PreparedNetwork::new(seed_net);
+    let mut dynamic = DynamicThreeDReach::build(&prep);
+
+    for _batch in 0..4 {
+        // A few new users, venues and edges per batch.
+        for _ in 0..3 {
+            let u = dynamic.add_user();
+            assert_eq!(u as usize, points.len());
+            points.push(None);
+        }
+        for _ in 0..3 {
+            let p = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            let v = dynamic.add_venue(p);
+            assert_eq!(v as usize, points.len());
+            points.push(Some(p));
+        }
+        for _ in 0..10 {
+            let from = rng.gen_range(0..points.len()) as VertexId;
+            let to = rng.gen_range(0..points.len()) as VertexId;
+            if from == to {
+                continue;
+            }
+            if dynamic.add_edge(from, to).is_ok() {
+                edges.push((from, to));
+            }
+            // Rejected edges (would merge SCCs) are simply skipped.
+        }
+
+        // Full rebuild from the accumulated state.
+        let mut b = GraphBuilder::new(points.len());
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let rebuilt = PreparedNetwork::new(
+            GeosocialNetwork::new(b.build(), points.clone()).unwrap(),
+        );
+        let reference = ThreeDReach::build(&rebuilt, SccSpatialPolicy::Replicate);
+
+        for region in random_regions(8, 17) {
+            for v in 0..points.len() as VertexId {
+                assert_eq!(
+                    dynamic.query(v, &region),
+                    reference.query(v, &region),
+                    "v={v} region={region} after batch"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dynamic_rejects_exactly_the_cycle_closing_edges() {
+    let net = random_network(30, 100, 0.3, 555);
+    let prep = PreparedNetwork::new(net);
+    let dynamic = DynamicThreeDReach::build(&prep);
+    let reporter = ThreeDReporter::build(&prep);
+    let everything = Rect::new(-1e9, -1e9, 1e9, 1e9);
+
+    for from in 0..30u32 {
+        for to in 0..30u32 {
+            if from == to || prep.comp(from) == prep.comp(to) {
+                continue;
+            }
+            // Re-derive expectation: adding (from, to) cycles iff `to`
+            // already reaches `from`.
+            let to_reaches_from = {
+                // reuse the reporter's labeling indirectly: BFS ground truth
+                gsr_reach::bfs::reaches_bfs(prep.dag(), prep.comp(to), prep.comp(from))
+            };
+            let mut probe = dynamic.clone();
+            assert_eq!(
+                probe.add_edge(from, to).is_err(),
+                to_reaches_from,
+                "edge ({from},{to})"
+            );
+        }
+    }
+    // Smoke: reporter unaffected by the probing (it is a separate index).
+    assert!(reporter.count(0, &everything) <= 30);
+}

@@ -1,0 +1,78 @@
+//! Failure-injection tests: the network loader must never panic, whatever
+//! bytes it is fed, and must produce precise errors for malformed input.
+
+use gsr_datagen::io::{read_network, write_network, LoadError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: reading may fail, but never panics, and any
+    /// successfully parsed network is internally consistent.
+    #[test]
+    fn loader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        match read_network(bytes.as_slice()) {
+            Ok(net) => {
+                prop_assert!(net.num_spatial() <= net.num_vertices());
+            }
+            Err(LoadError::Parse { line, .. }) => prop_assert!(line >= 1),
+            Err(_) => {}
+        }
+    }
+
+    /// Arbitrary *line-structured* text: closer to the real format, so the
+    /// parser's token paths all get exercised.
+    #[test]
+    fn loader_survives_plausible_garbage(
+        lines in prop::collection::vec("[VPE#]? ?[-0-9a-z.]{0,12} [-0-9.]{0,8} [-0-9.]{0,8}", 0..60),
+    ) {
+        let text = lines.join("\n");
+        let _ = read_network(text.as_bytes()); // must not panic
+    }
+
+    /// Any network that passes validation round-trips bit-exactly.
+    #[test]
+    fn valid_networks_round_trip(
+        n in 1usize..30,
+        edges in prop::collection::vec((0u32..30, 0u32..30), 0..80),
+        points in prop::collection::vec(
+            prop::option::of((-1e5..1e5f64, -1e5..1e5f64)),
+            0..30,
+        ),
+    ) {
+        use gsr_core::GeosocialNetwork;
+        use gsr_geo::Point;
+        use gsr_graph::GraphBuilder;
+
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u % n as u32, v % n as u32);
+        }
+        let g = b.build();
+        let mut pts: Vec<Option<Point>> =
+            points.into_iter().map(|p| p.map(|(x, y)| Point::new(x, y))).collect();
+        pts.resize(g.num_vertices(), None);
+        let net = GeosocialNetwork::new(g, pts).unwrap();
+
+        let mut buf = Vec::new();
+        write_network(&net, &mut buf).unwrap();
+        let loaded = read_network(buf.as_slice()).unwrap();
+        prop_assert_eq!(loaded.num_vertices(), net.num_vertices());
+        prop_assert_eq!(loaded.graph().num_edges(), net.graph().num_edges());
+        for v in net.graph().vertices() {
+            prop_assert_eq!(loaded.point(v), net.point(v));
+            prop_assert_eq!(loaded.graph().out_neighbors(v), net.graph().out_neighbors(v));
+        }
+    }
+
+    /// NaN and infinite coordinates are rejected at network construction,
+    /// and the loader surfaces that as a Network error rather than panicking.
+    #[test]
+    fn non_finite_points_are_rejected(bad in "(nan|inf|-inf)") {
+        let text = format!("V 1\nP 0 {bad} 1.0\n");
+        match read_network(text.as_bytes()) {
+            Err(LoadError::Network(_)) => {}
+            other => prop_assert!(false, "expected Network error, got {:?}", other.is_ok()),
+        }
+    }
+}

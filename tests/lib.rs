@@ -1,0 +1,83 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use gsr_core::methods::{GeoReach, SocReach, SpaReachBfl, SpaReachInt, ThreeDReach, ThreeDReachRev};
+use gsr_core::{GeosocialNetwork, PreparedNetwork, RangeReachIndex, SccSpatialPolicy};
+use gsr_geo::Point;
+use gsr_graph::{GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds every evaluation method (both SCC policies where supported) with
+/// a describing label.
+pub fn all_indexes(prep: &PreparedNetwork) -> Vec<(String, Box<dyn RangeReachIndex>)> {
+    let mut out: Vec<(String, Box<dyn RangeReachIndex>)> = Vec::new();
+    for policy in [SccSpatialPolicy::Replicate, SccSpatialPolicy::Mbr] {
+        let tag = policy.suffix();
+        out.push((format!("SpaReach-BFL{tag}"), Box::new(SpaReachBfl::build(prep, policy))));
+        out.push((format!("SpaReach-INT{tag}"), Box::new(SpaReachInt::build(prep, policy))));
+        out.push((format!("3DReach{tag}"), Box::new(ThreeDReach::build(prep, policy))));
+        out.push((format!("3DReach-REV{tag}"), Box::new(ThreeDReachRev::build(prep, policy))));
+    }
+    out.push(("GeoReach".to_string(), Box::new(GeoReach::build(prep))));
+    out.push(("SocReach".to_string(), Box::new(SocReach::build(prep))));
+    out
+}
+
+/// A random geosocial network: arbitrary directed edges (cycles allowed)
+/// with a random subset of spatial vertices.
+pub fn random_network(
+    n: usize,
+    edges: usize,
+    spatial_fraction: f64,
+    seed: u64,
+) -> GeosocialNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    for _ in 0..edges {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        builder.add_edge(u, v);
+    }
+    let points: Vec<Option<Point>> = (0..n)
+        .map(|_| {
+            rng.gen_bool(spatial_fraction)
+                .then(|| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+        })
+        .collect();
+    GeosocialNetwork::new(builder.build(), points).expect("finite points")
+}
+
+/// A batch of random query regions over `[0, 100]^2` of mixed sizes,
+/// including degenerate and out-of-space rectangles.
+pub fn random_regions(count: usize, seed: u64) -> Vec<gsr_geo::Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let r = match i % 4 {
+            0 => {
+                // Small square anywhere.
+                let c = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+                gsr_geo::Rect::square(c, rng.gen_range(0.1..10.0))
+            }
+            1 => {
+                // Large region.
+                let c = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+                gsr_geo::Rect::square(c, rng.gen_range(20.0..120.0))
+            }
+            2 => {
+                // Degenerate point probe.
+                gsr_geo::Rect::from_point(Point::new(
+                    rng.gen_range(0.0..100.0),
+                    rng.gen_range(0.0..100.0),
+                ))
+            }
+            _ => {
+                // Possibly outside the populated space.
+                let c = Point::new(rng.gen_range(-50.0..150.0), rng.gen_range(-50.0..150.0));
+                gsr_geo::Rect::square(c, rng.gen_range(1.0..30.0))
+            }
+        };
+        out.push(r);
+    }
+    out
+}

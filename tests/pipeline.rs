@@ -1,0 +1,109 @@
+//! End-to-end pipeline tests: generate → serialize → load → prepare →
+//! index → query, exercising the full public API the way a downstream
+//! application would.
+
+use gsr_core::methods::ThreeDReach;
+use gsr_core::{PreparedNetwork, RangeReachIndex, SccSpatialPolicy};
+use gsr_datagen::workload::WorkloadGen;
+use gsr_datagen::{io, NetworkSpec};
+use gsr_graph::stats::DegreeBucket;
+
+#[test]
+fn save_load_preserves_query_answers() {
+    let net = NetworkSpec::foursquare(0.02).generate();
+
+    let mut buf = Vec::new();
+    io::write_network(&net, &mut buf).unwrap();
+    let reloaded = io::read_network(buf.as_slice()).unwrap();
+
+    let prep_a = PreparedNetwork::new(net);
+    let prep_b = PreparedNetwork::new(reloaded);
+
+    let idx_a = ThreeDReach::build(&prep_a, SccSpatialPolicy::Replicate);
+    let idx_b = ThreeDReach::build(&prep_b, SccSpatialPolicy::Replicate);
+
+    let gen = WorkloadGen::new(&prep_a);
+    let workload = gen.extent_degree(5.0, DegreeBucket::PAPER_BUCKETS[0], 100, 5);
+    for (v, region) in &workload.queries {
+        assert_eq!(idx_a.query(*v, region), idx_b.query(*v, region));
+    }
+}
+
+#[test]
+fn workloads_respect_degree_buckets() {
+    let prep = PreparedNetwork::new(NetworkSpec::yelp(0.1).generate());
+    let gen = WorkloadGen::new(&prep);
+    let g = prep.network().graph();
+    for bucket in DegreeBucket::PAPER_BUCKETS {
+        let w = gen.extent_degree(5.0, bucket, 50, 9);
+        // Either all query vertices fall inside the bucket, or the bucket
+        // was empty and the generator fell back (which it reports by still
+        // producing valid positive-degree vertices).
+        for (v, _) in &w.queries {
+            let d = g.out_degree(*v) as u32;
+            assert!(d >= 1, "query vertex must have outgoing edges");
+            if !gsr_graph::stats::vertices_in_bucket(g, bucket).is_empty() {
+                assert!(bucket.contains(d), "degree {d} outside bucket {}", bucket.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn selectivity_workload_brackets_target() {
+    let prep = PreparedNetwork::new(NetworkSpec::gowalla(0.1).generate());
+    let gen = WorkloadGen::new(&prep);
+    for target in [0.1, 1.0] {
+        let w = gen.selectivity(target, DegreeBucket::PAPER_BUCKETS[0], 40, 21);
+        let mut close = 0usize;
+        for (_, region) in &w.queries {
+            let sel = gen.measured_selectivity_pct(region);
+            if sel > 0.0 && (sel / target) < 4.0 && (target / sel.max(1e-9)) < 4.0 {
+                close += 1;
+            }
+        }
+        assert!(
+            close * 10 >= w.queries.len() * 7,
+            "at least 70% of regions within 4x of the {target}% target, got {close}/{}",
+            w.queries.len()
+        );
+    }
+}
+
+#[test]
+fn positive_rate_varies_with_extent() {
+    // Larger query regions can only be easier to hit: the positive-answer
+    // rate must be (weakly) monotone in the extent for a fixed seed pool.
+    let prep = PreparedNetwork::new(NetworkSpec::foursquare(0.05).generate());
+    let gen = WorkloadGen::new(&prep);
+    let idx = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+    let mut rates = Vec::new();
+    for extent in [1.0, 5.0, 20.0] {
+        let w = gen.extent_degree(extent, DegreeBucket::PAPER_BUCKETS[2], 150, 33);
+        let pos = w.queries.iter().filter(|(v, r)| idx.query(*v, r)).count();
+        rates.push(pos);
+    }
+    assert!(
+        rates[0] <= rates[2] + 10,
+        "positive rate should grow (or stay) with extent: {rates:?}"
+    );
+}
+
+#[test]
+fn quickstart_flow_from_readme() {
+    // The README quickstart, kept compiling as a test.
+    use gsr_core::GeosocialNetwork;
+    use gsr_geo::{Point, Rect};
+    use gsr_graph::GraphBuilder;
+
+    let mut g = GraphBuilder::new(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    let points = vec![None, None, Some(Point::new(5.0, 5.0))];
+    let net = GeosocialNetwork::new(g.build(), points).unwrap();
+    let prepared = PreparedNetwork::new(net);
+
+    let index = ThreeDReach::build(&prepared, SccSpatialPolicy::Replicate);
+    assert!(index.query(0, &Rect::new(0.0, 0.0, 10.0, 10.0)));
+    assert!(!index.query(2, &Rect::new(20.0, 20.0, 30.0, 30.0)));
+}
