@@ -2,12 +2,13 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! repro [EXPERIMENT..] [--scale S] [--queries N] [--seed K] [--csv]
+//! repro [EXPERIMENT..] [--scale S] [--queries N] [--seed K] [--threads T] [--csv]
 //!
 //! EXPERIMENT: table3 table4 table5 table6 fig5 fig6 fig7 all (default: all)
 //! --scale    dataset scale; 1.0 ~ 1% of the paper's sizes (default 1.0)
 //! --queries  queries per measurement point (default 1000, as in the paper)
 //! --seed     workload RNG seed
+//! --threads  workers for index construction (0 = machine parallelism)
 //! --csv      additionally print each table as CSV
 //! ```
 
@@ -19,8 +20,8 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|all]... \
-         [--scale S] [--queries N] [--seed K] [--csv]"
+        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|parbuild|all]... \
+         [--scale S] [--queries N] [--seed K] [--threads T] [--csv]"
     );
     std::process::exit(2);
 }
@@ -42,10 +43,13 @@ fn main() {
             "--seed" => {
                 cfg.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--threads" => {
+                cfg.threads = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--csv" => csv = true,
             "all" | "table3" | "table4" | "table5" | "table6" | "fig5" | "fig6" | "fig7"
-            | "backends" | "ablations" | "analysis" | "latency" | "throughput" | "forests"
-            | "georeach" | "reduction" | "spatial" | "polarity" => {
+            | "backends" | "ablations" | "analysis" | "latency" | "throughput" | "parbuild"
+            | "forests" | "georeach" | "reduction" | "spatial" | "polarity" => {
                 experiments_wanted.insert(arg);
             }
             _ => usage(),
@@ -54,8 +58,8 @@ fn main() {
     if experiments_wanted.is_empty() || experiments_wanted.contains("all") {
         for e in [
             "table3", "table4", "table5", "table6", "fig5", "fig6", "fig7", "backends",
-            "ablations", "analysis", "latency", "throughput", "forests", "georeach",
-            "reduction", "spatial", "polarity",
+            "ablations", "analysis", "latency", "throughput", "parbuild", "forests",
+            "georeach", "reduction", "spatial", "polarity",
         ] {
             experiments_wanted.insert(e.to_string());
         }
@@ -75,8 +79,8 @@ fn main() {
 
     println!(
         "# Fast Geosocial Reachability Queries — reproduction harness\n\
-         # scale={} queries={} seed={}\n",
-        cfg.scale, cfg.queries, cfg.seed
+         # scale={} queries={} seed={} threads={}\n",
+        cfg.scale, cfg.queries, cfg.seed, cfg.threads
     );
 
     let t0 = Instant::now();
@@ -177,6 +181,12 @@ fn main() {
         emit(
             "Extension: multi-threaded throughput over one shared 3DReach index",
             &experiments::throughput(&datasets, &cfg),
+        );
+    }
+    if wanted("parbuild") {
+        emit(
+            "Extension: parallel index construction, measured wall-clock at 1/2/4 threads",
+            &experiments::parallel_build(&datasets),
         );
     }
 

@@ -593,12 +593,12 @@ pub fn forests(datasets: &[Dataset]) -> TextTable {
             let start = Instant::now();
             let compressed = IntervalLabeling::build_with(
                 dag,
-                BuildOptions { builder: Builder::BottomUp, compress: true, forest },
+                BuildOptions { builder: Builder::BottomUp, compress: true, forest, ..BuildOptions::default() },
             );
             let elapsed = start.elapsed();
             let raw = IntervalLabeling::build_with(
                 dag,
-                BuildOptions { builder: Builder::BottomUp, compress: false, forest },
+                BuildOptions { builder: Builder::BottomUp, compress: false, forest, ..BuildOptions::default() },
             );
             t.row([
                 ds.name.to_string(),
@@ -675,6 +675,80 @@ pub fn throughput(datasets: &[Dataset], cfg: &Config) -> TextTable {
     t
 }
 
+/// **Extension**: parallel index-construction scaling. Times the
+/// interval-labeling build and the full 3DReach build at 1/2/4 threads
+/// over each dataset's condensation, reporting measured wall-clock — the
+/// reported speedup is whatever the host actually delivers (on a
+/// single-core machine all thread counts cost about the same; the
+/// determinism tests still guarantee the outputs are identical). Pass
+/// `--scale 10` or more to reach the ≥100k-vertex networks where the
+/// level-scheduled build has enough width per level to scale.
+pub fn parallel_build(datasets: &[Dataset]) -> TextTable {
+    let mut t =
+        TextTable::new(["dataset", "vertices", "structure", "threads", "build [ms]", "speedup"]);
+    let thread_counts = [1usize, 2, 4];
+    for ds in datasets {
+        let n = ds.prep.network().num_vertices();
+        // Untimed warm-up builds: the first build pays one-time costs
+        // (lazy PreparedNetwork caches, allocator growth, page faults)
+        // that would otherwise inflate the speedup of whichever thread
+        // count happens to run later.
+        std::hint::black_box(IntervalLabeling::build_with(
+            ds.prep.dag(),
+            BuildOptions::default(),
+        ));
+        std::hint::black_box(MethodKind::ThreeDReach.build_threaded(
+            &ds.prep,
+            SccSpatialPolicy::Replicate,
+            1,
+        ));
+        let mut base_label = 0.0f64;
+        for &threads in &thread_counts {
+            let start = std::time::Instant::now();
+            let labeling = IntervalLabeling::build_with(
+                ds.prep.dag(),
+                BuildOptions { threads, ..BuildOptions::default() },
+            );
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(&labeling);
+            if threads == 1 {
+                base_label = ms;
+            }
+            t.row([
+                ds.name.to_string(),
+                n.to_string(),
+                "interval labels".to_string(),
+                threads.to_string(),
+                format!("{ms:.2}"),
+                format!("{:.2}x", base_label / ms.max(1e-9)),
+            ]);
+        }
+        let mut base_full = 0.0f64;
+        for &threads in &thread_counts {
+            let start = std::time::Instant::now();
+            let idx = MethodKind::ThreeDReach.build_threaded(
+                &ds.prep,
+                SccSpatialPolicy::Replicate,
+                threads,
+            );
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(&idx);
+            if threads == 1 {
+                base_full = ms;
+            }
+            t.row([
+                ds.name.to_string(),
+                n.to_string(),
+                "3DReach (full)".to_string(),
+                threads.to_string(),
+                format!("{ms:.2}"),
+                format!("{:.2}x", base_full / ms.max(1e-9)),
+            ]);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -724,7 +798,7 @@ mod tests {
     #[test]
     fn polarity_table_renders() {
         let ds = tiny_datasets();
-        let cfg = Config { scale: 0.03, queries: 6, seed: 1 };
+        let cfg = Config { scale: 0.03, queries: 6, seed: 1, threads: 1 };
         let t = polarity(&ds, &cfg);
         assert!(t.len() >= 4, "at least standard + one negative row per dataset");
     }
@@ -732,7 +806,7 @@ mod tests {
     #[test]
     fn spatial_backend_sweep_renders() {
         let ds = tiny_datasets();
-        let cfg = Config { scale: 0.03, queries: 6, seed: 1 };
+        let cfg = Config { scale: 0.03, queries: 6, seed: 1, threads: 1 };
         let t = spatial_backends(&ds[..1], &cfg);
         assert_eq!(t.len(), 3, "one row per extent");
     }
@@ -753,7 +827,7 @@ mod tests {
     #[test]
     fn georeach_sweep_renders() {
         let ds = tiny_datasets();
-        let cfg = Config { scale: 0.03, queries: 6, seed: 1 };
+        let cfg = Config { scale: 0.03, queries: 6, seed: 1, threads: 1 };
         let t = georeach_params(&ds[..1], &cfg);
         assert_eq!(t.len(), 4, "one row per parameterization");
     }
@@ -766,9 +840,24 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_reports_every_thread_count() {
+        let ds = tiny_datasets();
+        let t = parallel_build(&ds[..1]);
+        // Two structures x three thread counts.
+        assert_eq!(t.len(), 6);
+        let csv = t.render_csv();
+        for threads in ["1", "2", "4"] {
+            assert!(
+                csv.lines().any(|l| l.split(',').nth(3) == Some(threads)),
+                "missing thread count {threads}:\n{csv}"
+            );
+        }
+    }
+
+    #[test]
     fn latency_and_throughput_render() {
         let ds = tiny_datasets();
-        let cfg = Config { scale: 0.03, queries: 10, seed: 2 };
+        let cfg = Config { scale: 0.03, queries: 10, seed: 2, threads: 1 };
         let lt = latency(&ds[..1], &cfg);
         assert_eq!(lt.len(), FINAL_METHODS.len());
         let tp = throughput(&ds[..1], &cfg);
@@ -778,7 +867,7 @@ mod tests {
     #[test]
     fn analysis_counters_are_plausible() {
         let ds = tiny_datasets();
-        let cfg = Config { scale: 0.03, queries: 10, seed: 2 };
+        let cfg = Config { scale: 0.03, queries: 10, seed: 2, threads: 1 };
         let t = analysis(&ds[..1], &cfg);
         // 5 methods x 2 extents.
         assert_eq!(t.len(), 10);
@@ -792,7 +881,7 @@ mod tests {
     #[test]
     fn backends_and_ablations_render() {
         let ds = tiny_datasets();
-        let cfg = Config { scale: 0.03, queries: 8, seed: 5 };
+        let cfg = Config { scale: 0.03, queries: 8, seed: 5, threads: 1 };
         let b = backends(&ds[..1], &cfg);
         assert_eq!(b.len(), 5, "one row per back-end");
         let a = ablations(&ds[..1], &cfg);
@@ -802,7 +891,7 @@ mod tests {
     #[test]
     fn fig_sweeps_have_expected_shape() {
         let ds = tiny_datasets();
-        let cfg = Config { scale: 0.03, queries: 8, seed: 5 };
+        let cfg = Config { scale: 0.03, queries: 8, seed: 5, threads: 1 };
         let (by_extent, by_degree) = fig6(&ds[..1], &cfg);
         assert_eq!(by_extent.len(), PAPER_EXTENTS_PCT.len());
         assert_eq!(by_degree.len(), DegreeBucket::PAPER_BUCKETS.len());

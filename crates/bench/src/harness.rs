@@ -3,7 +3,7 @@
 use gsr_core::methods::{
     GeoReach, SocReach, SpaReachBfl, SpaReachInt, ThreeDReach, ThreeDReachRev,
 };
-use gsr_core::{PreparedNetwork, RangeReachIndex, SccSpatialPolicy};
+use gsr_core::{BatchExecutor, PreparedNetwork, RangeReachIndex, SccSpatialPolicy};
 use gsr_datagen::workload::Workload;
 use gsr_datagen::NetworkSpec;
 use std::time::{Duration, Instant};
@@ -18,11 +18,14 @@ pub struct Config {
     pub queries: usize,
     /// Workload seed.
     pub seed: u64,
+    /// Worker threads for index construction and batched query execution
+    /// (`0` = machine parallelism, `1` = sequential).
+    pub threads: usize,
 }
 
 impl Default for Config {
     fn default() -> Self {
-        Config { scale: 1.0, queries: 1000, seed: 0xD0_5E_ED }
+        Config { scale: 1.0, queries: 1000, seed: 0xD0_5E_ED, threads: 1 }
     }
 }
 
@@ -124,6 +127,28 @@ impl MethodKind {
         }
     }
 
+    /// Builds the method's index with `threads` construction workers.
+    /// Methods without a parallel build path (GeoReach, SocReach) fall back
+    /// to their sequential constructors; the others produce indexes
+    /// identical to [`MethodKind::build`] at any thread count.
+    pub fn build_threaded(
+        &self,
+        prep: &PreparedNetwork,
+        policy: SccSpatialPolicy,
+        threads: usize,
+    ) -> Box<dyn RangeReachIndex> {
+        match self {
+            MethodKind::SpaReachBfl => Box::new(SpaReachBfl::build_threaded(prep, policy, threads)),
+            MethodKind::SpaReachInt => Box::new(SpaReachInt::build_threaded(prep, policy, threads)),
+            MethodKind::GeoReach => Box::new(GeoReach::build(prep)),
+            MethodKind::SocReach => Box::new(SocReach::build(prep)),
+            MethodKind::ThreeDReach => Box::new(ThreeDReach::build_threaded(prep, policy, threads)),
+            MethodKind::ThreeDReachRev => {
+                Box::new(ThreeDReachRev::build_threaded(prep, policy, threads))
+            }
+        }
+    }
+
     /// Builds and times the construction (the measurement of Table 5).
     pub fn timed_build(
         &self,
@@ -209,31 +234,19 @@ pub fn run_workload_latencies(idx: &dyn RangeReachIndex, workload: &Workload) ->
     }
 }
 
-/// Runs the workload across `threads` worker threads over one shared
-/// index (indexes are immutable, so a shared reference suffices), and
-/// returns the aggregate throughput in queries/second.
+/// Runs the workload through a [`BatchExecutor`] with `threads` workers
+/// over one shared index (indexes are immutable, so a shared reference
+/// suffices), and returns the aggregate throughput in queries/second.
 pub fn run_workload_parallel(
     idx: &dyn RangeReachIndex,
     workload: &Workload,
     threads: usize,
 ) -> (f64, usize) {
-    let threads = threads.max(1);
-    let queries = &workload.queries;
     let start = Instant::now();
-    let positives: usize = std::thread::scope(|scope| {
-        let chunk = queries.len().div_ceil(threads);
-        let handles: Vec<_> = queries
-            .chunks(chunk.max(1))
-            .map(|slice| {
-                scope.spawn(move || {
-                    slice.iter().filter(|(v, region)| idx.query(*v, region)).count()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
-    });
+    let answers = BatchExecutor::new(threads.max(1)).run(idx, &workload.queries);
     let elapsed = start.elapsed().as_secs_f64();
-    (queries.len() as f64 / elapsed.max(1e-12), positives)
+    let positives = answers.into_iter().filter(|&hit| hit).count();
+    (workload.queries.len() as f64 / elapsed.max(1e-12), positives)
 }
 
 /// Cross-checks that an index answers exactly like the BFS ground truth on
@@ -258,7 +271,7 @@ mod tests {
 
     #[test]
     fn every_method_matches_bfs_on_a_generated_dataset() {
-        let cfg = Config { scale: 0.05, queries: 40, seed: 11 };
+        let cfg = Config { scale: 0.05, queries: 40, seed: 11, threads: 1 };
         let ds = Dataset::from_spec(&NetworkSpec::yelp(cfg.scale));
         let gen = WorkloadGen::new(&ds.prep);
         let workload =

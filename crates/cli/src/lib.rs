@@ -40,12 +40,15 @@ pub enum Command {
         /// Network file.
         file: PathBuf,
     },
-    /// `gsr query FILE [--method M] [--vertex V --rect X0,Y0,X1,Y1]`
+    /// `gsr query FILE [--method M] [--threads T] [--vertex V --rect X0,Y0,X1,Y1]`
     Query {
         /// Network file.
         file: PathBuf,
         /// Method name or `all`.
         method: String,
+        /// Worker threads for index construction (`0` = machine
+        /// parallelism). The built indexes are identical at any count.
+        threads: usize,
         /// One-shot query (otherwise stdin).
         one: Option<(u32, Rect)>,
     },
@@ -82,6 +85,7 @@ usage:
   gsr generate --preset <foursquare|gowalla|weeplaces|yelp> [--scale S] --out FILE
   gsr stats FILE
   gsr query FILE [--method <3dreach|3dreach-rev|spareach-bfl|spareach-int|georeach|socreach|all>]
+                 [--threads T]                     (build workers; 0 = all cores)
                  [--vertex V --rect X0,Y0,X1,Y1]   (otherwise queries from stdin)
   gsr report FILE --vertex V --rect X0,Y0,X1,Y1
 ";
@@ -133,6 +137,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "query" => {
             let file = positional.first().ok_or_else(|| err("query needs a FILE"))?;
             let method = flag("method").unwrap_or_else(|| "3dreach".to_string());
+            let threads = flag("threads")
+                .map(|t| t.parse())
+                .transpose()
+                .map_err(|_| err("--threads must be a non-negative integer"))?
+                .unwrap_or(1);
             let one = match (flag("vertex"), flag("rect")) {
                 (Some(v), Some(r)) => Some((
                     v.parse().map_err(|_| err("--vertex must be an id"))?,
@@ -141,7 +150,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 (None, None) => None,
                 _ => return Err(err("--vertex and --rect go together")),
             };
-            Ok(Command::Query { file: PathBuf::from(file), method, one })
+            Ok(Command::Query { file: PathBuf::from(file), method, threads, one })
         }
         "report" => {
             let file = positional.first().ok_or_else(|| err("report needs a FILE"))?;
@@ -169,23 +178,26 @@ fn spec_for(preset: &str, scale: f64) -> Result<NetworkSpec, CliError> {
 fn build_method(
     name: &str,
     prep: &PreparedNetwork,
+    threads: usize,
 ) -> Result<Vec<Box<dyn RangeReachIndex>>, CliError> {
+    // GeoReach and SocReach have no parallel build path; the others
+    // construct identical indexes at any thread count.
     let policy = SccSpatialPolicy::Replicate;
     let one = |idx: Box<dyn RangeReachIndex>| Ok(vec![idx]);
     match name.to_ascii_lowercase().as_str() {
-        "3dreach" => one(Box::new(ThreeDReach::build(prep, policy))),
-        "3dreach-rev" => one(Box::new(ThreeDReachRev::build(prep, policy))),
-        "spareach-bfl" => one(Box::new(SpaReachBfl::build(prep, policy))),
-        "spareach-int" => one(Box::new(SpaReachInt::build(prep, policy))),
+        "3dreach" => one(Box::new(ThreeDReach::build_threaded(prep, policy, threads))),
+        "3dreach-rev" => one(Box::new(ThreeDReachRev::build_threaded(prep, policy, threads))),
+        "spareach-bfl" => one(Box::new(SpaReachBfl::build_threaded(prep, policy, threads))),
+        "spareach-int" => one(Box::new(SpaReachInt::build_threaded(prep, policy, threads))),
         "georeach" => one(Box::new(GeoReach::build(prep))),
         "socreach" => one(Box::new(SocReach::build(prep))),
         "all" => Ok(vec![
-            Box::new(SpaReachBfl::build(prep, policy)),
-            Box::new(SpaReachInt::build(prep, policy)),
+            Box::new(SpaReachBfl::build_threaded(prep, policy, threads)),
+            Box::new(SpaReachInt::build_threaded(prep, policy, threads)),
             Box::new(GeoReach::build(prep)),
             Box::new(SocReach::build(prep)),
-            Box::new(ThreeDReach::build(prep, policy)),
-            Box::new(ThreeDReachRev::build(prep, policy)),
+            Box::new(ThreeDReach::build_threaded(prep, policy, threads)),
+            Box::new(ThreeDReachRev::build_threaded(prep, policy, threads)),
         ]),
         other => Err(err(format!("unknown method {other:?}"))),
     }
@@ -224,9 +236,9 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn st
             writeln!(out, "largest SCC:  {}", s.largest_scc)?;
             writeln!(out, "space:        {}", prep.space())?;
         }
-        Command::Query { file, method, one } => {
+        Command::Query { file, method, threads, one } => {
             let prep = load_prepared(&file)?;
-            let indexes = build_method(&method, &prep)?;
+            let indexes = build_method(&method, &prep, threads)?;
             fn run_one(
                 prep: &PreparedNetwork,
                 indexes: &[Box<dyn RangeReachIndex>],
@@ -312,8 +324,15 @@ mod tests {
         let cmd = parse_args(&args(&["query", "n.gsr"])).unwrap();
         assert_eq!(
             cmd,
-            Command::Query { file: "n.gsr".into(), method: "3dreach".into(), one: None }
+            Command::Query {
+                file: "n.gsr".into(),
+                method: "3dreach".into(),
+                threads: 1,
+                one: None
+            }
         );
+        let cmd = parse_args(&args(&["query", "n.gsr", "--threads", "4"])).unwrap();
+        assert!(matches!(cmd, Command::Query { threads: 4, .. }));
         let cmd = parse_args(&args(&[
             "query", "n.gsr", "--method", "all", "--vertex", "7", "--rect", "1,2,3,4",
         ]))
@@ -336,6 +355,10 @@ mod tests {
         assert!(parse_rect("1,2,3").is_err());
         assert!(parse_rect("3,3,1,1").is_err(), "inverted");
         assert!(parse_rect("a,b,c,d").is_err());
+        assert!(
+            parse_args(&args(&["query", "f", "--threads", "-2"])).is_err(),
+            "negative thread count"
+        );
     }
 
     #[test]
@@ -365,8 +388,8 @@ mod tests {
         let mut out = Vec::new();
         run(
             parse_args(&args(&[
-                "query", &path, "--method", "all", "--vertex", "0", "--rect",
-                "-1000,-1000,2000,2000",
+                "query", &path, "--method", "all", "--threads", "2", "--vertex", "0",
+                "--rect", "-1000,-1000,2000,2000",
             ]))
             .unwrap(),
             &mut out,

@@ -1,0 +1,220 @@
+//! Batched evaluation of `RangeReach` queries across threads.
+//!
+//! Index structures are immutable after construction and
+//! [`RangeReachIndex`] requires `Send + Sync`, so a shared reference can
+//! serve queries from many threads at once. [`BatchExecutor`] packages
+//! that pattern: a slice of `(vertex, region)` queries is split into
+//! contiguous chunks, each chunk is evaluated by one worker accumulating
+//! its own [`QueryCost`], and the per-worker costs are merged at the end.
+//! Answers come back in input order, and both answers and accumulated
+//! cost are identical to a sequential evaluation at any thread count
+//! (every query is independent; cost counters are sums, which commute).
+//!
+//! This generalizes what used to live in the bench harness as
+//! `run_workload_parallel` into a first-class API any caller (CLI, bench,
+//! tests) can use.
+
+use crate::{QueryCost, RangeReachIndex};
+use gsr_geo::Rect;
+use gsr_graph::VertexId;
+
+/// One `RangeReach` query: the source vertex and the query region.
+pub type BatchQuery = (VertexId, Rect);
+
+/// Evaluates slices of queries against a [`RangeReachIndex`] across N
+/// threads.
+///
+/// ```
+/// use gsr_core::methods::ThreeDReach;
+/// use gsr_core::{BatchExecutor, SccSpatialPolicy};
+/// use gsr_core::paper_example;
+///
+/// let prep = paper_example::prepared();
+/// let index = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+/// let queries = vec![
+///     (paper_example::A, paper_example::query_region()),
+///     (paper_example::C, paper_example::query_region()),
+/// ];
+/// let exec = BatchExecutor::new(2);
+/// assert_eq!(exec.run(&index, &queries), vec![true, false]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BatchExecutor {
+    threads: usize,
+}
+
+impl Default for BatchExecutor {
+    /// One worker per available core.
+    fn default() -> Self {
+        BatchExecutor::new(0)
+    }
+}
+
+impl BatchExecutor {
+    /// An executor with the given worker count: `0` means machine
+    /// parallelism, `1` evaluates inline on the calling thread.
+    pub fn new(threads: usize) -> Self {
+        BatchExecutor { threads }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        gsr_graph::par::effective_threads(self.threads)
+    }
+
+    /// Evaluates every query, returning answers in input order.
+    pub fn run<I>(&self, index: &I, queries: &[BatchQuery]) -> Vec<bool>
+    where
+        I: RangeReachIndex + ?Sized,
+    {
+        self.run_chunks(index, queries, |idx, v, region| idx.query(v, region), |_| {})
+    }
+
+    /// Evaluates every query, returning answers in input order plus the
+    /// accumulated work counters of the whole batch. Each worker
+    /// accumulates locally; the per-worker totals are merged afterwards,
+    /// so the result equals the sum of per-query
+    /// [`RangeReachIndex::query_with_cost`] counters.
+    pub fn run_with_cost<I>(&self, index: &I, queries: &[BatchQuery]) -> (Vec<bool>, QueryCost)
+    where
+        I: RangeReachIndex + ?Sized,
+    {
+        let mut total = QueryCost::default();
+        let answers = self.run_chunks(
+            index,
+            queries,
+            |idx, v, region| idx.query_with_cost(v, region),
+            |chunk_cost| total.accumulate(&chunk_cost),
+        );
+        (answers.into_iter().map(|(hit, _)| hit).collect(), total)
+    }
+
+    /// Shared driver: chunks `queries`, evaluates each chunk on a worker,
+    /// and reassembles results in input order. `merge` observes one
+    /// accumulated [`QueryCost`] per chunk (zero for cost-free paths).
+    fn run_chunks<I, T, Q, M>(
+        &self,
+        index: &I,
+        queries: &[BatchQuery],
+        eval: Q,
+        mut merge: M,
+    ) -> Vec<T>
+    where
+        I: RangeReachIndex + ?Sized,
+        T: Send + CostCarrier,
+        Q: Fn(&I, VertexId, &Rect) -> T + Sync,
+        M: FnMut(QueryCost),
+    {
+        let threads = self.threads().min(queries.len().max(1));
+        let chunk_len = queries.len().div_ceil(threads.max(1)).max(1);
+        let chunks: Vec<&[BatchQuery]> = queries.chunks(chunk_len).collect();
+        let per_chunk = gsr_graph::par::map_indexed(threads, chunks.len(), |ci| {
+            let mut local_cost = QueryCost::default();
+            let answers: Vec<T> = chunks[ci]
+                .iter()
+                .map(|(v, region)| {
+                    let out = eval(index, *v, region);
+                    if let Some(cost) = out.cost() {
+                        local_cost.accumulate(cost);
+                    }
+                    out
+                })
+                .collect();
+            (answers, local_cost)
+        });
+        let mut out = Vec::with_capacity(queries.len());
+        for (answers, cost) in per_chunk {
+            out.extend(answers);
+            merge(cost);
+        }
+        out
+    }
+}
+
+/// Internal: lets [`BatchExecutor::run_chunks`] accumulate costs when the
+/// evaluation result carries them.
+trait CostCarrier {
+    fn cost(&self) -> Option<&QueryCost>;
+}
+
+impl CostCarrier for bool {
+    fn cost(&self) -> Option<&QueryCost> {
+        None
+    }
+}
+
+impl CostCarrier for (bool, QueryCost) {
+    fn cost(&self) -> Option<&QueryCost> {
+        Some(&self.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{SpaReachBfl, ThreeDReach};
+    use crate::{paper_example, SccSpatialPolicy};
+
+    fn workload() -> Vec<BatchQuery> {
+        let prep = paper_example::prepared();
+        let mut queries = Vec::new();
+        for v in prep.network().graph().vertices() {
+            for r in paper_example::probe_regions() {
+                queries.push((v, r));
+            }
+        }
+        queries
+    }
+
+    #[test]
+    fn batch_answers_match_single_queries_at_every_thread_count() {
+        let prep = paper_example::prepared();
+        let index = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+        let queries = workload();
+        let expected: Vec<bool> =
+            queries.iter().map(|(v, r)| index.query(*v, r)).collect();
+        for threads in [1, 2, 3, 8] {
+            let exec = BatchExecutor::new(threads);
+            assert_eq!(exec.run(&index, &queries), expected, "threads = {threads}");
+            let (answers, _) = exec.run_with_cost(&index, &queries);
+            assert_eq!(answers, expected, "threads = {threads} (cost path)");
+        }
+    }
+
+    #[test]
+    fn batch_cost_equals_sum_of_per_query_costs() {
+        let prep = paper_example::prepared();
+        let index = SpaReachBfl::build(&prep, SccSpatialPolicy::Mbr);
+        let queries = workload();
+        let mut expected = QueryCost::default();
+        for (v, r) in &queries {
+            expected.accumulate(&index.query_with_cost(*v, r).1);
+        }
+        for threads in [1, 2, 4] {
+            let (_, got) = BatchExecutor::new(threads).run_with_cost(&index, &queries);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let prep = paper_example::prepared();
+        let index = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+        let exec = BatchExecutor::new(4);
+        assert!(exec.run(&index, &[]).is_empty());
+        let (answers, cost) = exec.run_with_cost(&index, &[]);
+        assert!(answers.is_empty());
+        assert_eq!(cost, QueryCost::default());
+    }
+
+    #[test]
+    fn works_through_dyn_trait_objects() {
+        let prep = paper_example::prepared();
+        let index = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+        let dyn_index: &dyn crate::RangeReachIndex = &index;
+        let queries = workload();
+        let expected: Vec<bool> =
+            queries.iter().map(|(v, r)| dyn_index.query(*v, r)).collect();
+        assert_eq!(BatchExecutor::new(2).run(dyn_index, &queries), expected);
+    }
+}

@@ -53,11 +53,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 pub mod extensions;
 pub mod methods;
 mod network;
 pub mod paper_example;
 mod traits;
 
+pub use batch::{BatchExecutor, BatchQuery};
 pub use network::{GeosocialNetwork, NetworkError, NetworkStats, PreparedNetwork};
 pub use traits::{QueryCost, RangeReachIndex, SccSpatialPolicy};

@@ -13,14 +13,15 @@
 
 use crate::{PreparedNetwork, QueryCost, RangeReachIndex, SccSpatialPolicy};
 use gsr_geo::{Aabb, Rect};
+use gsr_graph::par;
 use gsr_graph::scc::CompId;
 use gsr_graph::{DiGraph, VertexId};
 use gsr_geo::Point;
-use gsr_index::{KdTree, QuadTree, RTree, UniformGrid};
-use gsr_reach::bfl::BflIndex;
+use gsr_index::{KdTree, QuadTree, RTree, RTreeParams, UniformGrid};
+use gsr_reach::bfl::{BflIndex, BflParams};
 use gsr_reach::feline::FelineIndex;
-use gsr_reach::grail::GrailIndex;
-use gsr_reach::interval::IntervalLabeling;
+use gsr_reach::grail::{GrailIndex, GrailParams};
+use gsr_reach::interval::{BuildOptions, IntervalLabeling};
 use gsr_reach::pll::PllIndex;
 use gsr_reach::Reachability;
 
@@ -111,6 +112,15 @@ impl SpaReachBfl {
     pub fn build(prep: &PreparedNetwork, policy: SccSpatialPolicy) -> Self {
         SpaReach::build_with(prep, policy, "SpaReach-BFL", BflIndex::build)
     }
+
+    /// Like [`SpaReachBfl::build`], constructing both the spatial filter
+    /// and the BFL filters with `threads` workers (`0` = machine
+    /// parallelism). The result is identical to the sequential build.
+    pub fn build_threaded(prep: &PreparedNetwork, policy: SccSpatialPolicy, threads: usize) -> Self {
+        SpaReach::build_threaded_with(prep, policy, "SpaReach-BFL", threads, move |g| {
+            BflIndex::build_with(g, BflParams { threads, ..BflParams::default() })
+        })
+    }
 }
 
 impl<R: Reachability> SpaReach<R> {
@@ -125,6 +135,15 @@ impl SpaReachInt {
     /// Builds the 2-D R-tree and the interval labeling over the condensation.
     pub fn build(prep: &PreparedNetwork, policy: SccSpatialPolicy) -> Self {
         SpaReach::build_with(prep, policy, "SpaReach-INT", IntervalLabeling::build)
+    }
+
+    /// Like [`SpaReachInt::build`], constructing both the spatial filter
+    /// and the interval labeling with `threads` workers (`0` = machine
+    /// parallelism). The result is identical to the sequential build.
+    pub fn build_threaded(prep: &PreparedNetwork, policy: SccSpatialPolicy, threads: usize) -> Self {
+        SpaReach::build_threaded_with(prep, policy, "SpaReach-INT", threads, move |g| {
+            IntervalLabeling::build_with(g, BuildOptions { threads, ..BuildOptions::default() })
+        })
     }
 }
 
@@ -147,6 +166,15 @@ impl SpaReachGrail {
     pub fn build(prep: &PreparedNetwork, policy: SccSpatialPolicy) -> Self {
         SpaReach::build_with(prep, policy, "SpaReach-GRAIL", GrailIndex::build)
     }
+
+    /// Like [`SpaReachGrail::build`], constructing both the spatial filter
+    /// and the GRAIL traversals with `threads` workers (`0` = machine
+    /// parallelism). The result is identical to the sequential build.
+    pub fn build_threaded(prep: &PreparedNetwork, policy: SccSpatialPolicy, threads: usize) -> Self {
+        SpaReach::build_threaded_with(prep, policy, "SpaReach-GRAIL", threads, move |g| {
+            GrailIndex::build_with(g, GrailParams { threads, ..GrailParams::default() })
+        })
+    }
 }
 
 impl<R: Reachability> SpaReach<R> {
@@ -158,6 +186,24 @@ impl<R: Reachability> SpaReach<R> {
         build_reach: impl FnOnce(&DiGraph) -> R,
     ) -> Self {
         Self::build_with_backend(prep, policy, SpatialBackend::RTree, name, build_reach)
+    }
+
+    /// Builds a spatial-first evaluator with a custom reachability back-end,
+    /// running the spatial-member replication pass and the R-tree packing
+    /// across `threads` workers (`0` = machine parallelism). Every pass
+    /// preserves the sequential order of its output, so the built index is
+    /// identical to [`SpaReach::build_with`] at any thread count. The
+    /// reachability back-end is handed the caller's `build_reach`, which may
+    /// itself parallelize (see the `build_threaded` constructors on the
+    /// typed aliases).
+    pub fn build_threaded_with(
+        prep: &PreparedNetwork,
+        policy: SccSpatialPolicy,
+        name: &'static str,
+        threads: usize,
+        build_reach: impl FnOnce(&DiGraph) -> R,
+    ) -> Self {
+        Self::build_impl(prep, policy, SpatialBackend::RTree, name, threads, build_reach)
     }
 
     /// Builds a spatial-first evaluator with explicit spatial and
@@ -173,6 +219,17 @@ impl<R: Reachability> SpaReach<R> {
         name: &'static str,
         build_reach: impl FnOnce(&DiGraph) -> R,
     ) -> Self {
+        Self::build_impl(prep, policy, backend, name, 1, build_reach)
+    }
+
+    fn build_impl(
+        prep: &PreparedNetwork,
+        policy: SccSpatialPolicy,
+        backend: SpatialBackend,
+        name: &'static str,
+        threads: usize,
+        build_reach: impl FnOnce(&DiGraph) -> R,
+    ) -> Self {
         assert!(
             backend == SpatialBackend::RTree || policy == SccSpatialPolicy::Replicate,
             "only the R-tree backend supports the MBR policy"
@@ -182,18 +239,37 @@ impl<R: Reachability> SpaReach<R> {
         };
         let filter = match (backend, policy) {
             (SpatialBackend::RTree, SccSpatialPolicy::Replicate) => {
-                let entries: Vec<(Aabb<2>, CompId)> = prep
-                    .network()
-                    .spatial_vertices()
-                    .map(|(v, p)| (Aabb::from_point([p.x, p.y]), prep.comp(v)))
-                    .collect();
-                SpatialFilter::Points(RTree::bulk_load(entries))
+                // The replication pass: one point entry per spatial vertex,
+                // tagged with its component. Mapping by index keeps the
+                // entry order identical to the sequential scan.
+                let spatial: Vec<(VertexId, Point)> =
+                    prep.network().spatial_vertices().collect();
+                let entries: Vec<(Aabb<2>, CompId)> =
+                    par::map_indexed(threads, spatial.len(), |i| {
+                        let (v, p) = spatial[i];
+                        (Aabb::from_point([p.x, p.y]), prep.comp(v))
+                    });
+                SpatialFilter::Points(RTree::bulk_load_parallel(
+                    entries,
+                    RTreeParams::default(),
+                    threads,
+                ))
             }
             (SpatialBackend::RTree, SccSpatialPolicy::Mbr) => {
-                let entries: Vec<(Aabb<2>, CompId)> = (0..prep.num_components() as CompId)
-                    .filter_map(|c| prep.comp_mbr(c).map(|m| (m.into(), c)))
+                let ncomp = prep.num_components();
+                let entries: Vec<(Aabb<2>, CompId)> =
+                    par::map_indexed(threads, ncomp, |c| {
+                        let c = c as CompId;
+                        prep.comp_mbr(c).map(|m| (m.into(), c))
+                    })
+                    .into_iter()
+                    .flatten()
                     .collect();
-                SpatialFilter::CompBoxes(RTree::bulk_load(entries))
+                SpatialFilter::CompBoxes(RTree::bulk_load_parallel(
+                    entries,
+                    RTreeParams::default(),
+                    threads,
+                ))
             }
             (SpatialBackend::UniformGrid, _) => {
                 SpatialFilter::Grid(UniformGrid::bulk_load(prep.space(), point_entries(), 16))
@@ -204,19 +280,23 @@ impl<R: Reachability> SpaReach<R> {
             }
         };
 
-        // Flatten per-component member points for MBR refinement.
+        // Flatten per-component member points for MBR refinement. The
+        // per-component gathers run concurrently; the flatten walks them in
+        // component order, so offsets and points match the sequential pass.
         let ncomp = prep.num_components();
+        let per_comp: Vec<Vec<Point>> = par::map_indexed(threads, ncomp, |c| {
+            prep.spatial_member_points(c as CompId).collect::<Vec<Point>>()
+        });
         let mut member_offsets = Vec::with_capacity(ncomp + 1);
         let mut member_points = Vec::new();
         member_offsets.push(0u32);
-        for c in 0..ncomp as CompId {
-            member_points.extend(prep.spatial_member_points(c));
+        for points in per_comp {
+            member_points.extend(points);
             member_offsets.push(member_points.len() as u32);
         }
 
-        let comp_of = (0..prep.network().num_vertices() as VertexId)
-            .map(|v| prep.comp(v))
-            .collect();
+        let n = prep.network().num_vertices();
+        let comp_of = par::map_indexed(threads, n, |v| prep.comp(v as VertexId));
 
         SpaReach {
             comp_of,
@@ -447,6 +527,35 @@ mod tests {
                             streaming.query(v, &r),
                             "v={v} r={r} {policy:?}"
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_build_is_identical_to_sequential() {
+        for prep in [paper_example::prepared(), paper_example::cyclic_prepared()] {
+            for policy in [SccSpatialPolicy::Replicate, SccSpatialPolicy::Mbr] {
+                let seq = SpaReachBfl::build(&prep, policy);
+                for threads in [2, 4, 8] {
+                    let par = SpaReachBfl::build_threaded(&prep, policy, threads);
+                    assert_eq!(par.comp_of, seq.comp_of, "{policy:?} t={threads}");
+                    assert_eq!(par.member_offsets, seq.member_offsets);
+                    assert_eq!(par.member_points, seq.member_points);
+                    match (&par.filter, &seq.filter) {
+                        (SpatialFilter::Points(a), SpatialFilter::Points(b)) => {
+                            assert_eq!(a, b, "{policy:?} t={threads}")
+                        }
+                        (SpatialFilter::CompBoxes(a), SpatialFilter::CompBoxes(b)) => {
+                            assert_eq!(a, b, "{policy:?} t={threads}")
+                        }
+                        _ => panic!("filter kind changed between builds"),
+                    }
+                    for v in prep.network().graph().vertices() {
+                        for r in paper_example::probe_regions() {
+                            assert_eq!(par.query(v, &r), seq.query(v, &r), "v={v} r={r}");
+                        }
                     }
                 }
             }

@@ -17,10 +17,11 @@
 
 use crate::{PreparedNetwork, QueryCost, RangeReachIndex, SccSpatialPolicy};
 use gsr_geo::{cuboid_from_rect, Aabb, Cuboid, Point, Rect};
+use gsr_graph::par;
 use gsr_graph::scc::CompId;
 use gsr_graph::VertexId;
-use gsr_index::RTree;
-use gsr_reach::interval::IntervalLabeling;
+use gsr_index::{RTree, RTreeParams};
+use gsr_reach::interval::{BuildOptions, IntervalLabeling};
 
 /// Payload of a 3-D entry: which component it certifies, so MBR-policy
 /// candidates can be refined against actual member points.
@@ -39,20 +40,27 @@ struct ThreeDCommon {
 }
 
 impl ThreeDCommon {
-    fn collect_members(prep: &PreparedNetwork) -> (Vec<u32>, Vec<Point>) {
+    /// Per-component member gathers run across `threads` workers; the
+    /// flatten walks them in component order, so the CSR is identical to
+    /// the sequential pass at any thread count.
+    fn collect_members(prep: &PreparedNetwork, threads: usize) -> (Vec<u32>, Vec<Point>) {
         let ncomp = prep.num_components();
+        let per_comp: Vec<Vec<Point>> = par::map_indexed(threads, ncomp, |c| {
+            prep.spatial_member_points(c as CompId).collect()
+        });
         let mut offsets = Vec::with_capacity(ncomp + 1);
         let mut points = Vec::new();
         offsets.push(0u32);
-        for c in 0..ncomp as CompId {
-            points.extend(prep.spatial_member_points(c));
+        for comp_points in per_comp {
+            points.extend(comp_points);
             offsets.push(points.len() as u32);
         }
         (offsets, points)
     }
 
-    fn comp_of(prep: &PreparedNetwork) -> Vec<CompId> {
-        (0..prep.network().num_vertices() as VertexId).map(|v| prep.comp(v)).collect()
+    fn comp_of(prep: &PreparedNetwork, threads: usize) -> Vec<CompId> {
+        let n = prep.network().num_vertices();
+        par::map_indexed(threads, n, |v| prep.comp(v as VertexId))
     }
 
     fn member_points(&self, c: CompId) -> &[Point] {
@@ -107,34 +115,50 @@ pub struct ThreeDReach {
 impl ThreeDReach {
     /// Builds the forward labeling and the 3-D R-tree of spatial entries.
     pub fn build(prep: &PreparedNetwork, policy: SccSpatialPolicy) -> Self {
-        let labeling = IntervalLabeling::build(prep.dag());
+        Self::build_threaded(prep, policy, 1)
+    }
+
+    /// Like [`ThreeDReach::build`], running the interval labeling, the
+    /// spatial-entry replication pass and the R-tree packing across
+    /// `threads` workers (`0` = machine parallelism). The built index is
+    /// identical to the sequential one at any thread count.
+    pub fn build_threaded(prep: &PreparedNetwork, policy: SccSpatialPolicy, threads: usize) -> Self {
+        let labeling = IntervalLabeling::build_with(
+            prep.dag(),
+            BuildOptions { threads, ..BuildOptions::default() },
+        );
 
         let entries: Vec<(Cuboid, Entry)> = match policy {
-            SccSpatialPolicy::Replicate => prep
-                .network()
-                .spatial_vertices()
-                .map(|(v, p)| {
+            SccSpatialPolicy::Replicate => {
+                let spatial: Vec<(VertexId, Point)> =
+                    prep.network().spatial_vertices().collect();
+                par::map_indexed(threads, spatial.len(), |i| {
+                    let (v, p) = spatial[i];
                     let comp = prep.comp(v);
                     let z = labeling.post(comp) as f64;
                     (gsr_geo::point3(p, z), comp)
                 })
-                .collect(),
-            SccSpatialPolicy::Mbr => (0..prep.num_components() as CompId)
-                .filter_map(|c| {
+            }
+            SccSpatialPolicy::Mbr => {
+                par::map_indexed(threads, prep.num_components(), |c| {
+                    let c = c as CompId;
                     prep.comp_mbr(c).map(|m| {
                         let z = labeling.post(c) as f64;
                         (Aabb::new([m.min_x, m.min_y, z], [m.max_x, m.max_y, z]), c)
                     })
                 })
-                .collect(),
+                .into_iter()
+                .flatten()
+                .collect()
+            }
         };
-        let (member_offsets, member_points) = ThreeDCommon::collect_members(prep);
+        let (member_offsets, member_points) = ThreeDCommon::collect_members(prep, threads);
 
         ThreeDReach {
             common: ThreeDCommon {
-                comp_of: ThreeDCommon::comp_of(prep),
+                comp_of: ThreeDCommon::comp_of(prep, threads),
                 labeling,
-                tree: RTree::bulk_load(entries),
+                tree: RTree::bulk_load_parallel(entries, RTreeParams::default(), threads),
                 policy,
                 member_offsets,
                 member_points,
@@ -190,47 +214,67 @@ pub struct ThreeDReachRev {
 impl ThreeDReachRev {
     /// Builds the reversed labeling and the 3-D segment R-tree.
     pub fn build(prep: &PreparedNetwork, policy: SccSpatialPolicy) -> Self {
+        Self::build_threaded(prep, policy, 1)
+    }
+
+    /// Like [`ThreeDReachRev::build`], running the reversed labeling, the
+    /// per-vertex segment replication pass and the R-tree packing across
+    /// `threads` workers (`0` = machine parallelism). The built index is
+    /// identical to the sequential one at any thread count: the per-vertex
+    /// (or per-component) segment groups are produced independently and
+    /// flattened in the sequential scan order.
+    pub fn build_threaded(prep: &PreparedNetwork, policy: SccSpatialPolicy, threads: usize) -> Self {
         let reversed_dag = prep.dag().reversed();
-        let labeling = IntervalLabeling::build(&reversed_dag);
+        let labeling = IntervalLabeling::build_with(
+            &reversed_dag,
+            BuildOptions { threads, ..BuildOptions::default() },
+        );
         let rev_post: Vec<u32> =
             (0..prep.num_components() as CompId).map(|c| labeling.post(c)).collect();
 
         // Every spatial vertex u contributes one vertical segment per label
         // of L_rev(comp(u)): the segment covers exactly the plane heights of
         // the vertices that can reach u.
-        let mut entries: Vec<(Cuboid, Entry)> = Vec::new();
-        match policy {
+        let groups: Vec<Vec<(Cuboid, Entry)>> = match policy {
             SccSpatialPolicy::Replicate => {
-                for (v, p) in prep.network().spatial_vertices() {
+                let spatial: Vec<(VertexId, Point)> =
+                    prep.network().spatial_vertices().collect();
+                par::map_indexed(threads, spatial.len(), |i| {
+                    let (v, p) = spatial[i];
                     let comp = prep.comp(v);
-                    for iv in labeling.intervals(comp) {
-                        entries.push((gsr_geo::segment_at(p, iv.lo as f64, iv.hi as f64), comp));
-                    }
-                }
+                    labeling
+                        .intervals(comp)
+                        .iter()
+                        .map(|iv| (gsr_geo::segment_at(p, iv.lo as f64, iv.hi as f64), comp))
+                        .collect()
+                })
             }
-            SccSpatialPolicy::Mbr => {
-                for c in 0..prep.num_components() as CompId {
-                    if let Some(m) = prep.comp_mbr(c) {
-                        for iv in labeling.intervals(c) {
-                            entries.push((
-                                Aabb::new(
-                                    [m.min_x, m.min_y, iv.lo as f64],
-                                    [m.max_x, m.max_y, iv.hi as f64],
-                                ),
-                                c,
-                            ));
-                        }
-                    }
-                }
-            }
-        }
-        let (member_offsets, member_points) = ThreeDCommon::collect_members(prep);
+            SccSpatialPolicy::Mbr => par::map_indexed(threads, prep.num_components(), |c| {
+                let c = c as CompId;
+                let Some(m) = prep.comp_mbr(c) else { return Vec::new() };
+                labeling
+                    .intervals(c)
+                    .iter()
+                    .map(|iv| {
+                        (
+                            Aabb::new(
+                                [m.min_x, m.min_y, iv.lo as f64],
+                                [m.max_x, m.max_y, iv.hi as f64],
+                            ),
+                            c,
+                        )
+                    })
+                    .collect()
+            }),
+        };
+        let entries: Vec<(Cuboid, Entry)> = groups.into_iter().flatten().collect();
+        let (member_offsets, member_points) = ThreeDCommon::collect_members(prep, threads);
 
         ThreeDReachRev {
             common: ThreeDCommon {
-                comp_of: ThreeDCommon::comp_of(prep),
+                comp_of: ThreeDCommon::comp_of(prep, threads),
                 labeling,
-                tree: RTree::bulk_load(entries),
+                tree: RTree::bulk_load_parallel(entries, RTreeParams::default(), threads),
                 policy,
                 member_offsets,
                 member_points,
@@ -317,6 +361,28 @@ mod tests {
                             "3DReach-REV v={v} r={r} {policy:?}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_builds_are_identical_to_sequential() {
+        for prep in [paper_example::prepared(), paper_example::cyclic_prepared()] {
+            for policy in [SccSpatialPolicy::Replicate, SccSpatialPolicy::Mbr] {
+                let fwd_seq = ThreeDReach::build(&prep, policy);
+                let rev_seq = ThreeDReachRev::build(&prep, policy);
+                for threads in [2, 4, 8] {
+                    let fwd = ThreeDReach::build_threaded(&prep, policy, threads);
+                    let rev = ThreeDReachRev::build_threaded(&prep, policy, threads);
+                    assert_eq!(fwd.common.labeling, fwd_seq.common.labeling);
+                    assert_eq!(fwd.common.tree, fwd_seq.common.tree, "{policy:?} t={threads}");
+                    assert_eq!(fwd.common.comp_of, fwd_seq.common.comp_of);
+                    assert_eq!(fwd.common.member_offsets, fwd_seq.common.member_offsets);
+                    assert_eq!(fwd.common.member_points, fwd_seq.common.member_points);
+                    assert_eq!(rev.common.labeling, rev_seq.common.labeling);
+                    assert_eq!(rev.common.tree, rev_seq.common.tree, "{policy:?} t={threads}");
+                    assert_eq!(rev.rev_post, rev_seq.rev_post);
                 }
             }
         }

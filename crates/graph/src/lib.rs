@@ -13,7 +13,9 @@
 //! * [`dfs`] — DFS spanning forests with global post-order numbering, the
 //!   backbone of the interval-based labeling scheme (Section 3);
 //! * [`stats`] — degree statistics used by the workload generators
-//!   (query vertices are bucketed by out-degree in Section 6.1).
+//!   (query vertices are bucketed by out-degree in Section 6.1);
+//! * [`par`] — a scoped-thread work pool used by the parallel (but
+//!   deterministic) index constructions across the workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +24,7 @@ pub mod bitset;
 mod builder;
 mod csr;
 pub mod dfs;
+pub mod par;
 pub mod reduction;
 pub mod scc;
 pub mod stats;

@@ -33,7 +33,7 @@ impl RTreeParams {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum NodeKind<const N: usize, T> {
     /// Data entries.
     Leaf(Vec<(Aabb<N>, T)>),
@@ -41,7 +41,7 @@ enum NodeKind<const N: usize, T> {
     Inner(Vec<u32>),
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Node<const N: usize, T> {
     mbr: Aabb<N>,
     kind: NodeKind<N, T>,
@@ -71,7 +71,7 @@ impl<const N: usize, T> Node<N, T> {
 /// assert!(t.query_exists(&region));
 /// assert_eq!(t.query(&region).count(), 11);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RTree<const N: usize, T> {
     params: RTreeParams,
     nodes: Vec<Node<N, T>>,
@@ -106,6 +106,57 @@ impl<const N: usize, T> RTree<N, T> {
     /// strategy for static datasets such as the paper's networks.
     pub fn bulk_load(entries: Vec<(Aabb<N>, T)>) -> Self {
         Self::bulk_load_with_params(entries, RTreeParams::default())
+    }
+
+    /// [`RTree::bulk_load`] with explicit parameters and a thread count:
+    /// the top-level STR slabs are tiled concurrently and their groups
+    /// concatenated in slab order, so the resulting tree is **identical**
+    /// to the sequential bulk load at any thread count (`0` = machine
+    /// parallelism, `1` = sequential).
+    pub fn bulk_load_parallel(
+        entries: Vec<(Aabb<N>, T)>,
+        params: RTreeParams,
+        threads: usize,
+    ) -> Self
+    where
+        T: Send,
+    {
+        let threads = gsr_graph::par::effective_threads(threads);
+        if threads <= 1 {
+            return Self::bulk_load_with_params(entries, params);
+        }
+        let len = entries.len();
+        let mut tree = RTree { params, nodes: Vec::new(), root: 0, len };
+        if entries.is_empty() {
+            tree.nodes.push(Node { mbr: Aabb::empty(), kind: NodeKind::Leaf(Vec::new()) });
+            return tree;
+        }
+
+        let leaf_groups = str_tile_threaded(entries, params.max_entries, threads);
+        let mut level: Vec<u32> = leaf_groups
+            .into_iter()
+            .map(|group| {
+                let mbr = Aabb::mbr_of(group.iter().map(|(b, _)| *b)).expect("non-empty group");
+                tree.push_node(Node { mbr, kind: NodeKind::Leaf(group) })
+            })
+            .collect();
+
+        while level.len() > 1 {
+            let with_mbrs: Vec<(Aabb<N>, u32)> =
+                level.iter().map(|&id| (tree.nodes[id as usize].mbr, id)).collect();
+            let groups = str_tile_threaded(with_mbrs, params.max_entries, threads);
+            level = groups
+                .into_iter()
+                .map(|group| {
+                    let mbr =
+                        Aabb::mbr_of(group.iter().map(|(b, _)| *b)).expect("non-empty group");
+                    let children = group.into_iter().map(|(_, id)| id).collect();
+                    tree.push_node(Node { mbr, kind: NodeKind::Inner(children) })
+                })
+                .collect();
+        }
+        tree.root = level[0];
+        tree
     }
 
     /// [`RTree::bulk_load`] with explicit parameters.
@@ -722,6 +773,44 @@ fn str_tile<const N: usize, E>(
     }
 }
 
+/// Parallel top level of [`str_tile`]: performs the first-dimension sort
+/// and slab cut exactly as the sequential recursion would, then tiles the
+/// slabs concurrently and concatenates their emitted groups in slab order.
+/// Slab boundaries, per-slab sorts (stable `sort_by` with the identical
+/// comparator) and emission order are all unchanged, so the group list —
+/// and hence the packed tree — matches the sequential result exactly.
+fn str_tile_threaded<const N: usize, E: Send>(
+    mut entries: Vec<(Aabb<N>, E)>,
+    cap: usize,
+    threads: usize,
+) -> Vec<Vec<(Aabb<N>, E)>> {
+    let mut out = Vec::new();
+    if entries.len() <= cap || N == 1 {
+        str_tile(entries, cap, 0, &mut out);
+        return out;
+    }
+    entries.sort_by(|a, b| {
+        a.0.center()[0].partial_cmp(&b.0.center()[0]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let pages = entries.len().div_ceil(cap);
+    let slabs = (pages as f64).powf(1.0 / N as f64).ceil() as usize;
+    let per_slab = entries.len().div_ceil(slabs.max(1));
+    let mut slab_vec: Vec<Vec<(Aabb<N>, E)>> = Vec::new();
+    while !entries.is_empty() {
+        let rest = entries.split_off(entries.len().min(per_slab));
+        slab_vec.push(std::mem::replace(&mut entries, rest));
+    }
+    let per_slab_groups = gsr_graph::par::map_consume(threads, slab_vec, |slab| {
+        let mut groups = Vec::new();
+        str_tile(slab, cap, 1, &mut groups);
+        groups
+    });
+    for groups in per_slab_groups {
+        out.extend(groups);
+    }
+    out
+}
+
 /// Range-query iterator over an [`RTree`]; see [`RTree::query`].
 pub struct Query<'a, const N: usize, T> {
     tree: &'a RTree<N, T>,
@@ -996,6 +1085,38 @@ mod tests {
             .collect();
         assert_eq!(got.len(), 5);
         assert!(got.iter().all(|i| i % 2 == 0));
+    }
+
+    #[test]
+    fn parallel_bulk_load_matches_sequential_exactly() {
+        for n in [0usize, 5, 100, 3000] {
+            let entries = grid_points(n);
+            let seq = RTree::bulk_load(entries.clone());
+            for threads in [2, 4, 8] {
+                let par = RTree::bulk_load_parallel(
+                    entries.clone(),
+                    RTreeParams::default(),
+                    threads,
+                );
+                assert_eq!(seq, par, "n = {n}, threads = {threads}");
+                par.check_invariants();
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bulk_load_matches_sequential_in_3d() {
+        let entries: Vec<(Aabb<3>, u32)> = (0..2000u32)
+            .map(|i| {
+                let x = (i % 13) as f64;
+                let y = (i % 57) as f64;
+                let z = (i % 101) as f64;
+                (Aabb::new([x, y, 0.0], [x, y, z]), i)
+            })
+            .collect();
+        let seq = RTree::bulk_load(entries.clone());
+        let par = RTree::bulk_load_parallel(entries, RTreeParams::default(), 4);
+        assert_eq!(seq, par);
     }
 
     #[test]

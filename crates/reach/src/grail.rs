@@ -23,13 +23,20 @@ pub struct GrailParams {
     /// Number of randomized traversals (GRAIL's `k`; the paper's authors
     /// recommend 2-5).
     pub num_traversals: usize,
-    /// Seed for the traversal randomization.
+    /// Seed for the traversal randomization. Traversal `i` runs its own
+    /// PRNG seeded by a splitmix64 mix of `(seed, i)`, so each traversal is
+    /// independent of how (or on which thread) the others execute.
     pub seed: u64,
+    /// Worker threads: `1` (default) builds traversals inline, `0` uses
+    /// machine parallelism, `n > 1` exactly `n` threads. Labels are
+    /// identical at any thread count because each traversal is seeded
+    /// independently.
+    pub threads: usize,
 }
 
 impl Default for GrailParams {
     fn default() -> Self {
-        GrailParams { num_traversals: 3, seed: 0xC0FFEE }
+        GrailParams { num_traversals: 3, seed: 0xC0FFEE, threads: 1 }
     }
 }
 
@@ -77,21 +84,22 @@ impl GrailIndex {
         Self::build_with(g, GrailParams::default())
     }
 
-    /// Builds the index over a DAG.
+    /// Builds the index over a DAG. Each of the `k` traversals derives its
+    /// own seed from `(params.seed, i)`, making traversals independent jobs
+    /// that parallelize across `params.threads` without changing the output.
     pub fn build_with(g: &DiGraph, params: GrailParams) -> Self {
         let n = g.num_vertices();
         let k = params.num_traversals.max(1);
-        let mut labels = vec![(0u32, 0u32); k * n];
-        let mut rng = SplitMix(params.seed);
 
-        for i in 0..k {
+        let rows = gsr_graph::par::map_indexed(params.threads, k, |i| {
+            let mut rng = SplitMix(traversal_seed(params.seed, i as u64));
             let post = randomized_post_order(g, &mut rng);
             // r_i(v) = min(post_i(v), min over out-neighbours r_i(u)),
             // computed in increasing post order: every edge of a DAG DFS
             // points to a smaller post, so out-neighbours are final.
             let mut order: Vec<VertexId> = (0..n as VertexId).collect();
             order.sort_unstable_by_key(|&v| post[v as usize]);
-            let row = &mut labels[i * n..(i + 1) * n];
+            let mut row = vec![(0u32, 0u32); n];
             for &v in &order {
                 let mut r = post[v as usize];
                 for &u in g.out_neighbors(v) {
@@ -101,6 +109,11 @@ impl GrailIndex {
                 }
                 row[v as usize] = (r, post[v as usize]);
             }
+            row
+        });
+        let mut labels = Vec::with_capacity(k * n);
+        for row in rows {
+            labels.extend_from_slice(&row);
         }
 
         GrailIndex { g: g.clone(), labels, k }
@@ -121,6 +134,20 @@ impl GrailIndex {
     pub fn num_labels(&self) -> usize {
         self.labels.len()
     }
+
+    /// The raw `(r, post)` label matrix, `k * n` entries flattened row by
+    /// row — exposed so determinism tests can compare builds structurally.
+    pub fn labels(&self) -> &[(u32, u32)] {
+        &self.labels
+    }
+}
+
+/// Independent seed for traversal `i` (splitmix64 finalizer over the pair).
+fn traversal_seed(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0x2545F4914F6CDD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 /// One randomized global post-order over a DAG: DFS from the in-degree-0
@@ -263,7 +290,10 @@ mod tests {
     #[test]
     fn single_traversal_still_exact() {
         let g = graph_from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7), (0, 5)]);
-        let idx = GrailIndex::build_with(&g, GrailParams { num_traversals: 1, seed: 5 });
+        let idx = GrailIndex::build_with(
+            &g,
+            GrailParams { num_traversals: 1, seed: 5, ..GrailParams::default() },
+        );
         for u in g.vertices() {
             for v in g.vertices() {
                 assert_eq!(idx.reaches(u, v), reaches_bfs(&g, u, v));
@@ -275,8 +305,33 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let g = graph_from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5), (0, 4)]);
-        let a = GrailIndex::build_with(&g, GrailParams { num_traversals: 2, seed: 9 });
-        let b = GrailIndex::build_with(&g, GrailParams { num_traversals: 2, seed: 9 });
+        let a = GrailIndex::build_with(
+            &g,
+            GrailParams { num_traversals: 2, seed: 9, ..GrailParams::default() },
+        );
+        let b = GrailIndex::build_with(
+            &g,
+            GrailParams { num_traversals: 2, seed: 9, ..GrailParams::default() },
+        );
         assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_exactly() {
+        let g = graph_from_edges(
+            9,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (4, 5), (5, 6), (4, 6), (6, 1), (7, 8)],
+        );
+        let seq = GrailIndex::build_with(
+            &g,
+            GrailParams { num_traversals: 4, seed: 77, threads: 1 },
+        );
+        for threads in [2, 4, 8] {
+            let par = GrailIndex::build_with(
+                &g,
+                GrailParams { num_traversals: 4, seed: 77, threads },
+            );
+            assert_eq!(seq.labels, par.labels, "threads = {threads}");
+        }
     }
 }

@@ -96,6 +96,13 @@ pub struct BuildOptions {
     /// edges are tree edges and hence how many labels the non-tree edges
     /// generate — the paper's Section 8 future-work question.
     pub forest: ForestStrategy,
+    /// Worker threads for the bottom-up construction: `1` (default) runs
+    /// the classic sequential loop, `0` uses the machine's available
+    /// parallelism, `n > 1` uses exactly `n` threads. The parallel build is
+    /// level-scheduled and produces labels **identical** to the sequential
+    /// build at any thread count (see [`build_bottom_up_parallel`]'s notes).
+    /// [`Builder::PaperFaithful`] is inherently sequential and ignores this.
+    pub threads: usize,
 }
 
 impl Default for BuildOptions {
@@ -104,6 +111,7 @@ impl Default for BuildOptions {
             builder: Builder::BottomUp,
             compress: true,
             forest: ForestStrategy::VertexOrder,
+            threads: 1,
         }
     }
 }
@@ -122,7 +130,7 @@ impl Default for BuildOptions {
 /// assert!(!labels.reaches(3, 0));
 /// assert_eq!(labels.num_descendants(0), 4); // reflexive
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IntervalLabeling {
     /// `post[v]`, 1-based.
     post: Vec<u32>,
@@ -145,7 +153,11 @@ impl IntervalLabeling {
     /// cyclic inputs produce an unspecified (but memory-safe) labeling.
     pub fn build_with(g: &DiGraph, options: BuildOptions) -> Self {
         let forest = SpanningForest::of_with(g, options.forest);
+        let threads = gsr_graph::par::effective_threads(options.threads);
         match options.builder {
+            Builder::BottomUp if threads > 1 => {
+                build_bottom_up_parallel(g, &forest, options.compress, threads)
+            }
             Builder::BottomUp => build_bottom_up(g, &forest, options.compress),
             Builder::PaperFaithful => build_paper(g, &forest, options.compress),
         }
@@ -292,17 +304,7 @@ fn build_bottom_up(g: &DiGraph, forest: &SpanningForest, compress: bool) -> Inte
     let n = g.num_vertices();
     let mut sets: Vec<Vec<Interval>> = vec![Vec::new(); n];
     let mut scratch: Vec<Interval> = Vec::new();
-
-    // index(v): the smallest post-order number in v's DFS subtree. Subtrees
-    // occupy contiguous post ranges, so index(v) = post(v) - size(v) + 1.
-    let mut subtree_size = vec![1u32; n];
-    for p in 1..=n as u32 {
-        let v = forest.post_to_vertex[(p - 1) as usize];
-        let parent = forest.parent[v as usize];
-        if parent != gsr_graph::dfs::NO_PARENT {
-            subtree_size[parent as usize] += subtree_size[v as usize];
-        }
-    }
+    let subtree_size = subtree_sizes(forest);
 
     for p in 1..=n as u32 {
         let v = forest.post_to_vertex[(p - 1) as usize];
@@ -320,6 +322,94 @@ fn build_bottom_up(g: &DiGraph, forest: &SpanningForest, compress: bool) -> Inte
             sets[u as usize] = set;
         }
         sets[v as usize] = own;
+    }
+
+    finish(forest, sets)
+}
+
+/// `index(v)`: the smallest post-order number in `v`'s DFS subtree.
+/// Subtrees occupy contiguous post ranges, so
+/// `index(v) = post(v) - size(v) + 1`.
+fn subtree_sizes(forest: &SpanningForest) -> Vec<u32> {
+    let n = forest.post.len();
+    let mut subtree_size = vec![1u32; n];
+    for p in 1..=n as u32 {
+        let v = forest.post_to_vertex[(p - 1) as usize];
+        let parent = forest.parent[v as usize];
+        if parent != gsr_graph::dfs::NO_PARENT {
+            subtree_size[parent as usize] += subtree_size[v as usize];
+        }
+    }
+    subtree_size
+}
+
+/// Level-scheduled parallel form of [`build_bottom_up`].
+///
+/// On a DAG DFS forest every out-neighbour of `v` has a smaller post-order
+/// number, so `L(v)` is a **pure function** of the final label sets of its
+/// out-neighbours — the sequential loop exploits this by processing posts
+/// in increasing order. Here the same dependency structure is made
+/// explicit: `depth(v) = 1 + max(depth(out-neighbours))` partitions the
+/// vertices into levels whose members are mutually independent, each level
+/// is computed by [`gsr_graph::par::map_indexed_with`] with results placed
+/// by index, and levels run in increasing depth so all inputs are final.
+/// Because each per-vertex computation is bit-identical to the sequential
+/// one and no result depends on worker scheduling, the output labeling is
+/// **identical** to the sequential build at any thread count.
+fn build_bottom_up_parallel(
+    g: &DiGraph,
+    forest: &SpanningForest,
+    compress: bool,
+    threads: usize,
+) -> IntervalLabeling {
+    let n = g.num_vertices();
+    let subtree_size = subtree_sizes(forest);
+
+    // depth[v] over non-self out-edges; computed in increasing post order,
+    // which visits every out-neighbour before its sources.
+    let mut depth = vec![0u32; n];
+    let mut max_depth = 0u32;
+    for p in 1..=n as u32 {
+        let v = forest.post_to_vertex[(p - 1) as usize];
+        let mut d = 0u32;
+        for &u in g.out_neighbors(v) {
+            if u != v {
+                d = d.max(depth[u as usize] + 1);
+            }
+        }
+        depth[v as usize] = d;
+        max_depth = max_depth.max(d);
+    }
+    let mut levels: Vec<Vec<VertexId>> = vec![Vec::new(); max_depth as usize + 1];
+    for p in 1..=n as u32 {
+        let v = forest.post_to_vertex[(p - 1) as usize];
+        levels[depth[v as usize] as usize].push(v);
+    }
+
+    let mut sets: Vec<Vec<Interval>> = vec![Vec::new(); n];
+    for level in &levels {
+        let results = gsr_graph::par::map_indexed_with(
+            threads,
+            level.len(),
+            Vec::new,
+            |scratch: &mut Vec<Interval>, i| {
+                let v = level[i];
+                let p = forest.post[v as usize];
+                let index_v = p - subtree_size[v as usize] + 1;
+                let mut own = vec![Interval::new(index_v, p)];
+                for &u in g.out_neighbors(v) {
+                    if u != v {
+                        // Strictly smaller depth => finalized in an earlier
+                        // level sweep.
+                        union_into(&mut own, &sets[u as usize], compress, scratch);
+                    }
+                }
+                own
+            },
+        );
+        for (i, set) in results.into_iter().enumerate() {
+            sets[level[i] as usize] = set;
+        }
     }
 
     finish(forest, sets)
@@ -532,6 +622,26 @@ mod tests {
         );
         assert_eq!(l.intervals(c).len(), 3, "L(c) = {{[1,1],[5,5],[10,12]}} shape");
         assert_eq!(l.num_descendants(c), 5, "c reaches f, d, i, k and itself");
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_exactly() {
+        let g = paper_graph();
+        for compress in [true, false] {
+            let seq = IntervalLabeling::build_with(
+                &g,
+                BuildOptions { compress, ..BuildOptions::default() },
+            );
+            for threads in [2, 3, 4, 8] {
+                let par = IntervalLabeling::build_with(
+                    &g,
+                    BuildOptions { compress, threads, ..BuildOptions::default() },
+                );
+                assert_eq!(seq.offsets, par.offsets, "threads = {threads}");
+                assert_eq!(seq.labels, par.labels, "threads = {threads}");
+                assert_eq!(seq.post, par.post, "threads = {threads}");
+            }
+        }
     }
 
     #[test]

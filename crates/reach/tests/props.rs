@@ -83,7 +83,7 @@ proptest! {
         ] {
             let l = IntervalLabeling::build_with(
                 &g,
-                BuildOptions { builder: Builder::BottomUp, compress: true, forest },
+                BuildOptions { builder: Builder::BottomUp, compress: true, forest, ..BuildOptions::default() },
             );
             assert_oracle_matches(&g, &l)?;
         }
@@ -132,7 +132,7 @@ proptest! {
     #[test]
     fn bfl_with_tiny_filters_matches_closure(g in arb_dag(25, 90)) {
         // Heavy Bloom collisions must only cost time, never correctness.
-        let idx = BflIndex::build_with(&g, BflParams { filter_words: 1, seed: 7 });
+        let idx = BflIndex::build_with(&g, BflParams { filter_words: 1, seed: 7, ..BflParams::default() });
         assert_oracle_matches(&g, &idx)?;
     }
 
@@ -156,7 +156,7 @@ proptest! {
 
     #[test]
     fn grail_one_traversal_matches_closure(g in arb_dag(25, 90)) {
-        let idx = GrailIndex::build_with(&g, GrailParams { num_traversals: 1, seed: 3 });
+        let idx = GrailIndex::build_with(&g, GrailParams { num_traversals: 1, seed: 3, ..GrailParams::default() });
         assert_oracle_matches(&g, &idx)?;
     }
 

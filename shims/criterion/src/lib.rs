@@ -1,0 +1,331 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the slice of criterion the workspace's benches use:
+//! [`Criterion::benchmark_group`], `bench_function`/`bench_with_input`,
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples, and reports the median per-iteration
+//! time to stdout. There is no statistical analysis, plotting, or baseline
+//! comparison — the goal is honest wall-clock numbers with zero
+//! dependencies. When invoked with `--test` (as `cargo test` does for
+//! `harness = false` benches), every benchmark body runs exactly once so CI
+//! catches panics without paying measurement time.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let test_mode = self.test_mode;
+        let group = self.benchmark_group("standalone");
+        group.run(id, f, test_mode);
+        group.finish();
+        self
+    }
+}
+
+/// A set of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget for the benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let test_mode = self.criterion.test_mode;
+        self.run(&id.into().0, f, test_mode);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let test_mode = self.criterion.test_mode;
+        self.run(&id.into().0, |b| f(b, input), test_mode);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&self, id: &str, mut f: F, test_mode: bool) {
+        let mut bencher = Bencher {
+            mode: if test_mode {
+                Mode::TestOnce
+            } else {
+                Mode::Measure {
+                    sample_size: self.sample_size,
+                    warm_up_time: self.warm_up_time,
+                    measurement_time: self.measurement_time,
+                }
+            },
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if test_mode {
+            println!("{}/{}: ok (test mode)", self.name, id);
+            return;
+        }
+        bencher.samples.sort_unstable_by(f64::total_cmp);
+        let median = bencher
+            .samples
+            .get(bencher.samples.len() / 2)
+            .copied()
+            .unwrap_or(0.0);
+        println!("{}/{}: median {}", self.name, id, format_time(median));
+    }
+}
+
+enum Mode {
+    TestOnce,
+    Measure {
+        sample_size: usize,
+        warm_up_time: Duration,
+        measurement_time: Duration,
+    },
+}
+
+/// Runs the benchmark body and records per-iteration timings.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(routine());
+            }
+            Mode::Measure {
+                sample_size,
+                warm_up_time,
+                measurement_time,
+            } => {
+                // Warm up and estimate a per-sample iteration count.
+                let warm_start = Instant::now();
+                let mut warm_iters = 0u64;
+                while warm_start.elapsed() < warm_up_time || warm_iters == 0 {
+                    black_box(routine());
+                    warm_iters += 1;
+                    if warm_iters >= 1_000_000 {
+                        break;
+                    }
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+                let budget = measurement_time.as_secs_f64() / sample_size as f64;
+                let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+                for _ in 0..sample_size {
+                    let t = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(routine());
+                    }
+                    self.samples
+                        .push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+                }
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(routine(setup()));
+            }
+            Mode::Measure { sample_size, .. } => {
+                // One iteration per sample: batched inputs are typically
+                // large, so re-estimating an inner loop is not worth it.
+                black_box(routine(setup())); // warm-up
+                for _ in 0..sample_size {
+                    let input = setup();
+                    let t = Instant::now();
+                    black_box(routine(input));
+                    self.samples.push(t.elapsed().as_secs_f64());
+                }
+            }
+        }
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; the shim treats all
+/// variants identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Input is small relative to the routine's work.
+    SmallInput,
+    /// Input is large; one invocation per batch.
+    LargeInput,
+    /// Input size is unknown.
+    PerIteration,
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Identifier that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(benches, f1, f2)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(benches)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("m", "x=1").0, "m/x=1");
+        assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+    }
+
+    #[test]
+    fn group_runs_bodies_in_test_mode() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).warm_up_time(Duration::from_millis(1));
+        group.bench_function("a", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("b", 1), &5usize, |b, &x| {
+            b.iter(|| ran += x)
+        });
+        group.finish();
+        assert_eq!(ran, 6);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion { test_mode: true };
+        let mut setups = 0;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 1);
+    }
+}

@@ -2,7 +2,7 @@
 //! the BFS ground-truth answer for every query — on DAGs, on cyclic
 //! graphs, and on the generated dataset analogs.
 
-use gsr_core::PreparedNetwork;
+use gsr_core::{BatchExecutor, PreparedNetwork};
 use gsr_datagen::workload::WorkloadGen;
 use gsr_datagen::NetworkSpec;
 use gsr_graph::stats::DegreeBucket;
@@ -86,6 +86,43 @@ fn generated_dataset_analogs_match_bfs() {
                         spec.name
                     );
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_executor_matches_bfs_for_every_method_and_policy() {
+    // The agreement oracle, driven through the BatchExecutor: every method
+    // under every SCC policy (all_indexes builds Replicate and Mbr
+    // variants) must return the BFS ground truth for the whole batch, in
+    // input order, at every thread count — including through the
+    // `&dyn RangeReachIndex` objects the harness and CLI use.
+    for seed in 0..3u64 {
+        let net = random_network(130, 420, 0.4, 300 + seed);
+        let prep = PreparedNetwork::new(net);
+        let regions = random_regions(10, seed * 13 + 1);
+        let n = prep.network().num_vertices() as u32;
+        let step = (n / 30).max(1);
+        let queries: Vec<(u32, gsr_geo::Rect)> = (0..n)
+            .step_by(step as usize)
+            .flat_map(|v| regions.iter().map(move |r| (v, *r)))
+            .collect();
+        let expected: Vec<bool> =
+            queries.iter().map(|(v, r)| prep.range_reach_bfs(*v, r)).collect();
+        for (name, idx) in all_indexes(&prep) {
+            for threads in [1, 2, 4] {
+                let exec = BatchExecutor::new(threads);
+                assert_eq!(
+                    exec.run(idx.as_ref(), &queries),
+                    expected,
+                    "seed {seed}: {name} disagrees with BFS at threads={threads}"
+                );
+                let (answers, _) = exec.run_with_cost(idx.as_ref(), &queries);
+                assert_eq!(
+                    answers, expected,
+                    "seed {seed}: {name} cost path disagrees at threads={threads}"
+                );
             }
         }
     }

@@ -2,7 +2,7 @@
 //! independent structures report about the same query.
 
 use gsr_core::methods::{GeoReach, ScanMode, SocReach, SpaReachBfl, ThreeDReach};
-use gsr_core::{PreparedNetwork, RangeReachIndex, SccSpatialPolicy};
+use gsr_core::{BatchExecutor, PreparedNetwork, QueryCost, RangeReachIndex, SccSpatialPolicy};
 use gsr_datagen::workload::WorkloadGen;
 use gsr_datagen::NetworkSpec;
 use gsr_graph::stats::DegreeBucket;
@@ -90,6 +90,41 @@ fn threedreach_issues_one_query_per_label_on_negatives() {
         }
         // The boolean fast path and the counted path agree.
         assert_eq!(idx.query(*v, region), answer);
+    }
+}
+
+#[test]
+fn batch_cost_accumulates_exactly_the_per_query_costs() {
+    // The BatchExecutor's merged counters must be the plain sum of what
+    // `query_with_cost` reports per query — for every method that counts
+    // work, at every thread count.
+    let prep = setup();
+    let gen = WorkloadGen::new(&prep);
+    let w = gen.extent_degree(5.0, DegreeBucket::PAPER_BUCKETS[0], 80, 21);
+    let indexes: Vec<Box<dyn RangeReachIndex>> = vec![
+        Box::new(SpaReachBfl::build(&prep, SccSpatialPolicy::Replicate)),
+        Box::new(SpaReachBfl::build(&prep, SccSpatialPolicy::Mbr)),
+        Box::new(ThreeDReach::build(&prep, SccSpatialPolicy::Replicate)),
+        Box::new(SocReach::build(&prep)),
+        Box::new(GeoReach::build(&prep)),
+    ];
+    for idx in &indexes {
+        let mut expected = QueryCost::default();
+        let expected_answers: Vec<bool> = w
+            .queries
+            .iter()
+            .map(|(v, r)| {
+                let (hit, cost) = idx.query_with_cost(*v, r);
+                expected.accumulate(&cost);
+                hit
+            })
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let (answers, total) =
+                BatchExecutor::new(threads).run_with_cost(idx.as_ref(), &w.queries);
+            assert_eq!(answers, expected_answers, "{} threads={threads}", idx.name());
+            assert_eq!(total, expected, "{} threads={threads}", idx.name());
+        }
     }
 }
 
