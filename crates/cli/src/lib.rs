@@ -17,11 +17,14 @@
 use gsr_core::methods::{
     GeoReach, SocReach, SpaReachBfl, SpaReachInt, ThreeDReach, ThreeDReachRev, ThreeDReporter,
 };
-use gsr_core::{PreparedNetwork, RangeReachIndex, SccSpatialPolicy};
+use gsr_core::{
+    BatchExecutor, BatchOptions, GsrError, PreparedNetwork, RangeReachIndex, SccSpatialPolicy,
+};
 use gsr_datagen::{io, NetworkSpec};
 use gsr_geo::Rect;
 use std::io::BufRead;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,7 +43,8 @@ pub enum Command {
         /// Network file.
         file: PathBuf,
     },
-    /// `gsr query FILE [--method M] [--threads T] [--vertex V --rect X0,Y0,X1,Y1]`
+    /// `gsr query FILE [--method M] [--threads T] [--budget-ms B]
+    /// [--vertex V --rect X0,Y0,X1,Y1]`
     Query {
         /// Network file.
         file: PathBuf,
@@ -51,6 +55,9 @@ pub enum Command {
         threads: usize,
         /// One-shot query (otherwise stdin).
         one: Option<(u32, Rect)>,
+        /// Wall-clock budget for the whole batch in milliseconds; partial
+        /// answers are printed when it expires.
+        budget_ms: Option<u64>,
     },
     /// `gsr report FILE --vertex V --rect X0,Y0,X1,Y1`
     Report {
@@ -86,21 +93,59 @@ usage:
   gsr stats FILE
   gsr query FILE [--method <3dreach|3dreach-rev|spareach-bfl|spareach-int|georeach|socreach|all>]
                  [--threads T]                     (build workers; 0 = all cores)
+                 [--budget-ms B]                   (batch time budget; partial answers on expiry)
                  [--vertex V --rect X0,Y0,X1,Y1]   (otherwise queries from stdin)
   gsr report FILE --vertex V --rect X0,Y0,X1,Y1
 ";
 
-/// Parses a `x0,y0,x1,y1` rectangle.
+/// Validates four raw coordinates as a query rectangle: all finite, minima
+/// not exceeding maxima. The shared boundary for `--rect` and stdin lines.
+fn validated_rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Result<Rect, CliError> {
+    if [x0, y0, x1, y1].iter().any(|c| !c.is_finite()) {
+        return Err(err(format!("rect ({x0}, {y0}, {x1}, {y1}) has a non-finite coordinate")));
+    }
+    if x0 > x1 || y0 > y1 {
+        return Err(err(format!(
+            "rect ({x0}, {y0}, {x1}, {y1}) is inverted; expected X0<=X1 and Y0<=Y1"
+        )));
+    }
+    Ok(Rect::new(x0, y0, x1, y1))
+}
+
+/// Parses one stdin query line `<vertex> <x0> <y0> <x1> <y1>`. Blank
+/// lines and `#` comments yield `Ok(None)`.
+fn parse_query_line(line: &str) -> Result<Option<(u32, Rect)>, CliError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = trimmed.split_whitespace().collect();
+    if fields.len() != 5 {
+        return Err(err(format!("expected `<vertex> <x0> <y0> <x1> <y1>`, got {line:?}")));
+    }
+    let v: u32 =
+        fields[0].parse().map_err(|_| err(format!("bad vertex id {:?}", fields[0])))?;
+    let mut coords = [0.0f64; 4];
+    for (slot, field) in coords.iter_mut().zip(&fields[1..]) {
+        *slot = field.parse().map_err(|_| err(format!("bad coordinate {field:?}")))?;
+    }
+    let rect = validated_rect(coords[0], coords[1], coords[2], coords[3])?;
+    Ok(Some((v, rect)))
+}
+
+/// Parses a `x0,y0,x1,y1` rectangle, rejecting non-finite or inverted
+/// extrema.
 pub fn parse_rect(s: &str) -> Result<Rect, CliError> {
     let parts: Vec<f64> = s
         .split(',')
         .map(|p| p.trim().parse::<f64>())
         .collect::<Result<_, _>>()
         .map_err(|_| err(format!("invalid rect {s:?}; expected X0,Y0,X1,Y1")))?;
-    if parts.len() != 4 || parts[0] > parts[2] || parts[1] > parts[3] {
-        return Err(err(format!("invalid rect {s:?}; expected X0,Y0,X1,Y1 with X0<=X1, Y0<=Y1")));
+    if parts.len() != 4 {
+        return Err(err(format!("invalid rect {s:?}; expected X0,Y0,X1,Y1")));
     }
-    Ok(Rect::new(parts[0], parts[1], parts[2], parts[3]))
+    validated_rect(parts[0], parts[1], parts[2], parts[3])
+        .map_err(|e| err(format!("invalid rect {s:?}: {e}")))
 }
 
 /// Parses the argument list (without the program name).
@@ -150,7 +195,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 (None, None) => None,
                 _ => return Err(err("--vertex and --rect go together")),
             };
-            Ok(Command::Query { file: PathBuf::from(file), method, threads, one })
+            let budget_ms = flag("budget-ms")
+                .map(|b| b.parse())
+                .transpose()
+                .map_err(|_| err("--budget-ms must be a non-negative integer"))?;
+            Ok(Command::Query { file: PathBuf::from(file), method, threads, one, budget_ms })
         }
         "report" => {
             let file = positional.first().ok_or_else(|| err("report needs a FILE"))?;
@@ -203,9 +252,33 @@ fn build_method(
     }
 }
 
-fn load_prepared(file: &PathBuf) -> Result<PreparedNetwork, CliError> {
-    let net = io::load_network(file).map_err(|e| err(format!("cannot load {file:?}: {e}")))?;
+fn load_prepared(file: &Path) -> Result<PreparedNetwork, GsrError> {
+    let net = io::load_network(file)
+        .map_err(|e| GsrError::Load(format!("cannot load {}: {e}", file.display())))?;
     Ok(PreparedNetwork::new(net))
+}
+
+/// Maps an error from [`run`] to a process exit code:
+///
+/// | code | condition |
+/// |---|---|
+/// | 1 | internal or uncategorized error |
+/// | 2 | bad command line ([`CliError`]) |
+/// | 3 | dataset failed to load ([`GsrError::Load`]) |
+/// | 4 | invalid query vertex or rectangle |
+/// | 5 | time budget exceeded |
+/// | 6 | cancelled |
+pub fn exit_code(e: &(dyn std::error::Error + 'static)) -> i32 {
+    if e.is::<CliError>() {
+        return 2;
+    }
+    match e.downcast_ref::<GsrError>() {
+        Some(GsrError::Load(_)) => 3,
+        Some(GsrError::InvalidVertex { .. } | GsrError::InvalidRect { .. }) => 4,
+        Some(GsrError::Timeout { .. }) => 5,
+        Some(GsrError::Cancelled) => 6,
+        Some(GsrError::Internal(_)) | None => 1,
+    }
 }
 
 /// Executes a parsed command, writing human-readable output to `out`.
@@ -236,23 +309,18 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn st
             writeln!(out, "largest SCC:  {}", s.largest_scc)?;
             writeln!(out, "space:        {}", prep.space())?;
         }
-        Command::Query { file, method, threads, one } => {
+        Command::Query { file, method, threads, one, budget_ms } => {
             let prep = load_prepared(&file)?;
             let indexes = build_method(&method, &prep, threads)?;
             fn run_one(
-                prep: &PreparedNetwork,
                 indexes: &[Box<dyn RangeReachIndex>],
                 v: u32,
                 r: &Rect,
                 out: &mut impl std::io::Write,
             ) -> Result<(), Box<dyn std::error::Error>> {
-                if v as usize >= prep.network().num_vertices() {
-                    writeln!(out, "vertex {v} out of range")?;
-                    return Ok(());
-                }
                 for idx in indexes {
                     let start = std::time::Instant::now();
-                    let answer = idx.query(v, r);
+                    let answer = idx.try_query(v, r)?;
                     writeln!(
                         out,
                         "{}\tRangeReach({v}, {r}) = {answer}\t[{:?}]",
@@ -262,25 +330,65 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn st
                 }
                 Ok(())
             }
-            match one {
-                Some((v, r)) => run_one(&prep, &indexes, v, &r, out)?,
+            // Collect stdin queries (hardened: malformed lines are skipped
+            // with their position, never aborting the session).
+            let queries: Vec<(u32, Rect)> = match one {
+                Some((v, r)) => vec![(v, r)],
                 None => {
                     let stdin = std::io::stdin();
-                    for line in stdin.lock().lines() {
+                    let mut queries = Vec::new();
+                    for (idx, line) in stdin.lock().lines().enumerate() {
                         let line = line?;
-                        let fields: Vec<&str> = line.split_whitespace().collect();
-                        if fields.len() != 5 {
-                            writeln!(out, "skipping malformed line: {line:?}")?;
-                            continue;
+                        let lineno = idx + 1;
+                        match parse_query_line(&line) {
+                            Ok(Some(q)) => queries.push(q),
+                            Ok(None) => {}
+                            Err(e) => writeln!(out, "line {lineno}: skipping: {e}")?,
                         }
-                        let v: u32 = fields[0].parse()?;
-                        let r = Rect::new(
-                            fields[1].parse()?,
-                            fields[2].parse()?,
-                            fields[3].parse()?,
-                            fields[4].parse()?,
-                        );
-                        run_one(&prep, &indexes, v, &r, out)?;
+                    }
+                    queries
+                }
+            };
+            match budget_ms {
+                None => {
+                    for (v, r) in &queries {
+                        match run_one(&indexes, *v, r, out) {
+                            Ok(()) => {}
+                            // One-shot: surface the error (exit code 4);
+                            // batch mode: report and keep going.
+                            Err(e) if one.is_some() => return Err(e),
+                            Err(e) => writeln!(out, "RangeReach({v}, {r}): error: {e}")?,
+                        }
+                    }
+                }
+                Some(budget_ms) => {
+                    let options = BatchOptions::unlimited()
+                        .with_budget(Duration::from_millis(budget_ms));
+                    let exec = BatchExecutor::new(threads);
+                    for idx in &indexes {
+                        let outcome = exec.run_bounded(idx.as_ref(), &queries, &options);
+                        for (i, answer) in outcome.answers.iter().enumerate() {
+                            if let Some(answer) = answer {
+                                let (v, r) = &queries[i];
+                                writeln!(out, "{}\tRangeReach({v}, {r}) = {answer}", idx.name())?;
+                            }
+                        }
+                        for (i, e) in &outcome.errors {
+                            let (v, r) = &queries[*i];
+                            writeln!(out, "{}\tRangeReach({v}, {r}): error: {e}", idx.name())?;
+                        }
+                        writeln!(
+                            out,
+                            "{}\tcompleted {}/{}{}",
+                            idx.name(),
+                            outcome.completed,
+                            queries.len(),
+                            if outcome.timed_out {
+                                " (budget exceeded; partial answers above)"
+                            } else {
+                                ""
+                            }
+                        )?;
                     }
                 }
             }
@@ -291,7 +399,7 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn st
             let hits = reporter.report(vertex, &rect);
             writeln!(out, "{} reachable spatial vertices inside {rect}:", hits.len())?;
             for v in hits {
-                let p = prep.network().point(v).expect("reported vertices are spatial");
+                let Some(p) = prep.network().point(v) else { continue };
                 writeln!(out, "  vertex {v} at {p}")?;
             }
         }
@@ -328,11 +436,16 @@ mod tests {
                 file: "n.gsr".into(),
                 method: "3dreach".into(),
                 threads: 1,
-                one: None
+                one: None,
+                budget_ms: None,
             }
         );
         let cmd = parse_args(&args(&["query", "n.gsr", "--threads", "4"])).unwrap();
         assert!(matches!(cmd, Command::Query { threads: 4, .. }));
+        let cmd =
+            parse_args(&args(&["query", "n.gsr", "--budget-ms", "250"])).unwrap();
+        assert!(matches!(cmd, Command::Query { budget_ms: Some(250), .. }));
+        assert!(parse_args(&args(&["query", "n.gsr", "--budget-ms", "soon"])).is_err());
         let cmd = parse_args(&args(&[
             "query", "n.gsr", "--method", "all", "--vertex", "7", "--rect", "1,2,3,4",
         ]))
@@ -355,10 +468,105 @@ mod tests {
         assert!(parse_rect("1,2,3").is_err());
         assert!(parse_rect("3,3,1,1").is_err(), "inverted");
         assert!(parse_rect("a,b,c,d").is_err());
+        assert!(parse_rect("NaN,0,1,1").is_err(), "non-finite");
+        assert!(parse_rect("0,0,inf,1").is_err(), "non-finite");
+        assert!(parse_rect("0,0,1,1").is_ok());
         assert!(
             parse_args(&args(&["query", "f", "--threads", "-2"])).is_err(),
             "negative thread count"
         );
+    }
+
+    #[test]
+    fn query_line_parsing() {
+        assert_eq!(parse_query_line("").unwrap(), None);
+        assert_eq!(parse_query_line("  # comment").unwrap(), None);
+        assert_eq!(
+            parse_query_line("3 0 0 2 2").unwrap(),
+            Some((3, Rect::new(0.0, 0.0, 2.0, 2.0)))
+        );
+        assert!(parse_query_line("3 0 0 2").is_err(), "too few fields");
+        assert!(parse_query_line("x 0 0 2 2").is_err(), "bad id");
+        assert!(parse_query_line("3 0 0 nope 2").is_err(), "bad coordinate");
+        assert!(parse_query_line("3 5 5 1 1").is_err(), "inverted rect");
+        assert!(parse_query_line("3 NaN 0 2 2").is_err(), "non-finite rect");
+    }
+
+    #[test]
+    fn exit_codes_map_error_taxonomy() {
+        assert_eq!(exit_code(&err("bad flag")), 2);
+        assert_eq!(exit_code(&GsrError::Load("nope".into())), 3);
+        assert_eq!(exit_code(&GsrError::InvalidVertex { vertex: 9, num_vertices: 2 }), 4);
+        assert_eq!(exit_code(&GsrError::InvalidRect { reason: "nan".into() }), 4);
+        assert_eq!(exit_code(&GsrError::Timeout { budget_ms: 5 }), 5);
+        assert_eq!(exit_code(&GsrError::Cancelled), 6);
+        assert_eq!(exit_code(&GsrError::Internal("boom".into())), 1);
+        let boxed: Box<dyn std::error::Error> = Box::new(GsrError::Cancelled);
+        assert_eq!(exit_code(boxed.as_ref()), 6);
+    }
+
+    #[test]
+    fn missing_file_is_a_load_error() {
+        let cmd = parse_args(&args(&["stats", "/definitely/not/here.gsr"])).unwrap();
+        let mut out = Vec::new();
+        let e = run(cmd, &mut out).unwrap_err();
+        assert_eq!(exit_code(e.as_ref()), 3, "{e}");
+    }
+
+    #[test]
+    fn out_of_range_one_shot_query_is_an_invalid_vertex_error() {
+        let dir = std::env::temp_dir().join("gsr_cli_badvertex_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("net.gsr");
+        let path = file.to_string_lossy().to_string();
+        let mut out = Vec::new();
+        run(
+            parse_args(&args(&[
+                "generate", "--preset", "yelp", "--scale", "0.01", "--out", &path,
+            ]))
+            .unwrap(),
+            &mut out,
+        )
+        .unwrap();
+
+        let cmd = parse_args(&args(&[
+            "query", &path, "--vertex", "99999999", "--rect", "0,0,1,1",
+        ]))
+        .unwrap();
+        let mut out = Vec::new();
+        let e = run(cmd, &mut out).unwrap_err();
+        assert_eq!(exit_code(e.as_ref()), 4, "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budgeted_one_shot_prints_summary() {
+        let dir = std::env::temp_dir().join("gsr_cli_budget_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("net.gsr");
+        let path = file.to_string_lossy().to_string();
+        let mut out = Vec::new();
+        run(
+            parse_args(&args(&[
+                "generate", "--preset", "yelp", "--scale", "0.01", "--out", &path,
+            ]))
+            .unwrap(),
+            &mut out,
+        )
+        .unwrap();
+
+        // A generous budget: the single query completes.
+        let cmd = parse_args(&args(&[
+            "query", &path, "--vertex", "0", "--rect", "-1000,-1000,2000,2000",
+            "--budget-ms", "60000",
+        ]))
+        .unwrap();
+        let mut out = Vec::new();
+        run(cmd, &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(text.contains("completed 1/1"), "{text}");
+        assert!(!text.contains("budget exceeded"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -13,6 +13,6 @@ fn main() {
     let mut stdout = std::io::stdout();
     if let Err(e) = gsr_cli::run(cmd, &mut stdout) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(gsr_cli::exit_code(e.as_ref()));
     }
 }

@@ -14,12 +14,115 @@
 //! `run_workload_parallel` into a first-class API any caller (CLI, bench,
 //! tests) can use.
 
+use crate::error::{validate_query, GsrError};
 use crate::{QueryCost, RangeReachIndex};
 use gsr_geo::Rect;
 use gsr_graph::VertexId;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One `RangeReach` query: the source vertex and the query region.
 pub type BatchQuery = (VertexId, Rect);
+
+/// A cooperative cancellation handle shared between the caller and a
+/// running [`BatchExecutor::run_bounded`] batch.
+///
+/// Cloning produces another handle to the *same* flag. Workers check the
+/// flag between queries, so cancellation stops the batch at the next
+/// query boundary — an in-flight query is never interrupted.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Limits applied to a [`BatchExecutor::run_bounded`] run.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Wall-clock budget for the whole batch. Workers compare against the
+    /// deadline between queries; `None` means unlimited.
+    pub budget: Option<Duration>,
+    /// Cooperative cancellation token; `None` means not cancellable.
+    pub cancel: Option<CancelToken>,
+}
+
+impl BatchOptions {
+    /// No budget, no cancellation — equivalent to [`BatchExecutor::run`]
+    /// semantics but with per-query fault isolation.
+    pub fn unlimited() -> Self {
+        BatchOptions::default()
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// The result of a bounded batch run: per-query answers where available,
+/// plus what stopped the run early (if anything).
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One slot per input query, in input order. `Some(answer)` for
+    /// queries that completed, `None` for queries skipped due to
+    /// timeout/cancellation or that failed (see [`BatchOutcome::errors`]).
+    pub answers: Vec<Option<bool>>,
+    /// Number of queries attempted (answered or errored) before the run
+    /// stopped.
+    pub completed: usize,
+    /// Whether the time budget expired before every query ran.
+    pub timed_out: bool,
+    /// Whether the batch was cancelled via its [`CancelToken`].
+    pub cancelled: bool,
+    /// Per-query failures as `(query index, error)`, sorted by index.
+    /// Validation failures and panics land here; the batch keeps going.
+    pub errors: Vec<(usize, GsrError)>,
+    /// Accumulated work counters over all completed queries.
+    pub cost: QueryCost,
+}
+
+impl BatchOutcome {
+    /// Whether every query produced an answer with no error.
+    pub fn is_complete(&self) -> bool {
+        !self.timed_out && !self.cancelled && self.errors.is_empty()
+    }
+}
+
+/// Renders a panic payload into a `GsrError::Internal` message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "query panicked".to_string()
+    }
+}
 
 /// Evaluates slices of queries against a [`RangeReachIndex`] across N
 /// threads.
@@ -87,6 +190,122 @@ impl BatchExecutor {
             |chunk_cost| total.accumulate(&chunk_cost),
         );
         (answers.into_iter().map(|(hit, _)| hit).collect(), total)
+    }
+
+    /// Evaluates queries under a wall-clock budget and/or a cancellation
+    /// token, with per-query fault isolation.
+    ///
+    /// Unlike [`BatchExecutor::run`], this never panics on bad input:
+    /// out-of-range vertices and non-finite or inverted regions are
+    /// reported per query in [`BatchOutcome::errors`], and a panic inside
+    /// an index implementation is caught and surfaced as
+    /// [`GsrError::Internal`] without poisoning the rest of the batch.
+    ///
+    /// Workers check the deadline and the token *between* queries
+    /// (cooperatively), so an in-flight query always finishes; the
+    /// granularity of enforcement is one query. On early stop the
+    /// already-computed prefix of answers is retained — answers are
+    /// identical to an unbounded run on the completed subset.
+    ///
+    /// ```
+    /// use gsr_core::methods::ThreeDReach;
+    /// use gsr_core::{BatchExecutor, BatchOptions, SccSpatialPolicy};
+    /// use gsr_core::paper_example;
+    /// use std::time::Duration;
+    ///
+    /// let prep = paper_example::prepared();
+    /// let index = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+    /// let queries = vec![(paper_example::A, paper_example::query_region())];
+    /// let exec = BatchExecutor::new(1);
+    /// let outcome = exec.run_bounded(
+    ///     &index,
+    ///     &queries,
+    ///     &BatchOptions::unlimited().with_budget(Duration::from_secs(60)),
+    /// );
+    /// assert!(outcome.is_complete());
+    /// assert_eq!(outcome.answers, vec![Some(true)]);
+    /// ```
+    pub fn run_bounded<I>(
+        &self,
+        index: &I,
+        queries: &[BatchQuery],
+        options: &BatchOptions,
+    ) -> BatchOutcome
+    where
+        I: RangeReachIndex + ?Sized,
+    {
+        let deadline = options.budget.map(|b| Instant::now() + b);
+        let timed_out = AtomicBool::new(false);
+        let cancelled = AtomicBool::new(false);
+        let num_vertices = index.num_vertices();
+
+        let threads = self.threads().min(queries.len().max(1));
+        let chunk_len = queries.len().div_ceil(threads.max(1)).max(1);
+        let chunks: Vec<&[BatchQuery]> = queries.chunks(chunk_len).collect();
+        let per_chunk = gsr_graph::par::map_indexed(threads, chunks.len(), |ci| {
+            let base = ci * chunk_len;
+            let mut local_cost = QueryCost::default();
+            let mut rows: Vec<(usize, Result<bool, GsrError>)> =
+                Vec::with_capacity(chunks[ci].len());
+            for (offset, (v, region)) in chunks[ci].iter().enumerate() {
+                if let Some(token) = &options.cancel {
+                    if token.is_cancelled() {
+                        cancelled.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        timed_out.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                let result = match validate_query(num_vertices, *v, region) {
+                    Err(e) => Err(e),
+                    Ok(()) => {
+                        // Index structures are immutable and queries take
+                        // &self, so a caught panic cannot leave observable
+                        // broken state behind.
+                        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            index.query_with_cost_unchecked(*v, region)
+                        }));
+                        match caught {
+                            Ok((hit, cost)) => {
+                                local_cost.accumulate(&cost);
+                                Ok(hit)
+                            }
+                            Err(payload) => Err(GsrError::Internal(panic_message(payload))),
+                        }
+                    }
+                };
+                rows.push((base + offset, result));
+            }
+            (rows, local_cost)
+        });
+
+        let mut answers = vec![None; queries.len()];
+        let mut errors = Vec::new();
+        let mut completed = 0usize;
+        let mut cost = QueryCost::default();
+        for (rows, chunk_cost) in per_chunk {
+            cost.accumulate(&chunk_cost);
+            for (i, result) in rows {
+                completed += 1;
+                match result {
+                    Ok(hit) => answers[i] = Some(hit),
+                    Err(e) => errors.push((i, e)),
+                }
+            }
+        }
+        errors.sort_by_key(|(i, _)| *i);
+        BatchOutcome {
+            answers,
+            completed,
+            timed_out: timed_out.load(Ordering::Relaxed),
+            cancelled: cancelled.load(Ordering::Relaxed),
+            errors,
+            cost,
+        }
     }
 
     /// Shared driver: chunks `queries`, evaluates each chunk on a worker,
@@ -205,6 +424,120 @@ mod tests {
         let (answers, cost) = exec.run_with_cost(&index, &[]);
         assert!(answers.is_empty());
         assert_eq!(cost, QueryCost::default());
+    }
+
+    #[test]
+    fn bounded_unlimited_matches_unbounded_run() {
+        let prep = paper_example::prepared();
+        let index = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+        let queries = workload();
+        let expected = BatchExecutor::new(1).run(&index, &queries);
+        for threads in [1, 2, 4] {
+            let outcome = BatchExecutor::new(threads).run_bounded(
+                &index,
+                &queries,
+                &BatchOptions::unlimited(),
+            );
+            assert!(outcome.is_complete(), "threads = {threads}");
+            assert!(!outcome.timed_out && !outcome.cancelled);
+            assert_eq!(outcome.completed, queries.len());
+            let answers: Vec<bool> = outcome.answers.iter().map(|a| a.unwrap()).collect();
+            assert_eq!(answers, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_times_out_before_any_query() {
+        let prep = paper_example::prepared();
+        let index = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+        let queries = workload();
+        let options = BatchOptions::unlimited().with_budget(std::time::Duration::ZERO);
+        let outcome = BatchExecutor::new(2).run_bounded(&index, &queries, &options);
+        assert!(outcome.timed_out);
+        assert_eq!(outcome.completed, 0);
+        assert!(outcome.answers.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_immediately() {
+        let prep = paper_example::prepared();
+        let index = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+        let queries = workload();
+        let token = CancelToken::new();
+        token.cancel();
+        let options = BatchOptions::unlimited().with_cancel(token.clone());
+        let outcome = BatchExecutor::new(2).run_bounded(&index, &queries, &options);
+        assert!(outcome.cancelled);
+        assert!(!outcome.timed_out);
+        assert_eq!(outcome.completed, 0);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn invalid_queries_are_isolated_not_fatal() {
+        let prep = paper_example::prepared();
+        let index = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+        let good = paper_example::query_region();
+        let bad_rect = gsr_geo::Rect { min_x: f64::NAN, min_y: 0.0, max_x: 1.0, max_y: 1.0 };
+        let queries = vec![
+            (paper_example::A, good),
+            (9999, good),                // out-of-range vertex
+            (paper_example::C, bad_rect), // non-finite region
+            (paper_example::A, good),
+        ];
+        let outcome =
+            BatchExecutor::new(1).run_bounded(&index, &queries, &BatchOptions::unlimited());
+        assert_eq!(outcome.completed, 4, "bad queries still count as attempted");
+        assert_eq!(outcome.answers[0], Some(true));
+        assert_eq!(outcome.answers[1], None);
+        assert_eq!(outcome.answers[2], None);
+        assert_eq!(outcome.answers[3], Some(true));
+        assert_eq!(outcome.errors.len(), 2);
+        assert_eq!(outcome.errors[0].0, 1);
+        assert!(matches!(outcome.errors[0].1, crate::GsrError::InvalidVertex { .. }));
+        assert_eq!(outcome.errors[1].0, 2);
+        assert!(matches!(outcome.errors[1].1, crate::GsrError::InvalidRect { .. }));
+    }
+
+    /// An index whose queries panic — exercises the catch_unwind fence.
+    struct Panicky;
+
+    impl crate::RangeReachIndex for Panicky {
+        fn num_vertices(&self) -> usize {
+            4
+        }
+        fn query_unchecked(&self, v: VertexId, _region: &Rect) -> bool {
+            if v == 2 {
+                panic!("injected fault at vertex {v}");
+            }
+            true
+        }
+        fn index_bytes(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "panicky"
+        }
+    }
+
+    #[test]
+    fn panicking_index_surfaces_internal_error() {
+        let r = paper_example::query_region();
+        let queries = vec![(0, r), (2, r), (3, r)];
+        // Silence the default panic hook for the injected panic.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome =
+            BatchExecutor::new(1).run_bounded(&Panicky, &queries, &BatchOptions::unlimited());
+        std::panic::set_hook(prev);
+        assert_eq!(outcome.answers, vec![Some(true), None, Some(true)]);
+        assert_eq!(outcome.errors.len(), 1);
+        let (idx, err) = &outcome.errors[0];
+        assert_eq!(*idx, 1);
+        match err {
+            crate::GsrError::Internal(msg) => assert!(msg.contains("injected fault")),
+            other => panic!("expected Internal, got {other:?}"),
+        }
     }
 
     #[test]

@@ -83,6 +83,13 @@ impl RegionReach {
         }
     }
 
+    /// Fallible [`RegionReach::query`]: validates the vertex id and the
+    /// query rectangle (finite, non-inverted) before evaluating.
+    pub fn try_query(&self, v: VertexId, query: &Rect) -> Result<bool, crate::GsrError> {
+        crate::error::validate_query(self.comp_of.len(), v, query)?;
+        Ok(self.query(v, query))
+    }
+
     /// Whether `v` reaches a vertex whose region intersects `query`.
     pub fn query(&self, v: VertexId, query: &Rect) -> bool {
         let from = self.comp_of[v as usize];

@@ -56,6 +56,27 @@ impl VolumetricReach {
         }
     }
 
+    /// Fallible [`VolumetricReach::query`]: validates the vertex id and
+    /// the query box (finite, non-inverted in each dimension) before
+    /// evaluating.
+    pub fn try_query(&self, v: VertexId, query: &Box3d) -> Result<bool, crate::GsrError> {
+        crate::error::validate_vertex(self.comp_of.len(), v)?;
+        for d in 0..3 {
+            let (lo, hi) = (query.min[d], query.max[d]);
+            if !lo.is_finite() || !hi.is_finite() {
+                return Err(crate::GsrError::InvalidRect {
+                    reason: format!("non-finite bound in dimension {d}: [{lo}, {hi}]"),
+                });
+            }
+            if lo > hi {
+                return Err(crate::GsrError::InvalidRect {
+                    reason: format!("inverted bounds in dimension {d}: [{lo}, {hi}]"),
+                });
+            }
+        }
+        Ok(self.query(v, query))
+    }
+
     /// Whether `v` reaches a vertex whose 3-D point lies inside `query`.
     pub fn query(&self, v: VertexId, query: &Box3d) -> bool {
         let from = self.comp_of[v as usize];

@@ -54,12 +54,16 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod error;
 pub mod extensions;
+mod fallback;
 pub mod methods;
 mod network;
 pub mod paper_example;
 mod traits;
 
-pub use batch::{BatchExecutor, BatchQuery};
+pub use batch::{BatchExecutor, BatchOptions, BatchOutcome, BatchQuery, CancelToken};
+pub use error::GsrError;
+pub use fallback::{DegradedReason, FallbackIndex, FallbackOptions, OnlineReach};
 pub use network::{GeosocialNetwork, NetworkError, NetworkStats, PreparedNetwork};
 pub use traits::{QueryCost, RangeReachIndex, SccSpatialPolicy};

@@ -116,7 +116,11 @@ impl DynamicThreeDReach {
 }
 
 impl RangeReachIndex for DynamicThreeDReach {
-    fn query(&self, v: VertexId, region: &Rect) -> bool {
+    fn num_vertices(&self) -> usize {
+        self.comp_of.len()
+    }
+
+    fn query_unchecked(&self, v: VertexId, region: &Rect) -> bool {
         let from = self.comp_of[v as usize];
         self.labeling.intervals(from).iter().any(|iv| {
             self.tree.query_exists(&cuboid_from_rect(region, iv.lo as f64, iv.hi as f64))

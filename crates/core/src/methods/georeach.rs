@@ -93,6 +93,9 @@ impl GeoReach {
         let max_rmbr_area = params.max_rmbr_frac * prep.space().area();
 
         // Tight RMBRs and reach-bits for every component, bottom-up.
+        // A condensation is acyclic by construction, so ordering it
+        // cannot fail.
+        #[allow(clippy::expect_used)]
         let order = topo::topological_order(&dag).expect("condensation is a DAG");
         let mut rmbr: Vec<Option<Rect>> = vec![None; ncomp];
         let mut info: Vec<SpaInfo> = Vec::with_capacity(ncomp);
@@ -206,11 +209,15 @@ impl GeoReach {
 }
 
 impl RangeReachIndex for GeoReach {
-    fn query(&self, v: VertexId, region: &Rect) -> bool {
-        self.query_with_cost(v, region).0
+    fn num_vertices(&self) -> usize {
+        self.comp_of.len()
     }
 
-    fn query_with_cost(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
+    fn query_unchecked(&self, v: VertexId, region: &Rect) -> bool {
+        self.query_with_cost_unchecked(v, region).0
+    }
+
+    fn query_with_cost_unchecked(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
         let mut cost = QueryCost::default();
         let start = self.comp_of[v as usize];
         let mut visited = vec![false; self.dag.num_vertices()];

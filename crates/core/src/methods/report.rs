@@ -115,7 +115,7 @@ pub fn report_bfs(prep: &PreparedNetwork, v: VertexId, region: &Rect) -> Vec<Ver
     let mut out = Vec::new();
     while let Some(c) = stack.pop() {
         for &u in prep.spatial_members(c) {
-            let p = prep.network().point(u).expect("spatial member");
+            let Some(p) = prep.network().point(u) else { continue };
             if region.contains_point(&p) {
                 out.push(u);
             }

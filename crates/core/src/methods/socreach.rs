@@ -110,11 +110,15 @@ impl SocReach {
 }
 
 impl RangeReachIndex for SocReach {
-    fn query(&self, v: VertexId, region: &Rect) -> bool {
-        self.query_with_cost(v, region).0
+    fn num_vertices(&self) -> usize {
+        self.comp_of.len()
     }
 
-    fn query_with_cost(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
+    fn query_unchecked(&self, v: VertexId, region: &Rect) -> bool {
+        self.query_with_cost_unchecked(v, region).0
+    }
+
+    fn query_with_cost_unchecked(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
         let from = self.comp_of[v as usize];
         let mut cost = QueryCost::default();
         // Every label [l, h] of L(v) is a range query over the post-order

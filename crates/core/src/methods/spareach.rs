@@ -322,11 +322,15 @@ impl<R: Reachability> SpaReach<R> {
 }
 
 impl<R: Reachability> RangeReachIndex for SpaReach<R> {
-    fn query(&self, v: VertexId, region: &Rect) -> bool {
-        self.query_with_cost(v, region).0
+    fn num_vertices(&self) -> usize {
+        self.comp_of.len()
     }
 
-    fn query_with_cost(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
+    fn query_unchecked(&self, v: VertexId, region: &Rect) -> bool {
+        self.query_with_cost_unchecked(v, region).0
+    }
+
+    fn query_with_cost_unchecked(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
         let from = self.comp_of[v as usize];
         let window: Aabb<2> = (*region).into();
         let mut cost = QueryCost::default();

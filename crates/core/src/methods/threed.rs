@@ -173,11 +173,15 @@ impl ThreeDReach {
 }
 
 impl RangeReachIndex for ThreeDReach {
-    fn query(&self, v: VertexId, region: &Rect) -> bool {
-        self.query_with_cost(v, region).0
+    fn num_vertices(&self) -> usize {
+        self.common.comp_of.len()
     }
 
-    fn query_with_cost(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
+    fn query_unchecked(&self, v: VertexId, region: &Rect) -> bool {
+        self.query_with_cost_unchecked(v, region).0
+    }
+
+    fn query_with_cost_unchecked(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
         let mut cost = QueryCost::default();
         let from = self.common.comp_of[v as usize];
         // One rectangular cuboid per label of L(v) (Example 4.2); stop at
@@ -290,11 +294,15 @@ impl ThreeDReachRev {
 }
 
 impl RangeReachIndex for ThreeDReachRev {
-    fn query(&self, v: VertexId, region: &Rect) -> bool {
-        self.query_with_cost(v, region).0
+    fn num_vertices(&self) -> usize {
+        self.common.comp_of.len()
     }
 
-    fn query_with_cost(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
+    fn query_unchecked(&self, v: VertexId, region: &Rect) -> bool {
+        self.query_with_cost_unchecked(v, region).0
+    }
+
+    fn query_with_cost_unchecked(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
         let mut cost = QueryCost { range_queries: 1, ..QueryCost::default() };
         let from = self.common.comp_of[v as usize];
         // A single plane parallel to the spatial dimensions, positioned at

@@ -1,5 +1,6 @@
 //! Geosocial networks and their condensed (DAG) form.
 
+use crate::QueryCost;
 use gsr_geo::{Point, Rect};
 use gsr_graph::scc::{CompId, Condensation};
 use gsr_graph::{DiGraph, VertexId};
@@ -160,7 +161,7 @@ impl PreparedNetwork {
             spatial_offsets[i + 1] += spatial_offsets[i];
         }
         let mut cursor = spatial_offsets.clone();
-        let mut spatial_members = vec![0 as VertexId; *spatial_offsets.last().unwrap() as usize];
+        let mut spatial_members = vec![0 as VertexId; spatial_offsets[ncomp] as usize];
         for (v, p) in net.points.iter().enumerate() {
             if p.is_some() {
                 let c = cond.comp(v as VertexId) as usize;
@@ -174,7 +175,7 @@ impl PreparedNetwork {
             let lo = spatial_offsets[c] as usize;
             let hi = spatial_offsets[c + 1] as usize;
             *slot = Rect::mbr_of(
-                spatial_members[lo..hi].iter().map(|&v| net.points[v as usize].unwrap()),
+                spatial_members[lo..hi].iter().filter_map(|&v| net.points[v as usize]),
             );
         }
 
@@ -222,7 +223,9 @@ impl PreparedNetwork {
 
     /// Iterator over the member points of component `c`.
     pub fn spatial_member_points(&self, c: CompId) -> impl Iterator<Item = Point> + '_ {
-        self.spatial_members(c).iter().map(|&v| self.net.points[v as usize].unwrap())
+        // Spatial members are collected from vertices with points, so the
+        // filter never actually drops anything; it just avoids unwrap.
+        self.spatial_members(c).iter().filter_map(|&v| self.net.points[v as usize])
     }
 
     /// Whether any member point of `c` lies inside `region`.
@@ -265,13 +268,27 @@ impl PreparedNetwork {
     /// Ground-truth `RangeReach` evaluation by BFS over the condensation —
     /// used by the test suites to validate every index.
     pub fn range_reach_bfs(&self, v: VertexId, region: &Rect) -> bool {
+        self.range_reach_bfs_with_cost(v, region).0
+    }
+
+    /// [`PreparedNetwork::range_reach_bfs`] plus work counters: one
+    /// `vertices_visited` per popped component, one `containment_tests`
+    /// per member point tested. Powers the index-free degraded mode
+    /// ([`crate::OnlineReach`]).
+    pub fn range_reach_bfs_with_cost(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
+        let mut cost = QueryCost::default();
         let start = self.comp(v);
         let mut visited = vec![false; self.num_components()];
         let mut stack = vec![start];
         visited[start as usize] = true;
         while let Some(c) = stack.pop() {
-            if self.any_member_in(c, region) {
-                return true;
+            cost.vertices_visited += 1;
+            let hit = self.spatial_member_points(c).any(|p| {
+                cost.containment_tests += 1;
+                region.contains_point(&p)
+            });
+            if hit {
+                return (true, cost);
             }
             for &w in self.dag().out_neighbors(c) {
                 if !visited[w as usize] {
@@ -280,7 +297,7 @@ impl PreparedNetwork {
                 }
             }
         }
-        false
+        (false, cost)
     }
 }
 

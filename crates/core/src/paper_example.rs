@@ -63,6 +63,8 @@ pub fn query_region() -> Rect {
 
 /// The running-example network.
 pub fn network() -> GeosocialNetwork {
+    // Static data from Figure 1; validation cannot fail.
+    #[allow(clippy::expect_used)]
     GeosocialNetwork::new(graph_from_edges(12, &edges()), points()).expect("valid example")
 }
 
@@ -77,6 +79,8 @@ pub fn prepared() -> PreparedNetwork {
 pub fn cyclic_prepared() -> PreparedNetwork {
     let mut e = edges();
     e.extend_from_slice(&[(D, A), (K, C), (H, J), (F, I)]);
+    // Static data from Figure 1; validation cannot fail.
+    #[allow(clippy::expect_used)]
     let net =
         GeosocialNetwork::new(graph_from_edges(12, &e), points()).expect("valid example");
     PreparedNetwork::new(net)

@@ -1,5 +1,6 @@
 //! The common interface of all RangeReach evaluation methods.
 
+use crate::error::{validate_query, GsrError};
 use gsr_geo::Rect;
 use gsr_graph::VertexId;
 
@@ -71,16 +72,68 @@ impl QueryCost {
 /// Indexes are immutable after construction, so the trait requires
 /// `Send + Sync` and a shared reference can serve queries from many
 /// threads concurrently (see the harness's parallel driver).
+///
+/// ## Checked and unchecked entry points
+///
+/// Implementors provide the *raw* evaluation,
+/// [`RangeReachIndex::query_unchecked`], whose contract assumes validated
+/// input (`v < num_vertices`, finite non-inverted `region`) and may panic
+/// or index out of bounds otherwise. Callers holding untrusted input use
+/// the provided [`RangeReachIndex::try_query`] /
+/// [`RangeReachIndex::try_query_with_cost`], which validate first and
+/// surface [`GsrError::InvalidVertex`] / [`GsrError::InvalidRect`] instead
+/// of panicking. The infallible [`RangeReachIndex::query`] is a validated
+/// wrapper that panics with a descriptive message on invalid input —
+/// never with a raw index-out-of-bounds.
 pub trait RangeReachIndex: Send + Sync {
-    /// Evaluates `RangeReach(G, v, region)`: can `v` reach a vertex whose
-    /// point lies inside `region`?
-    fn query(&self, v: VertexId, region: &Rect) -> bool;
+    /// Number of vertices of the indexed network; valid query ids are
+    /// `0..num_vertices`.
+    fn num_vertices(&self) -> usize;
+
+    /// Evaluates `RangeReach(G, v, region)` without validating the input:
+    /// can `v` reach a vertex whose point lies inside `region`?
+    ///
+    /// The caller must guarantee `v < self.num_vertices()` and a finite,
+    /// non-inverted `region`; violations may panic.
+    fn query_unchecked(&self, v: VertexId, region: &Rect) -> bool;
+
+    /// Like [`RangeReachIndex::query_unchecked`], additionally returning
+    /// the work counters of this query. The default implementation reports
+    /// empty counters.
+    fn query_with_cost_unchecked(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
+        (self.query_unchecked(v, region), QueryCost::default())
+    }
+
+    /// Validated evaluation: rejects out-of-range vertices and non-finite
+    /// or inverted rectangles with a typed error instead of panicking.
+    fn try_query(&self, v: VertexId, region: &Rect) -> Result<bool, GsrError> {
+        validate_query(self.num_vertices(), v, region)?;
+        Ok(self.query_unchecked(v, region))
+    }
+
+    /// Validated evaluation with work counters.
+    fn try_query_with_cost(&self, v: VertexId, region: &Rect) -> Result<(bool, QueryCost), GsrError> {
+        validate_query(self.num_vertices(), v, region)?;
+        Ok(self.query_with_cost_unchecked(v, region))
+    }
+
+    /// Evaluates `RangeReach(G, v, region)`, panicking with a descriptive
+    /// message when the input is invalid. Prefer
+    /// [`RangeReachIndex::try_query`] on untrusted input.
+    fn query(&self, v: VertexId, region: &Rect) -> bool {
+        match self.try_query(v, region) {
+            Ok(answer) => answer,
+            Err(e) => panic!("{}: {e}", self.name()),
+        }
+    }
 
     /// Like [`RangeReachIndex::query`], additionally returning the work
-    /// counters of this query. The default implementation reports empty
-    /// counters.
+    /// counters of this query.
     fn query_with_cost(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
-        (self.query(v, region), QueryCost::default())
+        match self.try_query_with_cost(v, region) {
+            Ok(result) => result,
+            Err(e) => panic!("{}: {e}", self.name()),
+        }
     }
 
     /// Approximate heap footprint of the index structures in bytes —

@@ -1,0 +1,143 @@
+//! Fault injection for the loader: a reader that fails mid-stream and a
+//! corpus of malformed network files.
+//!
+//! Robust loading is a testable property: every entry in
+//! [`malformed_corpus`] must come back from [`crate::io::read_network`] as a
+//! typed [`LoadError`](crate::io::LoadError) — never a panic, never a bogus
+//! network — and [`FailingReader`] checks that I/O failures surfacing
+//! mid-parse map to [`LoadError::Io`](crate::io::LoadError) at any cut point.
+//! The corpus is used by the integration suite and by the CI fault job.
+
+use std::io::{self, Read};
+
+/// Wraps a reader and injects an [`io::Error`] once `budget` bytes have
+/// been served — simulating a connection dropped or a file truncated
+/// mid-transfer at a byte-exact position.
+///
+/// End-of-input inside the budget is reported normally; the fault fires
+/// only when the consumer asks for bytes *past* the budget.
+#[derive(Debug)]
+pub struct FailingReader<R> {
+    inner: R,
+    remaining: usize,
+}
+
+impl<R: Read> FailingReader<R> {
+    /// Serves at most `budget` bytes from `inner`, then fails.
+    pub fn new(inner: R, budget: usize) -> Self {
+        FailingReader { inner, remaining: budget }
+    }
+}
+
+impl<R: Read> Read for FailingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected i/o fault"));
+        }
+        let want = buf.len().min(self.remaining);
+        let got = self.inner.read(&mut buf[..want])?;
+        self.remaining -= got;
+        Ok(got)
+    }
+}
+
+/// Which [`LoadError`](crate::io::LoadError) variant a malformed input must
+/// produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectedFailure {
+    /// A structural error: `LoadError::Parse` with a line number.
+    Parse,
+    /// Parses structurally but fails network validation:
+    /// `LoadError::Network`.
+    Network,
+}
+
+/// One malformed input and the failure it must produce.
+#[derive(Debug, Clone, Copy)]
+pub struct MalformedCase {
+    /// Short identifier, printed on failure.
+    pub name: &'static str,
+    /// The file content.
+    pub text: &'static str,
+    /// The required loader reaction.
+    pub expected: ExpectedFailure,
+}
+
+/// The corpus of malformed network files. Every case must be rejected by
+/// [`crate::io::read_network`] with the expected [`LoadError`](crate::io::LoadError)
+/// variant; none may panic or load.
+pub fn malformed_corpus() -> Vec<MalformedCase> {
+    use ExpectedFailure::{Network, Parse};
+    let case = |name, text, expected| MalformedCase { name, text, expected };
+    vec![
+        case("truncated-edge", "V 3\nE 0\n", Parse),
+        case("truncated-point", "V 3\nP 1 2.0\n", Parse),
+        case("duplicate-point", "V 3\nP 1 0 0\nP 1 1 1\n", Parse),
+        case("edge-id-over-declared", "V 2\nE 0 5\n", Parse),
+        case("point-id-over-declared", "V 2\nP 7 0 0\n", Parse),
+        case("nan-coordinate", "V 2\nP 1 NaN 0\n", Network),
+        case("inf-coordinate", "V 2\nP 1 inf 0\n", Network),
+        case("edge-id-over-limit", "E 4000000000 0\n", Parse),
+        case("declared-count-over-limit", "V 99999999999\n", Parse),
+        case("non-numeric-count", "V lots\n", Parse),
+        case("duplicate-v", "V 2\nV 2\n", Parse),
+        case("late-v-underdeclared", "E 0 9\nV 3\n", Parse),
+        case("unknown-tag", "Q 1 2\n", Parse),
+        case("negative-id", "E -1 0\n", Parse),
+        case("trailing-fields", "E 0 1 junk\n", Parse),
+        case("non-numeric-coordinate", "V 2\nP 1 here there\n", Parse),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{read_network, write_network, LoadError};
+    use crate::NetworkSpec;
+
+    #[test]
+    fn corpus_cases_are_rejected_with_the_expected_variant() {
+        for case in malformed_corpus() {
+            match (read_network(case.text.as_bytes()), case.expected) {
+                (Err(LoadError::Parse { .. }), ExpectedFailure::Parse) => {}
+                (Err(LoadError::Network(_)), ExpectedFailure::Network) => {}
+                (outcome, expected) => panic!(
+                    "case {:?}: expected {:?}, got {:?}",
+                    case.name,
+                    expected,
+                    outcome.map(|n| n.num_vertices())
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn failing_reader_maps_to_io_error_at_any_cut_point() {
+        let mut text = Vec::new();
+        write_network(&NetworkSpec::weeplaces(0.02).generate(), &mut text).unwrap();
+        // Cut the stream at a spread of byte positions, including ones
+        // that land mid-line; the loader must report Io every time.
+        for budget in [0, 1, 7, text.len() / 2, text.len() - 1] {
+            let reader = FailingReader::new(text.as_slice(), budget);
+            match read_network(reader) {
+                Err(LoadError::Io(_)) => {}
+                other => panic!(
+                    "budget {budget}: expected Io, got {:?}",
+                    other.map(|n| n.num_vertices())
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn failing_reader_with_full_budget_is_transparent() {
+        let mut text = Vec::new();
+        let net = NetworkSpec::weeplaces(0.02).generate();
+        write_network(&net, &mut text).unwrap();
+        // One spare byte so the final EOF probe stays inside the budget.
+        let reader = FailingReader::new(text.as_slice(), text.len() + 1);
+        let loaded = read_network(reader).unwrap();
+        assert_eq!(loaded.num_vertices(), net.num_vertices());
+        assert_eq!(loaded.graph().num_edges(), net.graph().num_edges());
+    }
+}

@@ -26,6 +26,8 @@ pub enum LoadError {
         line: usize,
         /// The offending line.
         content: String,
+        /// What was wrong with it.
+        reason: String,
     },
     /// The parsed data failed network validation.
     Network(NetworkError),
@@ -35,8 +37,8 @@ impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::Io(e) => write!(f, "i/o error: {e}"),
-            LoadError::Parse { line, content } => {
-                write!(f, "malformed line {line}: {content:?}")
+            LoadError::Parse { line, content, reason } => {
+                write!(f, "malformed line {line} ({reason}): {content:?}")
             }
             LoadError::Network(e) => write!(f, "invalid network: {e}"),
         }
@@ -70,16 +72,72 @@ pub fn save_network(net: &GeosocialNetwork, path: &Path) -> std::io::Result<()> 
     write_network(net, std::fs::File::create(path)?)
 }
 
-/// Reads a network from the text format.
+/// Default hard cap on vertex ids when the file declares no `V` line:
+/// 2^26 vertices (≈ 67 M), comfortably above the paper's largest dataset
+/// yet small enough that a corrupt id cannot ask for terabytes of memory.
+pub const DEFAULT_MAX_VERTICES: u32 = 1 << 26;
+
+/// Limits applied while parsing a network file — the defense against a
+/// corrupt or hostile input allocating unbounded memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadLimits {
+    /// Hard cap on the declared vertex count and on every vertex id.
+    /// When the file declares `V n`, ids must additionally be `< n`.
+    pub max_vertices: u32,
+}
+
+impl Default for LoadLimits {
+    fn default() -> Self {
+        LoadLimits { max_vertices: DEFAULT_MAX_VERTICES }
+    }
+}
+
+/// Reads a network from the text format with [`LoadLimits::default`].
 pub fn read_network<R: Read>(input: R) -> Result<GeosocialNetwork, LoadError> {
+    read_network_with(input, LoadLimits::default())
+}
+
+/// Parses one whitespace-separated field as a vertex id under `cap`.
+fn parse_id(field: Option<&str>, cap: u32) -> Result<u32, String> {
+    let s = field.ok_or_else(|| "missing vertex id".to_string())?;
+    let n: u64 = s.parse().map_err(|_| format!("expected an integer id, got {s:?}"))?;
+    if n >= cap as u64 {
+        return Err(format!("vertex id {n} out of range (must be < {cap})"));
+    }
+    Ok(n as u32)
+}
+
+/// Parses one whitespace-separated field as a coordinate.
+fn parse_coord(field: Option<&str>) -> Result<f64, String> {
+    let s = field.ok_or_else(|| "missing coordinate".to_string())?;
+    s.parse().map_err(|_| format!("expected a coordinate, got {s:?}"))
+}
+
+/// Reads a network from the text format under explicit [`LoadLimits`].
+///
+/// The parser is hardened against malformed input: every failure is a
+/// typed [`LoadError`] carrying the 1-based line number — it never panics
+/// and never allocates proportionally to a corrupt id. Rejected inputs
+/// include ids at or above the cap (the declared `V` count when present,
+/// [`LoadLimits::max_vertices`] otherwise), duplicate `V` lines,
+/// duplicate `P` lines for the same vertex, unknown tags, trailing
+/// fields, and a late `V` declaration smaller than an already-seen id.
+/// Non-finite coordinates parse but fail network validation
+/// ([`LoadError::Network`]).
+pub fn read_network_with<R: Read>(
+    input: R,
+    limits: LoadLimits,
+) -> Result<GeosocialNetwork, LoadError> {
     let reader = BufReader::new(input);
     let mut builder = GraphBuilder::new(0);
     let mut points: Vec<Option<Point>> = Vec::new();
-    let mut declared = 0usize;
+    let mut declared: Option<u32> = None;
+    let mut max_seen: Option<u32> = None;
 
-    let malformed = |line: usize, content: &str| LoadError::Parse {
+    let malformed = |line: usize, content: &str, reason: String| LoadError::Parse {
         line,
         content: content.to_string(),
+        reason,
     };
 
     for (idx, line) in reader.lines().enumerate() {
@@ -89,49 +147,82 @@ pub fn read_network<R: Read>(input: R) -> Result<GeosocialNetwork, LoadError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
+        let cap = declared.unwrap_or(limits.max_vertices);
         let mut fields = trimmed.split_whitespace();
         match fields.next() {
             Some("V") => {
-                declared = fields
+                if declared.is_some() {
+                    return Err(malformed(lineno, trimmed, "duplicate V line".to_string()));
+                }
+                let s = fields
                     .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| malformed(lineno, trimmed))?;
+                    .ok_or_else(|| malformed(lineno, trimmed, "missing vertex count".to_string()))?;
+                let n: u64 = s.parse().map_err(|_| {
+                    malformed(lineno, trimmed, format!("expected a vertex count, got {s:?}"))
+                })?;
+                if n > limits.max_vertices as u64 {
+                    return Err(malformed(
+                        lineno,
+                        trimmed,
+                        format!(
+                            "declared vertex count {n} exceeds the limit of {}",
+                            limits.max_vertices
+                        ),
+                    ));
+                }
+                let n = n as u32;
+                if let Some(m) = max_seen {
+                    if m >= n {
+                        return Err(malformed(
+                            lineno,
+                            trimmed,
+                            format!("vertex id {m} already seen is out of range for V {n}"),
+                        ));
+                    }
+                }
+                declared = Some(n);
             }
             Some("P") => {
-                let v: u32 = fields
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| malformed(lineno, trimmed))?;
-                let x: f64 = fields
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| malformed(lineno, trimmed))?;
-                let y: f64 = fields
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| malformed(lineno, trimmed))?;
+                let v = parse_id(fields.next(), cap)
+                    .map_err(|reason| malformed(lineno, trimmed, reason))?;
+                let x = parse_coord(fields.next())
+                    .map_err(|reason| malformed(lineno, trimmed, reason))?;
+                let y = parse_coord(fields.next())
+                    .map_err(|reason| malformed(lineno, trimmed, reason))?;
                 if points.len() <= v as usize {
                     points.resize(v as usize + 1, None);
                 }
+                if points[v as usize].is_some() {
+                    return Err(malformed(
+                        lineno,
+                        trimmed,
+                        format!("duplicate point for vertex {v}"),
+                    ));
+                }
                 points[v as usize] = Some(Point::new(x, y));
                 builder.ensure_vertex(v);
+                max_seen = Some(max_seen.map_or(v, |m| m.max(v)));
             }
             Some("E") => {
-                let u: u32 = fields
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| malformed(lineno, trimmed))?;
-                let v: u32 = fields
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| malformed(lineno, trimmed))?;
+                let u = parse_id(fields.next(), cap)
+                    .map_err(|reason| malformed(lineno, trimmed, reason))?;
+                let v = parse_id(fields.next(), cap)
+                    .map_err(|reason| malformed(lineno, trimmed, reason))?;
                 builder.add_edge(u, v);
+                max_seen = Some(max_seen.map_or(u.max(v), |m| m.max(u).max(v)));
             }
-            _ => return Err(malformed(lineno, trimmed)),
+            Some(tag) => {
+                return Err(malformed(lineno, trimmed, format!("unknown tag {tag:?}")));
+            }
+            None => unreachable!("split_whitespace of a non-empty trimmed line yields a field"),
+        }
+        if let Some(extra) = fields.next() {
+            return Err(malformed(lineno, trimmed, format!("trailing field {extra:?}")));
         }
     }
 
-    let n = declared.max(builder.num_vertices()).max(points.len());
+    let n = declared.unwrap_or(0) as usize;
+    let n = n.max(builder.num_vertices()).max(points.len());
     for v in 0..n {
         builder.ensure_vertex(v as u32);
     }
@@ -186,12 +277,77 @@ mod tests {
     }
 
     #[test]
-    fn vertex_count_grows_to_fit_ids() {
-        // V undercounts; ids in P/E lines win.
+    fn declared_count_caps_ids() {
+        // V declares 1 vertex; ids 5 and 9 are out of range.
         let text = "V 1\nP 5 0 0\nE 0 9\n";
+        assert!(matches!(read_network(text.as_bytes()), Err(LoadError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn undeclared_count_grows_to_fit_ids() {
+        // Without a V line, ids grow the network (up to the limit).
+        let text = "P 5 0 0\nE 0 9\n";
         let net = read_network(text.as_bytes()).unwrap();
         assert_eq!(net.num_vertices(), 10);
         assert!(net.is_spatial(5));
+    }
+
+    #[test]
+    fn late_v_line_must_cover_seen_ids() {
+        let ok = "P 2 0 0\nV 3\n";
+        assert_eq!(read_network(ok.as_bytes()).unwrap().num_vertices(), 3);
+        let bad = "P 5 0 0\nV 3\n";
+        assert!(matches!(read_network(bad.as_bytes()), Err(LoadError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn custom_limits_cap_undeclared_ids() {
+        let text = "E 0 1000\n";
+        let tight = LoadLimits { max_vertices: 100 };
+        assert!(matches!(
+            read_network_with(text.as_bytes(), tight),
+            Err(LoadError::Parse { line: 1, .. })
+        ));
+        assert!(read_network(text.as_bytes()).is_ok(), "default limit admits id 1000");
+    }
+
+    #[test]
+    fn huge_declared_count_is_rejected_not_allocated() {
+        let text = format!("V {}\n", u64::from(DEFAULT_MAX_VERTICES) + 1);
+        assert!(matches!(read_network(text.as_bytes()), Err(LoadError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn duplicate_v_and_p_lines_are_rejected() {
+        let dup_v = "V 2\nV 3\n";
+        assert!(matches!(read_network(dup_v.as_bytes()), Err(LoadError::Parse { line: 2, .. })));
+        let dup_p = "V 3\nP 1 0 0\nP 1 2 2\n";
+        assert!(matches!(read_network(dup_p.as_bytes()), Err(LoadError::Parse { line: 3, .. })));
+    }
+
+    #[test]
+    fn trailing_fields_are_rejected() {
+        let text = "V 2\nE 0 1 extra\n";
+        assert!(matches!(read_network(text.as_bytes()), Err(LoadError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn non_finite_coordinates_fail_validation() {
+        let text = "V 2\nP 1 NaN 0\n";
+        assert!(matches!(read_network(text.as_bytes()), Err(LoadError::Network(_))));
+        let inf = "V 2\nP 1 inf 0\n";
+        assert!(matches!(read_network(inf.as_bytes()), Err(LoadError::Network(_))));
+    }
+
+    #[test]
+    fn parse_errors_carry_reasons() {
+        let text = "V 1\nP 5 0 0\n";
+        match read_network(text.as_bytes()) {
+            Err(LoadError::Parse { line: 2, reason, .. }) => {
+                assert!(reason.contains("out of range"), "reason = {reason:?}");
+            }
+            other => panic!("expected a parse error with reason, got {other:?}"),
+        }
     }
 
     #[test]

@@ -242,6 +242,9 @@ impl NetworkSpec {
             builder.add_edge(user, n_users as u32 + venue);
         }
 
+        // Generated coordinates come from bounded uniform/normal draws,
+        // so validation cannot fail.
+        #[allow(clippy::expect_used)]
         GeosocialNetwork::new(builder.build(), points).expect("generated points are finite")
     }
 }
@@ -282,6 +285,8 @@ impl ZipfSampler {
 
     /// Draws one index.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        // `new` always pushes at least one entry (`n.max(1)` iterations).
+        #[allow(clippy::expect_used)]
         let total = *self.cumulative.last().expect("non-empty");
         let x = rng.gen_range(0.0..total);
         self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)

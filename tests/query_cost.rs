@@ -133,7 +133,10 @@ fn default_query_with_cost_reports_empty_counters() {
     // Methods without an override fall back to zeroed counters.
     struct Trivial;
     impl RangeReachIndex for Trivial {
-        fn query(&self, _: u32, _: &gsr_geo::Rect) -> bool {
+        fn num_vertices(&self) -> usize {
+            1
+        }
+        fn query_unchecked(&self, _: u32, _: &gsr_geo::Rect) -> bool {
             true
         }
         fn index_bytes(&self) -> usize {
