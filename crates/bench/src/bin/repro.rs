@@ -20,7 +20,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|parbuild|all]... \
+        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|parbuild|snapshot|all]... \
          [--scale S] [--queries N] [--seed K] [--threads T] [--csv]"
     );
     std::process::exit(2);
@@ -49,7 +49,7 @@ fn main() {
             "--csv" => csv = true,
             "all" | "table3" | "table4" | "table5" | "table6" | "fig5" | "fig6" | "fig7"
             | "backends" | "ablations" | "analysis" | "latency" | "throughput" | "parbuild"
-            | "forests" | "georeach" | "reduction" | "spatial" | "polarity" => {
+            | "forests" | "georeach" | "reduction" | "spatial" | "polarity" | "snapshot" => {
                 experiments_wanted.insert(arg);
             }
             _ => usage(),
@@ -59,7 +59,7 @@ fn main() {
         for e in [
             "table3", "table4", "table5", "table6", "fig5", "fig6", "fig7", "backends",
             "ablations", "analysis", "latency", "throughput", "parbuild", "forests",
-            "georeach", "reduction", "spatial", "polarity",
+            "georeach", "reduction", "spatial", "polarity", "snapshot",
         ] {
             experiments_wanted.insert(e.to_string());
         }
@@ -182,6 +182,15 @@ fn main() {
             "Extension: multi-threaded throughput over one shared 3DReach index",
             &experiments::throughput(&datasets, &cfg),
         );
+    }
+    if wanted("snapshot") {
+        let (table, points) = experiments::snapshot(&datasets, &cfg);
+        emit("Extension: cold-start rebuild vs snapshot load (gsr-store)", &table);
+        let json = experiments::snapshot_json(&cfg, &points);
+        match std::fs::write("BENCH_snapshot.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_snapshot.json ({} results)", points.len()),
+            Err(e) => eprintln!("cannot write BENCH_snapshot.json: {e}"),
+        }
     }
     if wanted("parbuild") {
         emit(

@@ -749,6 +749,168 @@ pub fn parallel_build(datasets: &[Dataset]) -> TextTable {
     t
 }
 
+/// Builds one method as a saveable snapshot (replicate policy, the same
+/// configuration the CLI's `build --save` persists).
+fn method_snapshot(
+    kind: MethodKind,
+    prep: &gsr_core::PreparedNetwork,
+) -> gsr_store::SnapshotIndex {
+    use gsr_store::SnapshotIndex as S;
+    let p = SccSpatialPolicy::Replicate;
+    match kind {
+        MethodKind::SpaReachBfl => S::SpaReachBfl(SpaReachBfl::build(prep, p)),
+        MethodKind::SpaReachInt => S::SpaReachInt(SpaReachInt::build(prep, p)),
+        MethodKind::GeoReach => S::GeoReach(GeoReach::build(prep)),
+        MethodKind::SocReach => S::SocReach(SocReach::build(prep)),
+        MethodKind::ThreeDReach => S::ThreeDReach(gsr_core::methods::ThreeDReach::build(prep, p)),
+        MethodKind::ThreeDReachRev => {
+            S::ThreeDReachRev(gsr_core::methods::ThreeDReachRev::build(prep, p))
+        }
+    }
+}
+
+/// One measurement of the snapshot experiment.
+#[derive(Debug, Clone)]
+pub struct SnapshotPoint {
+    /// Dataset display name.
+    pub dataset: String,
+    /// Method key ("3dreach", ...).
+    pub method: String,
+    /// Cold-start index construction, milliseconds.
+    pub build_ms: f64,
+    /// Snapshot serialization, milliseconds.
+    pub save_ms: f64,
+    /// Snapshot size in bytes.
+    pub snapshot_bytes: usize,
+    /// Snapshot deserialization + validation, milliseconds.
+    pub load_ms: f64,
+    /// `build_ms / load_ms` — how much faster a replica starts from a
+    /// snapshot than from a rebuild.
+    pub load_speedup: f64,
+    /// Whether the loaded index answered the probe workload identically.
+    pub agree: bool,
+}
+
+/// **Extension (new subsystem)**: cold-start rebuild vs snapshot load.
+///
+/// For every dataset × method: time the cold index build, serialize it
+/// through `gsr-store`, time the load back, and replay a probe workload on
+/// both copies to confirm bit-identical answers. The point of the snapshot
+/// subsystem is the `load speedup` column: a query-service replica pays
+/// the serialization format's decode cost instead of the full construction
+/// cost.
+pub fn snapshot(datasets: &[Dataset], cfg: &Config) -> (TextTable, Vec<SnapshotPoint>) {
+    use std::time::Instant;
+
+    let mut t = TextTable::new([
+        "dataset",
+        "method",
+        "build [ms]",
+        "save [ms]",
+        "snapshot [MB]",
+        "load [ms]",
+        "load speedup",
+        "answers",
+    ]);
+    let mut points = Vec::new();
+    let default_bucket = DegreeBucket::PAPER_BUCKETS[DegreeBucket::DEFAULT_INDEX];
+
+    for ds in datasets {
+        let gen = WorkloadGen::new(&ds.prep);
+        let w = gen.extent_degree(DEFAULT_EXTENT, default_bucket, cfg.queries, cfg.seed);
+
+        for kind in ALL_METHODS {
+            let start = Instant::now();
+            let built = method_snapshot(kind, &ds.prep);
+            let build_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            let mut bytes = Vec::new();
+            let start = Instant::now();
+            let saved = gsr_store::save(&mut bytes, &built).is_ok();
+            let save_ms = start.elapsed().as_secs_f64() * 1e3;
+            if !saved {
+                t.row([
+                    ds.name.to_string(),
+                    built.method_key().to_string(),
+                    format!("{build_ms:.2}"),
+                    "save failed".to_string(),
+                ]);
+                continue;
+            }
+
+            let start = Instant::now();
+            let loaded = gsr_store::load(&mut bytes.as_slice());
+            let load_ms = start.elapsed().as_secs_f64() * 1e3;
+            let Ok(loaded) = loaded else {
+                t.row([
+                    ds.name.to_string(),
+                    built.method_key().to_string(),
+                    format!("{build_ms:.2}"),
+                    format!("{save_ms:.2}"),
+                    fmt_mb(bytes.len()),
+                    "load failed".to_string(),
+                ]);
+                continue;
+            };
+
+            let agree = w
+                .queries
+                .iter()
+                .all(|(v, r)| built.query(*v, r) == loaded.query(*v, r));
+            let load_speedup = build_ms / load_ms.max(1e-6);
+            t.row([
+                ds.name.to_string(),
+                built.method_key().to_string(),
+                format!("{build_ms:.2}"),
+                format!("{save_ms:.2}"),
+                fmt_mb(bytes.len()),
+                format!("{load_ms:.2}"),
+                format!("{load_speedup:.1}x"),
+                if agree { "identical".to_string() } else { "MISMATCH".to_string() },
+            ]);
+            points.push(SnapshotPoint {
+                dataset: ds.name.to_string(),
+                method: built.method_key().to_string(),
+                build_ms,
+                save_ms,
+                snapshot_bytes: bytes.len(),
+                load_ms,
+                load_speedup,
+                agree,
+            });
+        }
+    }
+    (t, points)
+}
+
+/// Renders the snapshot experiment as the `BENCH_snapshot.json` trajectory
+/// file (hand-written JSON; the harness is std-only).
+pub fn snapshot_json(cfg: &Config, points: &[SnapshotPoint]) -> String {
+    let mut s = String::from("{\n  \"experiment\": \"snapshot\",\n");
+    s.push_str(&format!(
+        "  \"scale\": {}, \"queries\": {}, \"seed\": {},\n  \"results\": [\n",
+        cfg.scale, cfg.queries, cfg.seed
+    ));
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"method\": \"{}\", \"build_ms\": {:.3}, \
+             \"save_ms\": {:.3}, \"snapshot_bytes\": {}, \"load_ms\": {:.3}, \
+             \"load_speedup\": {:.2}, \"agree\": {}}}{}\n",
+            p.dataset,
+            p.method,
+            p.build_ms,
+            p.save_ms,
+            p.snapshot_bytes,
+            p.load_ms,
+            p.load_speedup,
+            p.agree,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -886,6 +1048,23 @@ mod tests {
         assert_eq!(b.len(), 5, "one row per back-end");
         let a = ablations(&ds[..1], &cfg);
         assert_eq!(a.len(), 3, "one row per extent");
+    }
+
+    #[test]
+    fn snapshot_experiment_round_trips_every_method() {
+        let ds = tiny_datasets();
+        let cfg = Config { scale: 0.03, queries: 8, seed: 5, threads: 1 };
+        let (t, points) = snapshot(&ds[..1], &cfg);
+        assert_eq!(t.len(), ALL_METHODS.len(), "one row per method");
+        assert_eq!(points.len(), ALL_METHODS.len(), "every save+load must succeed");
+        for p in &points {
+            assert!(p.agree, "{}/{} answers diverged after load", p.dataset, p.method);
+            assert!(p.snapshot_bytes > 0);
+        }
+        let json = snapshot_json(&cfg, &points);
+        assert!(json.contains("\"experiment\": \"snapshot\""));
+        assert!(json.contains("\"method\": \"3dreach\""), "{json}");
+        assert_eq!(json.matches("\"agree\": true").count(), ALL_METHODS.len(), "{json}");
     }
 
     #[test]

@@ -6,10 +6,16 @@
 //! gsr query network.gsr --method 3dreach --vertex 12 --rect 10,10,50,50
 //! gsr query network.gsr --method all < queries.txt
 //! gsr report network.gsr --vertex 12 --rect 10,10,50,50
+//! gsr build network.gsr --method 3dreach --save index.snap
+//! gsr serve --load index.snap --port 7070 --threads 4 --budget-ms 100
 //! ```
 //!
 //! The `query` subcommand without `--vertex/--rect` reads one query per
 //! stdin line: `<vertex> <min_x> <min_y> <max_x> <max_y>`.
+//!
+//! `build` persists one built index as a `gsr-store` snapshot; `serve`
+//! loads a snapshot (no rebuild) and answers `REACH` queries over TCP
+//! using the `gsr-server` text protocol.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,6 +74,29 @@ pub enum Command {
         /// Query region.
         rect: Rect,
     },
+    /// `gsr build FILE --method M --save PATH [--threads T]`
+    Build {
+        /// Network file.
+        file: PathBuf,
+        /// Method name (one method per snapshot; `all` is rejected).
+        method: String,
+        /// Worker threads for index construction.
+        threads: usize,
+        /// Snapshot output path.
+        save: PathBuf,
+    },
+    /// `gsr serve --load PATH [--port P] [--threads T] [--budget-ms B]`
+    Serve {
+        /// Snapshot to load (built with `gsr build --save`).
+        load: PathBuf,
+        /// TCP port on 127.0.0.1 (`0` = OS-assigned; the chosen port is
+        /// printed on the `listening on` line).
+        port: u16,
+        /// Connection-handler threads (`0` = machine parallelism).
+        threads: usize,
+        /// Per-request time budget in milliseconds (unlimited if absent).
+        budget_ms: Option<u64>,
+    },
 }
 
 /// CLI errors with user-facing messages.
@@ -96,6 +125,10 @@ usage:
                  [--budget-ms B]                   (batch time budget; partial answers on expiry)
                  [--vertex V --rect X0,Y0,X1,Y1]   (otherwise queries from stdin)
   gsr report FILE --vertex V --rect X0,Y0,X1,Y1
+  gsr build FILE --method <3dreach|3dreach-rev|spareach-bfl|spareach-int|georeach|socreach>
+                 --save PATH [--threads T]          (persist a built index as a snapshot)
+  gsr serve --load PATH [--port P] [--threads T] [--budget-ms B]
+                 (serve REACH/STATS/SHUTDOWN lines over TCP from a snapshot)
 ";
 
 /// Validates four raw coordinates as a query rectangle: all finite, minima
@@ -210,6 +243,40 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let rect = parse_rect(&flag("rect").ok_or_else(|| err("report needs --rect"))?)?;
             Ok(Command::Report { file: PathBuf::from(file), vertex, rect })
         }
+        "build" => {
+            let file = positional.first().ok_or_else(|| err("build needs a FILE"))?;
+            let method = flag("method").ok_or_else(|| err("build needs --method"))?;
+            let threads = flag("threads")
+                .map(|t| t.parse())
+                .transpose()
+                .map_err(|_| err("--threads must be a non-negative integer"))?
+                .unwrap_or(1);
+            let save = flag("save").ok_or_else(|| err("build needs --save"))?;
+            Ok(Command::Build {
+                file: PathBuf::from(file),
+                method,
+                threads,
+                save: PathBuf::from(save),
+            })
+        }
+        "serve" => {
+            let load = flag("load").ok_or_else(|| err("serve needs --load"))?;
+            let port = flag("port")
+                .map(|p| p.parse())
+                .transpose()
+                .map_err(|_| err("--port must be a port number"))?
+                .unwrap_or(7070);
+            let threads = flag("threads")
+                .map(|t| t.parse())
+                .transpose()
+                .map_err(|_| err("--threads must be a non-negative integer"))?
+                .unwrap_or(0);
+            let budget_ms = flag("budget-ms")
+                .map(|b| b.parse())
+                .transpose()
+                .map_err(|_| err("--budget-ms must be a non-negative integer"))?;
+            Ok(Command::Serve { load: PathBuf::from(load), port, threads, budget_ms })
+        }
         other => Err(err(format!("unknown subcommand {other:?}\n{USAGE}"))),
     }
 }
@@ -250,6 +317,29 @@ fn build_method(
         ]),
         other => Err(err(format!("unknown method {other:?}"))),
     }
+}
+
+/// Builds one method as a saveable [`gsr_store::SnapshotIndex`].
+fn build_snapshot(
+    name: &str,
+    prep: &PreparedNetwork,
+    threads: usize,
+) -> Result<gsr_store::SnapshotIndex, CliError> {
+    use gsr_store::SnapshotIndex as S;
+    let policy = SccSpatialPolicy::Replicate;
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "3dreach" => S::ThreeDReach(ThreeDReach::build_threaded(prep, policy, threads)),
+        "3dreach-rev" => S::ThreeDReachRev(ThreeDReachRev::build_threaded(prep, policy, threads)),
+        "spareach-bfl" => S::SpaReachBfl(SpaReachBfl::build_threaded(prep, policy, threads)),
+        "spareach-int" => S::SpaReachInt(SpaReachInt::build_threaded(prep, policy, threads)),
+        "georeach" => S::GeoReach(GeoReach::build(prep)),
+        "socreach" => S::SocReach(SocReach::build(prep)),
+        other => {
+            return Err(err(format!(
+                "unknown method {other:?} (a snapshot holds one method; `all` is not supported)"
+            )))
+        }
+    })
 }
 
 fn load_prepared(file: &Path) -> Result<PreparedNetwork, GsrError> {
@@ -393,6 +483,35 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn st
                 }
             }
         }
+        Command::Build { file, method, threads, save } => {
+            let prep = load_prepared(&file)?;
+            let start = std::time::Instant::now();
+            let snapshot = build_snapshot(&method, &prep, threads)?;
+            let build_time = start.elapsed();
+            gsr_store::save_to_path(&save, &snapshot)?;
+            let bytes = std::fs::metadata(&save).map(|m| m.len()).unwrap_or(0);
+            writeln!(
+                out,
+                "built {} in {build_time:?}; wrote {bytes} byte snapshot to {}",
+                snapshot.method_key(),
+                save.display()
+            )?;
+        }
+        Command::Serve { load, port, threads, budget_ms } => {
+            let index = gsr_store::load_shared(&load)?;
+            let config = gsr_server::ServerConfig {
+                threads,
+                budget: budget_ms.map(Duration::from_millis),
+            };
+            let server = gsr_server::QueryServer::bind(("127.0.0.1", port), index, config)
+                .map_err(|e| Box::new(e) as Box<dyn std::error::Error>)?;
+            // Printed (and flushed) before blocking so `--port 0` callers
+            // can read the OS-assigned port.
+            writeln!(out, "listening on {}", server.local_addr())?;
+            out.flush()?;
+            server.run()?;
+            writeln!(out, "server stopped")?;
+        }
         Command::Report { file, vertex, rect } => {
             let prep = load_prepared(&file)?;
             let reporter = ThreeDReporter::build(&prep);
@@ -490,6 +609,106 @@ mod tests {
         assert!(parse_query_line("3 0 0 nope 2").is_err(), "bad coordinate");
         assert!(parse_query_line("3 5 5 1 1").is_err(), "inverted rect");
         assert!(parse_query_line("3 NaN 0 2 2").is_err(), "non-finite rect");
+    }
+
+    #[test]
+    fn parse_build_and_serve() {
+        let cmd = parse_args(&args(&[
+            "build", "n.gsr", "--method", "georeach", "--save", "idx.snap",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Build {
+                file: "n.gsr".into(),
+                method: "georeach".into(),
+                threads: 1,
+                save: "idx.snap".into(),
+            }
+        );
+        assert!(parse_args(&args(&["build", "n.gsr", "--method", "georeach"])).is_err());
+        assert!(parse_args(&args(&["build", "n.gsr", "--save", "x"])).is_err());
+
+        let cmd = parse_args(&args(&[
+            "serve", "--load", "idx.snap", "--port", "0", "--threads", "2",
+            "--budget-ms", "50",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                load: "idx.snap".into(),
+                port: 0,
+                threads: 2,
+                budget_ms: Some(50),
+            }
+        );
+        let cmd = parse_args(&args(&["serve", "--load", "idx.snap"])).unwrap();
+        assert!(matches!(cmd, Command::Serve { port: 7070, threads: 0, budget_ms: None, .. }));
+        assert!(parse_args(&args(&["serve"])).is_err(), "load missing");
+        assert!(parse_args(&args(&["serve", "--load", "x", "--port", "high"])).is_err());
+    }
+
+    #[test]
+    fn build_saves_a_loadable_snapshot() {
+        let dir = std::env::temp_dir().join("gsr_cli_build_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net = dir.join("net.gsr");
+        let snap = dir.join("idx.snap");
+        let net_path = net.to_string_lossy().to_string();
+        let snap_path = snap.to_string_lossy().to_string();
+
+        let mut out = Vec::new();
+        run(
+            parse_args(&args(&[
+                "generate", "--preset", "yelp", "--scale", "0.01", "--out", &net_path,
+            ]))
+            .unwrap(),
+            &mut out,
+        )
+        .unwrap();
+
+        let mut out = Vec::new();
+        run(
+            parse_args(&args(&[
+                "build", &net_path, "--method", "3dreach", "--save", &snap_path,
+            ]))
+            .unwrap(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(text.contains("built 3dreach"), "{text}");
+
+        // The saved snapshot answers exactly like a fresh build.
+        let loaded = gsr_store::load_from_path(&snap).unwrap();
+        let prep = load_prepared(&net).unwrap();
+        let fresh = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+        let r = Rect::new(-1000.0, -1000.0, 2000.0, 2000.0);
+        for v in 0..prep.network().num_vertices() as u32 {
+            assert_eq!(loaded.query(v, &r), fresh.query(v, &r), "vertex {v}");
+        }
+
+        // `all` cannot be snapshotted.
+        let e = run(
+            parse_args(&args(&[
+                "build", &net_path, "--method", "all", "--save", &snap_path,
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert_eq!(exit_code(e.as_ref()), 2, "{e}");
+
+        // A missing snapshot is a load error (exit code 3).
+        let e = run(
+            parse_args(&args(&["serve", "--load", "/definitely/not/here.snap"])).unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert_eq!(exit_code(e.as_ref()), 3, "{e}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

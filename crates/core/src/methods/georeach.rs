@@ -60,6 +60,37 @@ enum SpaInfo {
     G(Vec<CellId>),
 }
 
+/// Public mirror of the per-component SPA-graph information, for snapshot
+/// encoding; see [`GeoReach::to_parts`] / [`GeoReach::from_parts`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaInfoParts {
+    /// `GeoB(v)`: whether any spatial vertex is reachable.
+    B(bool),
+    /// `RMBR(v)`.
+    R(Rect),
+    /// `ReachGrid(v)`, merged and deduplicated.
+    G(Vec<CellId>),
+}
+
+/// Owned decomposition of a [`GeoReach`] index for snapshot encoding.
+#[derive(Debug, Clone)]
+pub struct GeoReachParts {
+    /// Component of every original vertex.
+    pub comp_of: Vec<CompId>,
+    /// The condensation DAG the traversal runs on.
+    pub dag: gsr_graph::DiGraph,
+    /// The space covered by the hierarchical grid.
+    pub space: Rect,
+    /// The finest-level exponent of the hierarchical grid.
+    pub finest_exp: u8,
+    /// Per-component SPA-graph information.
+    pub info: Vec<SpaInfoParts>,
+    /// CSR offsets into `member_points`, one range per component.
+    pub member_offsets: Vec<u32>,
+    /// Flattened per-component spatial member points.
+    pub member_points: Vec<gsr_geo::Point>,
+}
+
 /// The GeoReach evaluator: SPA-graph over the condensation DAG.
 #[derive(Debug, Clone)]
 pub struct GeoReach {
@@ -190,6 +221,76 @@ impl GeoReach {
         self.member_points[lo..hi].iter().any(|p| {
             cost.containment_tests += 1;
             region.contains_point(p)
+        })
+    }
+
+    /// Decomposes the index for snapshot encoding.
+    pub fn to_parts(&self) -> GeoReachParts {
+        GeoReachParts {
+            comp_of: self.comp_of.clone(),
+            dag: self.dag.clone(),
+            space: *self.grid.space(),
+            finest_exp: self.grid.finest_exp(),
+            info: self
+                .info
+                .iter()
+                .map(|i| match i {
+                    SpaInfo::B(b) => SpaInfoParts::B(*b),
+                    SpaInfo::R(r) => SpaInfoParts::R(*r),
+                    SpaInfo::G(cells) => SpaInfoParts::G(cells.clone()),
+                })
+                .collect(),
+            member_offsets: self.member_offsets.clone(),
+            member_points: self.member_points.clone(),
+        }
+    }
+
+    /// Reassembles an index from untrusted [`GeoReachParts`].
+    ///
+    /// Every per-component table must match the DAG's vertex count and
+    /// `comp_of` must reference DAG components, so that no traversal can
+    /// index out of bounds. Violations are `Err(String)`, never panics.
+    pub fn from_parts(parts: GeoReachParts) -> Result<Self, String> {
+        let GeoReachParts { comp_of, dag, space, finest_exp, info, member_offsets, member_points } =
+            parts;
+        let ncomp = dag.num_vertices();
+        if info.len() != ncomp {
+            return Err(format!("georeach: {} info entries for {ncomp} components", info.len()));
+        }
+        if member_offsets.len() != ncomp + 1 {
+            return Err(format!(
+                "georeach: {} member offsets for {ncomp} components",
+                member_offsets.len()
+            ));
+        }
+        if member_offsets[0] != 0 || member_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("georeach: member offsets not monotone from 0".into());
+        }
+        if member_offsets[ncomp] as usize != member_points.len() {
+            return Err(format!(
+                "georeach: member offsets claim {} points but {} present",
+                member_offsets[ncomp],
+                member_points.len()
+            ));
+        }
+        if let Some(&c) = comp_of.iter().find(|&&c| (c as usize) >= ncomp) {
+            return Err(format!("georeach: comp_of references component {c} >= {ncomp}"));
+        }
+        let info = info
+            .into_iter()
+            .map(|i| match i {
+                SpaInfoParts::B(b) => SpaInfo::B(b),
+                SpaInfoParts::R(r) => SpaInfo::R(r),
+                SpaInfoParts::G(cells) => SpaInfo::G(cells),
+            })
+            .collect();
+        Ok(GeoReach {
+            comp_of,
+            dag,
+            grid: HierarchicalGrid::new(space, finest_exp),
+            info,
+            member_offsets,
+            member_points,
         })
     }
 

@@ -9,12 +9,12 @@ mod spareach;
 mod threed;
 
 pub use dynamic3d::{CycleError, DynamicThreeDReach};
-pub use georeach::{GeoReach, GeoReachParams};
+pub use georeach::{GeoReach, GeoReachParams, GeoReachParts, SpaInfoParts};
 pub use nearest::NearestReach;
 pub use report::{report_bfs, ThreeDReporter};
 pub use socreach::{ScanMode, SocReach};
 pub use spareach::{
-    CandidateMode, SpaReach, SpaReachBfl, SpaReachFeline, SpaReachGrail, SpaReachInt,
-    SpaReachPll, SpatialBackend,
+    CandidateMode, SpaReach, SpaReachBfl, SpaReachFeline, SpaReachFilterParts, SpaReachGrail,
+    SpaReachInt, SpaReachParts, SpaReachPll, SpatialBackend,
 };
-pub use threed::{ThreeDReach, ThreeDReachRev};
+pub use threed::{ThreeDParts, ThreeDReach, ThreeDReachRev};

@@ -107,6 +107,49 @@ impl SocReach {
     pub fn descendant_count(&self, v: VertexId) -> usize {
         self.labeling.num_descendants(self.comp_of[v as usize])
     }
+
+    /// Decomposes the evaluator for snapshot encoding:
+    /// `(comp_of, labeling, post_offsets, points, mode)`.
+    /// [`SocReach::from_parts`] inverts it.
+    pub fn parts(&self) -> (&[CompId], &IntervalLabeling, &[u32], &[Point], ScanMode) {
+        (&self.comp_of, &self.labeling, &self.post_offsets, &self.points, self.mode)
+    }
+
+    /// Reassembles an evaluator from the pieces of [`SocReach::parts`].
+    ///
+    /// Untrusted input: the post-aligned point CSR must have exactly one
+    /// range per post-order number and `comp_of` must reference labeled
+    /// components, so that no per-label scan can index out of bounds.
+    /// Violations are `Err(String)`, never panics.
+    pub fn from_parts(
+        comp_of: Vec<CompId>,
+        labeling: IntervalLabeling,
+        post_offsets: Vec<u32>,
+        points: Vec<Point>,
+        mode: ScanMode,
+    ) -> Result<Self, String> {
+        let ncomp = labeling.num_vertices();
+        if post_offsets.len() != ncomp + 1 {
+            return Err(format!(
+                "socreach: {} post offsets for {ncomp} components",
+                post_offsets.len()
+            ));
+        }
+        if post_offsets[0] != 0 || post_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("socreach: post offsets not monotone from 0".into());
+        }
+        if post_offsets[ncomp] as usize != points.len() {
+            return Err(format!(
+                "socreach: post offsets claim {} points but {} present",
+                post_offsets[ncomp],
+                points.len()
+            ));
+        }
+        if let Some(&c) = comp_of.iter().find(|&&c| (c as usize) >= ncomp) {
+            return Err(format!("socreach: comp_of references component {c} >= {ncomp}"));
+        }
+        Ok(SocReach { comp_of, labeling, post_offsets, points, mode })
+    }
 }
 
 impl RangeReachIndex for SocReach {

@@ -73,6 +73,33 @@ enum SpatialFilter {
     Quad(QuadTree<CompId>),
 }
 
+/// The spatial-filter half of a [`SpaReachParts`] decomposition. Only the
+/// paper's R-tree backend is persisted — the space-oriented-partitioning
+/// backends are ablation-only and are rebuilt from scratch when needed.
+#[derive(Debug, Clone)]
+pub enum SpaReachFilterParts {
+    /// One point entry per spatial vertex (the replicate policy).
+    Points(RTree<2, CompId>),
+    /// One rectangle entry per spatial component (the MBR policy).
+    CompBoxes(RTree<2, CompId>),
+}
+
+/// Owned decomposition of a [`SpaReach`] index for snapshot encoding;
+/// produced by [`SpaReach::to_parts`], inverted by [`SpaReach::from_parts`].
+#[derive(Debug, Clone)]
+pub struct SpaReachParts<R> {
+    /// Component of every original vertex.
+    pub comp_of: Vec<CompId>,
+    /// The spatial filter structure.
+    pub filter: SpaReachFilterParts,
+    /// The reachability back-end over the condensation.
+    pub reach: R,
+    /// CSR offsets into `member_points`, one range per component.
+    pub member_offsets: Vec<u32>,
+    /// Flattened per-component spatial member points.
+    pub member_points: Vec<gsr_geo::Point>,
+}
+
 /// Generic spatial-first evaluator over any [`Reachability`] back-end.
 #[derive(Debug, Clone)]
 pub struct SpaReach<R> {
@@ -312,6 +339,78 @@ impl<R: Reachability> SpaReach<R> {
     /// Access to the reachability back-end (for tests and stats).
     pub fn reachability(&self) -> &R {
         &self.reach
+    }
+
+    /// Decomposes the index for snapshot encoding. Returns `None` when the
+    /// spatial filter uses an ablation-only space-oriented-partitioning
+    /// backend (those are never persisted) or the streaming candidate mode.
+    pub fn to_parts(&self) -> Option<SpaReachParts<R>>
+    where
+        R: Clone,
+    {
+        if self.mode != CandidateMode::Materialize {
+            return None;
+        }
+        let filter = match &self.filter {
+            SpatialFilter::Points(t) => SpaReachFilterParts::Points(t.clone()),
+            SpatialFilter::CompBoxes(t) => SpaReachFilterParts::CompBoxes(t.clone()),
+            _ => return None,
+        };
+        Some(SpaReachParts {
+            comp_of: self.comp_of.clone(),
+            filter,
+            reach: self.reach.clone(),
+            member_offsets: self.member_offsets.clone(),
+            member_points: self.member_points.clone(),
+        })
+    }
+
+    /// Reassembles an index from a [`SpaReachParts`] decomposition.
+    ///
+    /// The parts are untrusted (they come from disk): the member CSR must be
+    /// well-formed and every component id — in `comp_of` and in the filter
+    /// tree's payloads — must index a member range, so that no query can
+    /// panic. The caller additionally checks that the reachability back-end
+    /// covers the same number of components (the [`Reachability`] trait does
+    /// not expose a vertex count). Violations are `Err(String)`.
+    pub fn from_parts(parts: SpaReachParts<R>, name: &'static str) -> Result<Self, String> {
+        let SpaReachParts { comp_of, filter, reach, member_offsets, member_points } = parts;
+        if member_offsets.is_empty() {
+            return Err("spareach: empty member offsets".into());
+        }
+        if member_offsets[0] != 0 || member_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("spareach: member offsets not monotone from 0".into());
+        }
+        let ncomp = member_offsets.len() - 1;
+        if member_offsets[ncomp] as usize != member_points.len() {
+            return Err(format!(
+                "spareach: member offsets claim {} points but {} present",
+                member_offsets[ncomp],
+                member_points.len()
+            ));
+        }
+        if let Some(&c) = comp_of.iter().find(|&&c| (c as usize) >= ncomp) {
+            return Err(format!("spareach: comp_of references component {c} >= {ncomp}"));
+        }
+        let tree = match &filter {
+            SpaReachFilterParts::Points(t) | SpaReachFilterParts::CompBoxes(t) => t,
+        };
+        if let Some((_, &c)) = tree.iter().find(|(_, &c)| (c as usize) >= ncomp) {
+            return Err(format!("spareach: filter references component {c} >= {ncomp}"));
+        }
+        let filter = match filter {
+            SpaReachFilterParts::Points(t) => SpatialFilter::Points(t),
+            SpaReachFilterParts::CompBoxes(t) => SpatialFilter::CompBoxes(t),
+        };
+        Ok(SpaReach {
+            comp_of,
+            filter,
+            reach,
+            name,
+            mode: CandidateMode::Materialize,
+            member_offsets,
+            member_points,
+        })
     }
 
     fn member_points(&self, c: CompId) -> &[gsr_geo::Point] {

@@ -106,6 +106,70 @@ impl ThreeDCommon {
     }
 }
 
+/// Owned decomposition of the shared state of the two 3-D methods for
+/// snapshot encoding; produced by [`ThreeDReach::to_parts`] /
+/// [`ThreeDReachRev::to_parts`], inverted by the matching `from_parts`.
+#[derive(Debug, Clone)]
+pub struct ThreeDParts {
+    /// Component of every original vertex.
+    pub comp_of: Vec<CompId>,
+    /// The interval labeling over the condensation (reversed for REV).
+    pub labeling: IntervalLabeling,
+    /// The 3-D R-tree of points (forward) or segments (REV).
+    pub tree: RTree<3, CompId>,
+    /// Which SCC spatial policy the entries were generated under.
+    pub policy: SccSpatialPolicy,
+    /// CSR offsets into `member_points`, one range per component.
+    pub member_offsets: Vec<u32>,
+    /// Flattened per-component spatial member points.
+    pub member_points: Vec<Point>,
+}
+
+impl ThreeDCommon {
+    fn to_parts(&self) -> ThreeDParts {
+        ThreeDParts {
+            comp_of: self.comp_of.clone(),
+            labeling: self.labeling.clone(),
+            tree: self.tree.clone(),
+            policy: self.policy,
+            member_offsets: self.member_offsets.clone(),
+            member_points: self.member_points.clone(),
+        }
+    }
+
+    /// Validates untrusted parts and reassembles the shared state. Every
+    /// index a query dereferences — component ids in `comp_of` and in tree
+    /// payloads, the member CSR — is bounds-checked against the labeling's
+    /// component count so queries cannot panic.
+    fn from_parts(parts: ThreeDParts) -> Result<Self, String> {
+        let ThreeDParts { comp_of, labeling, tree, policy, member_offsets, member_points } = parts;
+        let ncomp = labeling.num_vertices();
+        if member_offsets.len() != ncomp + 1 {
+            return Err(format!(
+                "3dreach: {} member offsets for {ncomp} components",
+                member_offsets.len()
+            ));
+        }
+        if member_offsets[0] != 0 || member_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("3dreach: member offsets not monotone from 0".into());
+        }
+        if member_offsets[ncomp] as usize != member_points.len() {
+            return Err(format!(
+                "3dreach: member offsets claim {} points but {} present",
+                member_offsets[ncomp],
+                member_points.len()
+            ));
+        }
+        if let Some(&c) = comp_of.iter().find(|&&c| (c as usize) >= ncomp) {
+            return Err(format!("3dreach: comp_of references component {c} >= {ncomp}"));
+        }
+        if let Some((_, &c)) = tree.iter().find(|(_, &c)| (c as usize) >= ncomp) {
+            return Err(format!("3dreach: tree references component {c} >= {ncomp}"));
+        }
+        Ok(ThreeDCommon { comp_of, labeling, tree, policy, member_offsets, member_points })
+    }
+}
+
 /// The forward 3DReach method: 3-D points, one cuboid query per label.
 #[derive(Debug, Clone)]
 pub struct ThreeDReach {
@@ -169,6 +233,17 @@ impl ThreeDReach {
     /// The forward labeling (for stats).
     pub fn labeling(&self) -> &IntervalLabeling {
         &self.common.labeling
+    }
+
+    /// Decomposes the index for snapshot encoding.
+    pub fn to_parts(&self) -> ThreeDParts {
+        self.common.to_parts()
+    }
+
+    /// Reassembles an index from untrusted [`ThreeDParts`]; violations of
+    /// the structural invariants are `Err(String)`, never panics.
+    pub fn from_parts(parts: ThreeDParts) -> Result<Self, String> {
+        Ok(ThreeDReach { common: ThreeDCommon::from_parts(parts)? })
     }
 }
 
@@ -290,6 +365,22 @@ impl ThreeDReachRev {
     /// The reversed labeling (for stats).
     pub fn labeling(&self) -> &IntervalLabeling {
         &self.common.labeling
+    }
+
+    /// Decomposes the index for snapshot encoding; `rev_post` is derived
+    /// from the labeling and need not be persisted separately.
+    pub fn to_parts(&self) -> ThreeDParts {
+        self.common.to_parts()
+    }
+
+    /// Reassembles an index from untrusted [`ThreeDParts`], re-deriving the
+    /// per-component plane heights from the reversed labeling exactly as the
+    /// build does. Violations are `Err(String)`, never panics.
+    pub fn from_parts(parts: ThreeDParts) -> Result<Self, String> {
+        let common = ThreeDCommon::from_parts(parts)?;
+        let rev_post: Vec<u32> =
+            (0..common.labeling.num_vertices() as CompId).map(|c| common.labeling.post(c)).collect();
+        Ok(ThreeDReachRev { common, rev_post })
     }
 }
 

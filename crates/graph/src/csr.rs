@@ -117,6 +117,75 @@ impl DiGraph {
         DiGraph::from_sorted_edges(self.num_vertices(), &rev)
     }
 
+    /// Forward-CSR view of the graph, `(out_offsets, out_targets)`, for
+    /// snapshot encoding. Together with the vertex count implied by
+    /// `out_offsets.len() - 1` this fully determines the graph; the reverse
+    /// adjacency is derived and is rebuilt by [`DiGraph::from_out_csr`].
+    pub fn out_csr(&self) -> (&[u32], &[VertexId]) {
+        (&self.out_offsets, &self.out_targets)
+    }
+
+    /// Rebuilds a graph from a forward CSR previously obtained via
+    /// [`DiGraph::out_csr`]. The reverse adjacency is reconstructed with the
+    /// same counting sort as the original build, so the result is
+    /// bit-identical to the graph that was snapshotted.
+    ///
+    /// The input is untrusted (it typically comes from disk): shape, bounds
+    /// and per-vertex ordering are validated, and the first defect is
+    /// reported as an `Err(String)` for the caller to wrap in its own typed
+    /// error.
+    pub fn from_out_csr(out_offsets: Vec<u32>, out_targets: Vec<VertexId>) -> Result<Self, String> {
+        if out_offsets.is_empty() {
+            return Err("csr: empty offset array".into());
+        }
+        if out_offsets[0] != 0 {
+            return Err(format!("csr: offsets[0] = {}, expected 0", out_offsets[0]));
+        }
+        if let Some(w) = out_offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(format!("csr: offsets decrease at index {w}"));
+        }
+        let n = out_offsets.len() - 1;
+        let m = out_offsets[n] as usize;
+        if m != out_targets.len() {
+            return Err(format!(
+                "csr: offsets claim {m} edges but {} targets present",
+                out_targets.len()
+            ));
+        }
+        for (v, w) in out_offsets.windows(2).enumerate() {
+            let list = &out_targets[w[0] as usize..w[1] as usize];
+            if let Some(&t) = list.iter().find(|&&t| (t as usize) >= n) {
+                return Err(format!("csr: vertex {v} has out-neighbour {t} >= {n} vertices"));
+            }
+            if list.windows(2).any(|p| p[0] >= p[1]) {
+                return Err(format!("csr: out-neighbours of vertex {v} not sorted+dedup"));
+            }
+        }
+
+        // Reverse adjacency via counting sort, iterating edges in forward-CSR
+        // order — the same order `from_sorted_edges` uses.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &v in &out_targets {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0 as VertexId; out_targets.len()];
+        for u in 0..n {
+            let lo = out_offsets[u] as usize;
+            let hi = out_offsets[u + 1] as usize;
+            for &v in &out_targets[lo..hi] {
+                let slot = cursor[v as usize];
+                in_sources[slot as usize] = u as VertexId;
+                cursor[v as usize] += 1;
+            }
+        }
+
+        Ok(DiGraph { out_offsets, out_targets, in_offsets, in_sources })
+    }
+
     /// Approximate heap footprint in bytes, for the index-size accounting of
     /// Table 4 in the paper.
     pub fn heap_bytes(&self) -> usize {
@@ -179,6 +248,36 @@ mod tests {
             assert!(r.has_edge(v, u));
         }
         assert_eq!(r.out_neighbors(3), &[1, 2]);
+    }
+
+    #[test]
+    fn csr_parts_round_trip() {
+        let g = diamond();
+        let (offsets, targets) = g.out_csr();
+        let h = crate::DiGraph::from_out_csr(offsets.to_vec(), targets.to_vec())
+            .expect("valid csr must round-trip");
+        assert_eq!(g.num_vertices(), h.num_vertices());
+        for v in g.vertices() {
+            assert_eq!(g.out_neighbors(v), h.out_neighbors(v));
+            assert_eq!(g.in_neighbors(v), h.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn from_out_csr_rejects_malformed() {
+        // Offsets must start at zero.
+        assert!(crate::DiGraph::from_out_csr(vec![1, 1], vec![]).is_err());
+        // Offsets must be monotone.
+        assert!(crate::DiGraph::from_out_csr(vec![0, 2, 1], vec![0, 0]).is_err());
+        // Edge count must match target length.
+        assert!(crate::DiGraph::from_out_csr(vec![0, 2], vec![0]).is_err());
+        // Targets must be in range.
+        assert!(crate::DiGraph::from_out_csr(vec![0, 1], vec![7]).is_err());
+        // Adjacency lists must be sorted and deduplicated.
+        assert!(crate::DiGraph::from_out_csr(vec![0, 2], vec![1, 0]).is_err());
+        assert!(crate::DiGraph::from_out_csr(vec![0, 2], vec![1, 1]).is_err());
+        // Empty offsets are rejected outright.
+        assert!(crate::DiGraph::from_out_csr(vec![], vec![]).is_err());
     }
 
     #[test]

@@ -81,6 +81,16 @@ impl HierarchicalGrid {
         &self.space
     }
 
+    /// The finest-level exponent (`L0` has `2^finest_exp` cells per side).
+    /// Together with [`HierarchicalGrid::space`] this fully determines the
+    /// hierarchy, so `HierarchicalGrid::new(*g.space(), g.finest_exp())`
+    /// reconstructs it exactly — the snapshot encoding of GeoReach relies
+    /// on this.
+    #[inline]
+    pub fn finest_exp(&self) -> u8 {
+        self.finest_exp
+    }
+
     /// Number of levels (level `num_levels() - 1` is one cell).
     #[inline]
     pub fn num_levels(&self) -> u8 {

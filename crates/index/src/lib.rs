@@ -27,5 +27,5 @@ mod uniform;
 
 pub use kdtree::KdTree;
 pub use quadtree::QuadTree;
-pub use rtree::{RTree, RTreeParams};
+pub use rtree::{RTree, RTreeNode, RTreeParams};
 pub use uniform::UniformGrid;

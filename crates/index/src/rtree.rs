@@ -56,6 +56,27 @@ impl<const N: usize, T> Node<N, T> {
     }
 }
 
+/// One node of an [`RTree`] in snapshot form. Node ids index the arena
+/// order returned by [`RTree::snapshot_nodes`]; [`RTree::from_snapshot`]
+/// re-validates the ids before rebuilding a tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RTreeNode<const N: usize, T> {
+    /// A leaf holding data entries.
+    Leaf {
+        /// Minimum bounding rectangle of the entries.
+        mbr: Aabb<N>,
+        /// The data entries.
+        entries: Vec<(Aabb<N>, T)>,
+    },
+    /// An inner node holding child node ids.
+    Inner {
+        /// Minimum bounding rectangle of the children.
+        mbr: Aabb<N>,
+        /// Arena ids of the children.
+        children: Vec<u32>,
+    },
+}
+
 /// An R-tree over `N`-dimensional boxes with payloads of type `T`.
 ///
 /// ```
@@ -564,6 +585,100 @@ impl<const N: usize, T> RTree<N, T> {
                     }
             })
             .sum()
+    }
+
+    /// The fan-out parameters the tree was built with.
+    #[inline]
+    pub fn params(&self) -> RTreeParams {
+        self.params
+    }
+
+    /// The arena id of the root node (for [`RTree::snapshot_nodes`]).
+    #[inline]
+    pub fn root_id(&self) -> u32 {
+        self.root
+    }
+
+    /// The node arena in storage order, as public [`RTreeNode`] values, for
+    /// snapshot encoding. [`RTree::from_snapshot`] inverts it exactly, so a
+    /// saved tree reloads bit-identical (same arena layout, same traversal
+    /// order, same query costs).
+    pub fn snapshot_nodes(&self) -> Vec<RTreeNode<N, T>>
+    where
+        T: Clone,
+    {
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Leaf(entries) => {
+                    RTreeNode::Leaf { mbr: n.mbr, entries: entries.clone() }
+                }
+                NodeKind::Inner(children) => {
+                    RTreeNode::Inner { mbr: n.mbr, children: children.clone() }
+                }
+            })
+            .collect()
+    }
+
+    /// Rebuilds a tree from `(params, root, len, nodes)` as produced by
+    /// [`RTree::params`] / [`RTree::root_id`] / [`RTree::len`] /
+    /// [`RTree::snapshot_nodes`].
+    ///
+    /// The input is untrusted: the arena reachable from `root` must be a
+    /// proper tree (in-range ids, no node visited twice, non-empty inner
+    /// nodes) and its leaves must hold exactly `len` entries, so that no
+    /// traversal can panic or loop. Violations are reported as
+    /// `Err(String)`.
+    pub fn from_snapshot(
+        params: RTreeParams,
+        root: u32,
+        len: usize,
+        nodes: Vec<RTreeNode<N, T>>,
+    ) -> Result<Self, String> {
+        if root as usize >= nodes.len() {
+            return Err(format!("rtree: root id {root} out of range ({} nodes)", nodes.len()));
+        }
+        let mut seen = vec![false; nodes.len()];
+        let mut stack = vec![root];
+        let mut entry_count = 0usize;
+        while let Some(id) = stack.pop() {
+            let i = id as usize;
+            if seen[i] {
+                return Err(format!("rtree: node {id} reachable twice (not a tree)"));
+            }
+            seen[i] = true;
+            match &nodes[i] {
+                RTreeNode::Leaf { entries, .. } => entry_count += entries.len(),
+                RTreeNode::Inner { children, .. } => {
+                    if children.is_empty() {
+                        return Err(format!("rtree: inner node {id} has no children"));
+                    }
+                    for &c in children {
+                        if c as usize >= nodes.len() {
+                            return Err(format!(
+                                "rtree: node {id} references child {c} out of range"
+                            ));
+                        }
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        if entry_count != len {
+            return Err(format!(
+                "rtree: {entry_count} entries reachable from root but len = {len}"
+            ));
+        }
+        let nodes = nodes
+            .into_iter()
+            .map(|n| match n {
+                RTreeNode::Leaf { mbr, entries } => Node { mbr, kind: NodeKind::Leaf(entries) },
+                RTreeNode::Inner { mbr, children } => {
+                    Node { mbr, kind: NodeKind::Inner(children) }
+                }
+            })
+            .collect();
+        Ok(RTree { params, nodes, root, len })
     }
 
     /// Checks structural invariants (entry count, MBR containment, fan-out
@@ -1117,6 +1232,53 @@ mod tests {
         let seq = RTree::bulk_load(entries.clone());
         let par = RTree::bulk_load_parallel(entries, RTreeParams::default(), 4);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn snapshot_nodes_round_trip_exactly() {
+        for n in [0usize, 1, 50, 2000] {
+            let t = RTree::bulk_load(grid_points(n));
+            let back = RTree::from_snapshot(t.params(), t.root_id(), t.len(), t.snapshot_nodes())
+                .expect("valid snapshot must rebuild");
+            assert_eq!(t, back, "n = {n}");
+            back.check_invariants();
+        }
+        // Insertion-built trees (quadratic splits) round-trip too.
+        let mut t: RTree<2, usize> = RTree::new();
+        for (b, i) in grid_points(300) {
+            t.insert(b, i);
+        }
+        let back = RTree::from_snapshot(t.params(), t.root_id(), t.len(), t.snapshot_nodes())
+            .expect("valid snapshot must rebuild");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn from_snapshot_rejects_malformed_arenas() {
+        let params = RTreeParams::default();
+        let leaf = |entries: Vec<(Aabb<2>, u32)>| RTreeNode::Leaf {
+            mbr: Aabb::mbr_of(entries.iter().map(|(b, _)| *b)).unwrap_or_else(Aabb::empty),
+            entries,
+        };
+        // Root out of range.
+        assert!(RTree::<2, u32>::from_snapshot(params, 3, 0, vec![leaf(vec![])]).is_err());
+        // Child id out of range.
+        let bad_child = vec![RTreeNode::Inner { mbr: Aabb::empty(), children: vec![9] }];
+        assert!(RTree::<2, u32>::from_snapshot(params, 0, 0, bad_child).is_err());
+        // A cycle (node reachable twice).
+        let cyclic = vec![
+            RTreeNode::Inner { mbr: Aabb::empty(), children: vec![1, 1] },
+            leaf(vec![(pt(0.0, 0.0), 7)]),
+        ];
+        assert!(RTree::<2, u32>::from_snapshot(params, 0, 2, cyclic).is_err());
+        // Inner node with no children.
+        let hollow = vec![RTreeNode::Inner::<2, u32> { mbr: Aabb::empty(), children: vec![] }];
+        assert!(RTree::from_snapshot(params, 0, 0, hollow).is_err());
+        // Entry count mismatch.
+        assert!(
+            RTree::<2, u32>::from_snapshot(params, 0, 5, vec![leaf(vec![(pt(1.0, 1.0), 1)])])
+                .is_err()
+        );
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub struct BflIndex {
     words: usize,
 }
 
+/// The borrowed decomposition returned by [`BflIndex::parts`]:
+/// `(graph, post, tree_min, out_filters, in_filters, words)`.
+pub type BflParts<'a> = (&'a DiGraph, &'a [u32], &'a [u32], &'a [u64], &'a [u64], usize);
+
 impl BflIndex {
     /// Builds the index over a DAG with default parameters.
     pub fn build(g: &DiGraph) -> Self {
@@ -160,6 +164,63 @@ impl BflIndex {
     /// exposed so determinism tests can compare builds structurally.
     pub fn filters(&self) -> (&[u64], &[u64]) {
         (&self.out_filters, &self.in_filters)
+    }
+
+    /// Borrowed decomposition for snapshot encoding:
+    /// `(graph, post, tree_min, out_filters, in_filters, words)`.
+    /// [`BflIndex::from_parts`] inverts it.
+    pub fn parts(&self) -> BflParts<'_> {
+        (&self.g, &self.post, &self.tree_min, &self.out_filters, &self.in_filters, self.words)
+    }
+
+    /// Reassembles an index from the pieces of [`BflIndex::parts`].
+    ///
+    /// Untrusted input: vector lengths must be mutually consistent with the
+    /// graph's vertex count and filter width, posts must be a 1-based
+    /// permutation, and `tree_min(v) <= post(v)` must hold so the positive
+    /// cut can never admit a nonsense range. Violations come back as
+    /// `Err(String)` — never panics.
+    pub fn from_parts(
+        g: DiGraph,
+        post: Vec<u32>,
+        tree_min: Vec<u32>,
+        out_filters: Vec<u64>,
+        in_filters: Vec<u64>,
+        words: usize,
+    ) -> Result<Self, String> {
+        let n = g.num_vertices();
+        if words == 0 {
+            return Err("bfl: zero filter words".into());
+        }
+        if post.len() != n || tree_min.len() != n {
+            return Err(format!(
+                "bfl: {n} vertices but {} posts / {} tree mins",
+                post.len(),
+                tree_min.len()
+            ));
+        }
+        let expected = n.checked_mul(words).ok_or("bfl: filter table size overflows")?;
+        if out_filters.len() != expected || in_filters.len() != expected {
+            return Err(format!(
+                "bfl: expected {expected} filter words per direction, got {} out / {} in",
+                out_filters.len(),
+                in_filters.len()
+            ));
+        }
+        let mut seen = vec![false; n];
+        for (v, &p) in post.iter().enumerate() {
+            if p == 0 || p as usize > n || seen[(p - 1) as usize] {
+                return Err(format!("bfl: post({v}) = {p} is not a 1..={n} permutation"));
+            }
+            seen[(p - 1) as usize] = true;
+            if tree_min[v] == 0 || tree_min[v] > p {
+                return Err(format!(
+                    "bfl: tree_min({v}) = {} outside 1..=post({v})={p}",
+                    tree_min[v]
+                ));
+            }
+        }
+        Ok(BflIndex { g, post, tree_min, out_filters, in_filters, words })
     }
 }
 

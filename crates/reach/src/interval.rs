@@ -228,6 +228,79 @@ impl IntervalLabeling {
             + self.offsets.len() * 4
             + self.labels.len() * std::mem::size_of::<Interval>()
     }
+
+    /// Borrowed decomposition `(post, post_to_vertex, offsets, labels)` for
+    /// snapshot encoding. [`IntervalLabeling::from_parts`] inverts it.
+    pub fn parts(&self) -> (&[u32], &[VertexId], &[u32], &[Interval]) {
+        (&self.post, &self.post_to_vertex, &self.offsets, &self.labels)
+    }
+
+    /// Reassembles a labeling from the vectors of [`IntervalLabeling::parts`].
+    ///
+    /// The input is untrusted (snapshot loaders feed it bytes from disk), so
+    /// every structural invariant the query path relies on is re-validated:
+    /// `post`/`post_to_vertex` must be mutually inverse 1-based permutations,
+    /// `offsets` a well-formed CSR over `labels`, and every interval ordered
+    /// with endpoints inside `1..=n`. Violations are reported as
+    /// `Err(String)` — never panics.
+    pub fn from_parts(
+        post: Vec<u32>,
+        post_to_vertex: Vec<VertexId>,
+        offsets: Vec<u32>,
+        labels: Vec<Interval>,
+    ) -> Result<Self, String> {
+        let n = post.len();
+        if post_to_vertex.len() != n {
+            return Err(format!(
+                "interval labeling: {n} posts but {} inverse entries",
+                post_to_vertex.len()
+            ));
+        }
+        for (v, &p) in post.iter().enumerate() {
+            if p == 0 || p as usize > n {
+                return Err(format!("interval labeling: post({v}) = {p} outside 1..={n}"));
+            }
+            let back = post_to_vertex[(p - 1) as usize];
+            if back as usize != v {
+                return Err(format!(
+                    "interval labeling: post_to_vertex[{}] = {back}, expected {v}",
+                    p - 1
+                ));
+            }
+        }
+        if offsets.len() != n + 1 {
+            return Err(format!(
+                "interval labeling: {} offsets for {n} vertices, expected {}",
+                offsets.len(),
+                n + 1
+            ));
+        }
+        if offsets.first() != Some(&0) || offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("interval labeling: label offsets not monotone from 0".into());
+        }
+        if offsets.last().copied().unwrap_or(0) as usize != labels.len() {
+            return Err(format!(
+                "interval labeling: offsets claim {} labels but {} present",
+                offsets.last().copied().unwrap_or(0),
+                labels.len()
+            ));
+        }
+        for (v, w) in offsets.windows(2).enumerate() {
+            let set = &labels[w[0] as usize..w[1] as usize];
+            for iv in set {
+                if iv.lo == 0 || iv.lo > iv.hi || iv.hi as usize > n {
+                    return Err(format!(
+                        "interval labeling: vertex {v} has malformed interval [{}, {}]",
+                        iv.lo, iv.hi
+                    ));
+                }
+            }
+            if set.windows(2).any(|p| p[0].hi >= p[1].lo) {
+                return Err(format!("interval labeling: vertex {v} labels not sorted+disjoint"));
+            }
+        }
+        Ok(IntervalLabeling { post, post_to_vertex, offsets, labels })
+    }
 }
 
 impl Reachability for IntervalLabeling {
@@ -701,6 +774,50 @@ mod tests {
         let p = l.post(leaf);
         assert!(l.covers_post(leaf, p));
         assert!(!l.covers_post(leaf, l.post(0)));
+    }
+
+    #[test]
+    fn parts_round_trip_and_validation() {
+        let g = paper_graph();
+        let l = IntervalLabeling::build(&g);
+        let (post, inv, offsets, labels) = l.parts();
+        let back = IntervalLabeling::from_parts(
+            post.to_vec(),
+            inv.to_vec(),
+            offsets.to_vec(),
+            labels.to_vec(),
+        )
+        .expect("valid parts must reassemble");
+        assert_eq!(l, back);
+
+        // Broken permutation.
+        let mut bad_post = post.to_vec();
+        bad_post[0] = bad_post[1];
+        assert!(IntervalLabeling::from_parts(
+            bad_post,
+            inv.to_vec(),
+            offsets.to_vec(),
+            labels.to_vec()
+        )
+        .is_err());
+        // Out-of-range interval endpoint.
+        let mut bad_labels = labels.to_vec();
+        bad_labels[0] = Interval { lo: 1, hi: u32::MAX };
+        assert!(IntervalLabeling::from_parts(
+            post.to_vec(),
+            inv.to_vec(),
+            offsets.to_vec(),
+            bad_labels
+        )
+        .is_err());
+        // Truncated offsets.
+        assert!(IntervalLabeling::from_parts(
+            post.to_vec(),
+            inv.to_vec(),
+            offsets[..offsets.len() - 1].to_vec(),
+            labels.to_vec()
+        )
+        .is_err());
     }
 
     #[test]

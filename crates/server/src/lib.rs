@@ -1,0 +1,382 @@
+//! # gsr-server: a multi-threaded TCP query service
+//!
+//! Serves `RangeReach` queries over a newline-delimited text protocol (see
+//! [`proto`]) from an immutable, [`Arc`]-shared index — typically one
+//! loaded from a `gsr-store` snapshot, so a service replica goes from
+//! process start to serving without rebuilding anything.
+//!
+//! ## Architecture
+//!
+//! * One non-blocking **accept loop** plus a **fixed worker pool** of `N`
+//!   connection handlers, all running as blocking tasks on
+//!   `gsr_graph::par`'s scoped-thread pool — the same primitive the index
+//!   builders parallelize with, so the service adds no new threading
+//!   machinery. Accepted connections are handed to workers through a
+//!   `Mutex<VecDeque>` + `Condvar` queue.
+//! * Each connection is **pipelined**: every flush of consecutive `REACH`
+//!   lines is evaluated as one batch through
+//!   [`gsr_core::BatchExecutor::run_bounded`], under the server's
+//!   per-request time budget and its [`CancelToken`]. Replies come back in
+//!   request order, one line each.
+//! * **Graceful shutdown**: cancelling the server's token (via
+//!   [`QueryServer::cancel_token`], or a client's `SHUTDOWN` line) stops
+//!   the accept loop, wakes idle workers, and lets in-flight connections
+//!   close at their next poll tick. [`QueryServer::run`] then returns.
+//! * `STATS` reports queries served, error replies and p50/p99 request
+//!   latency from a fixed-bucket histogram ([`ServerStats`]).
+//!
+//! Every failure a query can hit maps onto one `ERR <code> <msg>` line
+//! mirroring the [`GsrError`] taxonomy; a malformed line never kills the
+//! connection, and a panicking index implementation is fenced off by the
+//! batch executor's per-query isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod proto;
+mod stats;
+
+pub use stats::{LatencyHistogram, ServerStats, StatsSnapshot};
+
+use gsr_core::{BatchExecutor, BatchOptions, BatchQuery, CancelToken, GsrError, RangeReachIndex};
+use proto::{error_reply, parse_line, Request, PROTOCOL_ERR};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often blocked workers and connection reads wake up to poll the
+/// cancellation token. Bounds shutdown latency, not correctness.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Configuration of a [`QueryServer`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Connection-handler pool size; `0` means machine parallelism.
+    pub threads: usize,
+    /// Per-request time budget applied to each pipelined batch of `REACH`
+    /// queries; `None` means unlimited. Exceeding it answers the remaining
+    /// queries of the batch with `ERR 5`.
+    pub budget: Option<Duration>,
+}
+
+/// A bound TCP query service. Construct with [`QueryServer::bind`], then
+/// call [`QueryServer::run`] to serve until shutdown.
+pub struct QueryServer {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    index: Arc<dyn RangeReachIndex>,
+    config: ServerConfig,
+    cancel: CancelToken,
+    stats: Arc<ServerStats>,
+}
+
+/// The connection hand-off queue between the accept loop and the workers.
+#[derive(Default)]
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl QueryServer {
+    /// Binds the service to `addr` (use port 0 to let the OS pick one; the
+    /// chosen port is available via [`QueryServer::local_addr`]).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        index: Arc<dyn RangeReachIndex>,
+        config: ServerConfig,
+    ) -> Result<Self, GsrError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| GsrError::Internal(format!("server bind: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| GsrError::Internal(format!("server local_addr: {e}")))?;
+        Ok(QueryServer {
+            listener,
+            local_addr,
+            index,
+            config,
+            cancel: CancelToken::new(),
+            stats: Arc::new(ServerStats::default()),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the OS-assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that stops the server when cancelled: the accept loop
+    /// exits, idle workers wake and drain, open connections close at their
+    /// next poll tick, and [`QueryServer::run`] returns.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// The live service counters (shared with the workers).
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Serves until the cancellation token fires (externally or via a
+    /// client's `SHUTDOWN`), then returns after a graceful drain.
+    pub fn run(self) -> Result<(), GsrError> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| GsrError::Internal(format!("server set_nonblocking: {e}")))?;
+        let workers = gsr_graph::par::effective_threads(self.config.threads);
+        let conns = ConnQueue::default();
+
+        // Task 0 is the accept loop; tasks 1..=workers are the fixed
+        // connection-handler pool. All are blocking tasks on the same
+        // scoped-thread pool the index builders use; requesting exactly
+        // `workers + 1` threads gives every task its own OS thread.
+        gsr_graph::par::map_indexed(workers + 1, workers + 1, |i| {
+            if i == 0 {
+                self.accept_loop(&conns);
+            } else {
+                self.worker_loop(&conns);
+            }
+        });
+        Ok(())
+    }
+
+    fn accept_loop(&self, conns: &ConnQueue) {
+        while !self.cancel.is_cancelled() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if let Ok(mut q) = conns.queue.lock() {
+                        q.push_back(stream);
+                        conns.ready.notify_one();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_TICK);
+                }
+                Err(_) => {
+                    // Transient accept failure (e.g. per-connection resource
+                    // exhaustion): back off and keep serving.
+                    std::thread::sleep(POLL_TICK);
+                }
+            }
+        }
+        // Wake every idle worker so the pool can drain and exit.
+        conns.ready.notify_all();
+    }
+
+    fn worker_loop(&self, conns: &ConnQueue) {
+        loop {
+            let next = {
+                let Ok(mut q) = conns.queue.lock() else { return };
+                loop {
+                    if let Some(stream) = q.pop_front() {
+                        break Some(stream);
+                    }
+                    if self.cancel.is_cancelled() {
+                        break None;
+                    }
+                    match conns.ready.wait_timeout(q, POLL_TICK) {
+                        Ok((guard, _)) => q = guard,
+                        Err(_) => return,
+                    }
+                }
+            };
+            match next {
+                Some(stream) => self.handle_connection(stream),
+                None => return,
+            }
+        }
+    }
+
+    /// Serves one connection until EOF, a fatal socket error, or shutdown.
+    fn handle_connection(&self, mut stream: TcpStream) {
+        // A finite read timeout turns the blocking read into a poll loop,
+        // so shutdown is noticed within one tick even on idle connections.
+        let _ = stream.set_read_timeout(Some(POLL_TICK));
+        let _ = stream.set_nodelay(true);
+
+        let mut pending: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.cancel.is_cancelled() {
+                return;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF. A trailing unterminated line is still served (the
+                    // peer may have half-closed and be waiting for replies).
+                    if !pending.is_empty() {
+                        let tail = std::mem::take(&mut pending);
+                        let (replies, _) = self.serve_lines(&tail);
+                        let _ = stream.write_all(replies.as_bytes());
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    pending.extend_from_slice(&chunk[..n]);
+                    let Some(last_nl) = pending.iter().rposition(|&b| b == b'\n') else {
+                        continue;
+                    };
+                    let complete: Vec<u8> = pending.drain(..=last_nl).collect();
+                    let (replies, shutdown) = self.serve_lines(&complete);
+                    if stream.write_all(replies.as_bytes()).is_err() || shutdown {
+                        return;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Serves a flush of complete request lines, returning the reply text
+    /// (one line per request, in order) and whether `SHUTDOWN` was seen.
+    ///
+    /// Consecutive `REACH` lines form one batch through
+    /// [`BatchExecutor::run_bounded`] — that is what makes pipelining pay:
+    /// a client that writes 1000 queries before reading gets them evaluated
+    /// as one bounded batch, not 1000 round trips.
+    fn serve_lines(&self, bytes: &[u8]) -> (String, bool) {
+        let text = String::from_utf8_lossy(bytes);
+        let mut replies = String::new();
+        let mut batch: Vec<BatchQuery> = Vec::new();
+        let mut shutdown = false;
+
+        for line in text.split('\n') {
+            if shutdown {
+                break;
+            }
+            match parse_line(line) {
+                Ok(None) => {}
+                Ok(Some(Request::Reach(v, r))) => batch.push((v, r)),
+                other => {
+                    self.flush_batch(&mut batch, &mut replies);
+                    match other {
+                        Ok(Some(Request::Stats)) => {
+                            replies.push_str(&format!("STATS {}\n", self.stats.snapshot()));
+                        }
+                        Ok(Some(Request::Shutdown)) => {
+                            replies.push_str("OK shutdown\n");
+                            self.cancel.cancel();
+                            shutdown = true;
+                        }
+                        Err(msg) => {
+                            self.stats.record_protocol_error();
+                            replies.push_str(&format!("ERR {PROTOCOL_ERR} {msg}\n"));
+                        }
+                        Ok(Some(Request::Reach(..))) | Ok(None) => {}
+                    }
+                }
+            }
+        }
+        self.flush_batch(&mut batch, &mut replies);
+        (replies, shutdown)
+    }
+
+    /// Evaluates the accumulated `REACH` batch and appends one reply line
+    /// per query. Request latency is recorded per query as its batch's
+    /// wall-clock time — under pipelining, that is the time from batch
+    /// start to the reply being ready.
+    fn flush_batch(&self, batch: &mut Vec<BatchQuery>, replies: &mut String) {
+        if batch.is_empty() {
+            return;
+        }
+        let queries = std::mem::take(batch);
+        let mut options = BatchOptions::unlimited().with_cancel(self.cancel.clone());
+        if let Some(budget) = self.config.budget {
+            options = options.with_budget(budget);
+        }
+        let started = Instant::now();
+        let outcome = BatchExecutor::new(1).run_bounded(self.index.as_ref(), &queries, &options);
+        let elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+
+        let budget_ms = self.config.budget.map_or(0, |b| b.as_millis().min(u64::MAX as u128) as u64);
+        for (i, answer) in outcome.answers.iter().enumerate() {
+            let reply = match answer {
+                Some(true) => "TRUE".to_string(),
+                Some(false) => "FALSE".to_string(),
+                None => {
+                    if let Some((_, e)) = outcome.errors.iter().find(|(j, _)| *j == i) {
+                        error_reply(e)
+                    } else if outcome.timed_out {
+                        error_reply(&GsrError::Timeout { budget_ms })
+                    } else if outcome.cancelled {
+                        error_reply(&GsrError::Cancelled)
+                    } else {
+                        error_reply(&GsrError::Internal("query produced no answer".into()))
+                    }
+                }
+            };
+            self.stats.record_query(elapsed_us, reply.starts_with("ERR"));
+            replies.push_str(&reply);
+            replies.push('\n');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsr_core::methods::ThreeDReach;
+    use gsr_core::{paper_example, SccSpatialPolicy};
+
+    fn test_server(config: ServerConfig) -> QueryServer {
+        let prep = paper_example::prepared();
+        let index: Arc<dyn RangeReachIndex> =
+            Arc::new(ThreeDReach::build(&prep, SccSpatialPolicy::Replicate));
+        QueryServer::bind(("127.0.0.1", 0), index, config).unwrap()
+    }
+
+    #[test]
+    fn serve_lines_answers_in_request_order() {
+        let server = test_server(ServerConfig::default());
+        let r = paper_example::query_region();
+        let input = format!(
+            "REACH {} {} {} {} {}\nREACH {} {} {} {} {}\nSTATS\n",
+            paper_example::A, r.min_x, r.min_y, r.max_x, r.max_y,
+            paper_example::C, r.min_x, r.min_y, r.max_x, r.max_y,
+        );
+        let (replies, shutdown) = server.serve_lines(input.as_bytes());
+        let lines: Vec<&str> = replies.lines().collect();
+        assert_eq!(lines[0], "TRUE");
+        assert_eq!(lines[1], "FALSE");
+        assert!(lines[2].starts_with("STATS queries=2 errors=0"), "{}", lines[2]);
+        assert!(!shutdown);
+    }
+
+    #[test]
+    fn serve_lines_maps_all_error_shapes() {
+        let server = test_server(ServerConfig::default());
+        let input = "REACH 9999 0 0 1 1\nREACH 0 5 5 1 1\nREACH nope\nFETCH\n";
+        let (replies, _) = server.serve_lines(input.as_bytes());
+        let lines: Vec<&str> = replies.lines().collect();
+        assert!(lines[0].starts_with("ERR 4 invalid query vertex"), "{}", lines[0]);
+        assert!(lines[1].starts_with("ERR 4 invalid query rectangle"), "{}", lines[1]);
+        assert!(lines[2].starts_with("ERR 2 "), "{}", lines[2]);
+        assert!(lines[3].starts_with("ERR 2 unknown command"), "{}", lines[3]);
+    }
+
+    #[test]
+    fn zero_budget_times_out_with_err_5() {
+        let server =
+            test_server(ServerConfig { threads: 1, budget: Some(Duration::ZERO) });
+        let (replies, _) = server.serve_lines(b"REACH 0 0 0 1 1\n");
+        assert!(replies.starts_with("ERR 5 time budget of 0 ms exceeded"), "{replies}");
+    }
+
+    #[test]
+    fn shutdown_line_cancels_the_server() {
+        let server = test_server(ServerConfig::default());
+        let token = server.cancel_token();
+        let (replies, shutdown) = server.serve_lines(b"SHUTDOWN\nREACH 0 0 0 1 1\n");
+        assert_eq!(replies, "OK shutdown\n", "requests after SHUTDOWN are not served");
+        assert!(shutdown);
+        assert!(token.is_cancelled());
+    }
+}

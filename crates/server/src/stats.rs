@@ -1,0 +1,156 @@
+//! Lock-free service counters and a fixed-bucket latency histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets. Bucket `i` counts requests with
+/// latency in `[2^i, 2^(i+1))` microseconds (bucket 0 also absorbs
+/// sub-microsecond samples); 40 buckets cover up to ~12.7 days, far past
+/// any realistic request.
+const BUCKETS: usize = 40;
+
+/// A fixed-bucket, power-of-two latency histogram. Recording is a single
+/// relaxed atomic increment, so the hot path never contends on a lock; the
+/// price is quantiles quantized to bucket upper bounds, which is plenty
+/// for service monitoring.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample, in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
+    /// holding it, in microseconds; 0 when no samples were recorded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (2u64 << i) - 1; // upper bound of bucket i
+            }
+        }
+        (2u64 << (BUCKETS - 1)) - 1
+    }
+}
+
+/// Counters shared by all worker threads of a query server.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    queries: AtomicU64,
+    errors: AtomicU64,
+    hist: LatencyHistogram,
+}
+
+impl ServerStats {
+    /// Records one answered `REACH` request and its latency. `is_error`
+    /// marks replies that carried an `ERR` line instead of an answer.
+    pub fn record_query(&self, latency_us: u64, is_error: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.hist.record_us(latency_us);
+    }
+
+    /// Records a protocol-level error (malformed or unknown line) that
+    /// never became a query.
+    pub fn record_protocol_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of the counters (each counter is read
+    /// atomically; the set is not a transaction, which monitoring does not
+    /// need).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            p50_us: self.hist.quantile_us(0.50),
+            p99_us: self.hist.quantile_us(0.99),
+        }
+    }
+}
+
+/// Point-in-time view of a server's counters, as reported by `STATS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// `REACH` requests answered (including error replies).
+    pub queries: u64,
+    /// `ERR` replies sent (query errors and protocol errors).
+    pub errors: u64,
+    /// Median request latency, microseconds (bucket upper bound).
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds (bucket upper bound).
+    pub p99_us: u64,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "queries={} errors={} p50_us={} p99_us={}",
+            self.queries, self.errors, self.p50_us, self.p99_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_buckets() {
+        let h = LatencyHistogram::default();
+        // 99 fast samples in [64, 128), one slow outlier in [65536, 131072).
+        for _ in 0..99 {
+            h.record_us(100);
+        }
+        h.record_us(100_000);
+        assert_eq!(h.quantile_us(0.50), 127);
+        assert_eq!(h.quantile_us(0.99), 127);
+        assert_eq!(h.quantile_us(1.0), 131_071);
+    }
+
+    #[test]
+    fn zero_latency_is_not_lost() {
+        let h = LatencyHistogram::default();
+        h.record_us(0);
+        assert_eq!(h.quantile_us(0.5), 1, "sub-microsecond samples land in bucket 0");
+    }
+
+    #[test]
+    fn stats_snapshot_formats_one_line() {
+        let s = ServerStats::default();
+        s.record_query(10, false);
+        s.record_query(10, true);
+        s.record_protocol_error();
+        let snap = s.snapshot();
+        assert_eq!(snap.queries, 2);
+        assert_eq!(snap.errors, 2);
+        assert_eq!(snap.to_string(), "queries=2 errors=2 p50_us=15 p99_us=15");
+    }
+}

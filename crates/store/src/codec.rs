@@ -1,0 +1,291 @@
+//! Encoders/decoders for the structures the six methods are made of.
+//!
+//! Encoding walks the public `parts()` decompositions; decoding rebuilds
+//! through the matching validated `from_parts` constructors, so a decoded
+//! value is structurally identical to the saved one (bit-identical query
+//! answers and [`gsr_core::QueryCost`] counters) and a corrupt one is an
+//! `Err(String)`, never a panic. Geometry is decoded through struct
+//! literals — not the `new` constructors, whose `debug_assert`s would turn
+//! adversarial (checksum-forged) coordinates into debug-build panics.
+
+use crate::wire::{Dec, Enc};
+use gsr_geo::{Aabb, Point, Rect};
+use gsr_graph::DiGraph;
+use gsr_index::grid::CellId;
+use gsr_index::{RTree, RTreeNode, RTreeParams};
+use gsr_reach::bfl::BflIndex;
+use gsr_reach::interval::{Interval, IntervalLabeling};
+
+/// Encodes a point list (count + x/y pairs).
+pub fn enc_points(e: &mut Enc, pts: &[Point]) {
+    e.u64(pts.len() as u64);
+    for p in pts {
+        e.f64(p.x);
+        e.f64(p.y);
+    }
+}
+
+/// Decodes a point list.
+pub fn dec_points(d: &mut Dec, what: &str) -> Result<Vec<Point>, String> {
+    let n = d.count(16, what)?;
+    let mut pts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = d.f64(what)?;
+        let y = d.f64(what)?;
+        pts.push(Point { x, y });
+    }
+    Ok(pts)
+}
+
+/// Encodes a rectangle as four `f64` extrema.
+pub fn enc_rect(e: &mut Enc, r: &Rect) {
+    e.f64(r.min_x);
+    e.f64(r.min_y);
+    e.f64(r.max_x);
+    e.f64(r.max_y);
+}
+
+/// Decodes a rectangle.
+pub fn dec_rect(d: &mut Dec, what: &str) -> Result<Rect, String> {
+    let min_x = d.f64(what)?;
+    let min_y = d.f64(what)?;
+    let max_x = d.f64(what)?;
+    let max_y = d.f64(what)?;
+    Ok(Rect { min_x, min_y, max_x, max_y })
+}
+
+fn enc_aabb<const N: usize>(e: &mut Enc, b: &Aabb<N>) {
+    for d in 0..N {
+        e.f64(b.min[d]);
+    }
+    for d in 0..N {
+        e.f64(b.max[d]);
+    }
+}
+
+fn dec_aabb<const N: usize>(d: &mut Dec, what: &str) -> Result<Aabb<N>, String> {
+    let mut min = [0.0; N];
+    let mut max = [0.0; N];
+    for m in min.iter_mut() {
+        *m = d.f64(what)?;
+    }
+    for m in max.iter_mut() {
+        *m = d.f64(what)?;
+    }
+    Ok(Aabb { min, max })
+}
+
+/// Encodes a graph as its forward CSR (offsets + targets); the reverse
+/// adjacency is rebuilt deterministically on load.
+pub fn enc_digraph(e: &mut Enc, g: &DiGraph) {
+    let (offsets, targets) = g.out_csr();
+    e.vec_u32(offsets);
+    e.vec_u32(targets);
+}
+
+/// Decodes and revalidates a graph.
+pub fn dec_digraph(d: &mut Dec, what: &str) -> Result<DiGraph, String> {
+    let offsets = d.vec_u32(what)?;
+    let targets = d.vec_u32(what)?;
+    DiGraph::from_out_csr(offsets, targets)
+}
+
+/// Encodes an interval labeling (post permutation, its inverse, label CSR).
+pub fn enc_labeling(e: &mut Enc, l: &IntervalLabeling) {
+    let (post, post_to_vertex, offsets, labels) = l.parts();
+    e.vec_u32(post);
+    e.vec_u32(post_to_vertex);
+    e.vec_u32(offsets);
+    e.u64(labels.len() as u64);
+    for iv in labels {
+        e.u32(iv.lo);
+        e.u32(iv.hi);
+    }
+}
+
+/// Decodes and revalidates an interval labeling.
+pub fn dec_labeling(d: &mut Dec, what: &str) -> Result<IntervalLabeling, String> {
+    let post = d.vec_u32(what)?;
+    let post_to_vertex = d.vec_u32(what)?;
+    let offsets = d.vec_u32(what)?;
+    let n = d.count(8, what)?;
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lo = d.u32(what)?;
+        let hi = d.u32(what)?;
+        labels.push(Interval { lo, hi });
+    }
+    IntervalLabeling::from_parts(post, post_to_vertex, offsets, labels)
+}
+
+/// Encodes a BFL index (condensation graph, post/tree-min arrays, filter
+/// words).
+pub fn enc_bfl(e: &mut Enc, b: &BflIndex) {
+    let (g, post, tree_min, out_filters, in_filters, words) = b.parts();
+    enc_digraph(e, g);
+    e.vec_u32(post);
+    e.vec_u32(tree_min);
+    e.vec_u64(out_filters);
+    e.vec_u64(in_filters);
+    e.u64(words as u64);
+}
+
+/// Decodes and revalidates a BFL index.
+pub fn dec_bfl(d: &mut Dec, what: &str) -> Result<BflIndex, String> {
+    let g = dec_digraph(d, what)?;
+    let post = d.vec_u32(what)?;
+    let tree_min = d.vec_u32(what)?;
+    let out_filters = d.vec_u64(what)?;
+    let in_filters = d.vec_u64(what)?;
+    let words = d.u64(what)?;
+    let words = usize::try_from(words).map_err(|_| format!("{what}: filter width overflows"))?;
+    BflIndex::from_parts(g, post, tree_min, out_filters, in_filters, words)
+}
+
+/// Encodes an R-tree arena verbatim (parameters, root id, entry count,
+/// nodes in storage order), so a reload reproduces the exact traversal
+/// order and query costs of the saved tree.
+pub fn enc_rtree<const N: usize>(e: &mut Enc, t: &RTree<N, u32>) {
+    let params = t.params();
+    e.u64(params.max_entries as u64);
+    e.u64(params.min_entries as u64);
+    e.u32(t.root_id());
+    e.u64(t.len() as u64);
+    let nodes = t.snapshot_nodes();
+    e.u64(nodes.len() as u64);
+    for node in &nodes {
+        match node {
+            RTreeNode::Leaf { mbr, entries } => {
+                e.u8(0);
+                enc_aabb(e, mbr);
+                e.u64(entries.len() as u64);
+                for (b, payload) in entries {
+                    enc_aabb(e, b);
+                    e.u32(*payload);
+                }
+            }
+            RTreeNode::Inner { mbr, children } => {
+                e.u8(1);
+                enc_aabb(e, mbr);
+                e.u64(children.len() as u64);
+                for &c in children {
+                    e.u32(c);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes and revalidates an R-tree arena.
+pub fn dec_rtree<const N: usize>(d: &mut Dec, what: &str) -> Result<RTree<N, u32>, String> {
+    let max_entries = d.u64(what)?;
+    let min_entries = d.u64(what)?;
+    let params = RTreeParams {
+        max_entries: usize::try_from(max_entries)
+            .map_err(|_| format!("{what}: max_entries overflows"))?,
+        min_entries: usize::try_from(min_entries)
+            .map_err(|_| format!("{what}: min_entries overflows"))?,
+    };
+    let root = d.u32(what)?;
+    let len = d.u64(what)?;
+    let len = usize::try_from(len).map_err(|_| format!("{what}: entry count overflows"))?;
+    let node_count = d.count(1, what)?;
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let kind = d.u8(what)?;
+        let mbr = dec_aabb::<N>(d, what)?;
+        match kind {
+            0 => {
+                let n = d.count(N * 16 + 4, what)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let b = dec_aabb::<N>(d, what)?;
+                    let payload = d.u32(what)?;
+                    entries.push((b, payload));
+                }
+                nodes.push(RTreeNode::Leaf { mbr, entries });
+            }
+            1 => {
+                let n = d.count(4, what)?;
+                let mut children = Vec::with_capacity(n);
+                for _ in 0..n {
+                    children.push(d.u32(what)?);
+                }
+                nodes.push(RTreeNode::Inner { mbr, children });
+            }
+            k => return Err(format!("{what}: unknown r-tree node kind {k}")),
+        }
+    }
+    RTree::from_snapshot(params, root, len, nodes)
+}
+
+/// Encodes a grid cell id.
+pub fn enc_cell(e: &mut Enc, c: &CellId) {
+    e.u8(c.level);
+    e.u32(c.ix);
+    e.u32(c.iy);
+}
+
+/// Decodes a grid cell id.
+pub fn dec_cell(d: &mut Dec, what: &str) -> Result<CellId, String> {
+    let level = d.u8(what)?;
+    let ix = d.u32(what)?;
+    let iy = d.u32(what)?;
+    Ok(CellId { level, ix, iy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsr_graph::GraphBuilder;
+
+    fn sample_graph() -> DiGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn digraph_round_trip() {
+        let g = sample_graph();
+        let mut e = Enc::new();
+        enc_digraph(&mut e, &g);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = dec_digraph(&mut d, "g").unwrap();
+        d.finish("g").unwrap();
+        assert_eq!(back.out_csr(), g.out_csr());
+        for v in g.vertices() {
+            assert_eq!(back.in_neighbors(v), g.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn rtree_round_trip_bit_identical() {
+        let entries: Vec<(Aabb<2>, u32)> = (0..500)
+            .map(|i| (Aabb::from_point([i as f64, (i * 7 % 100) as f64]), i))
+            .collect();
+        let t = RTree::bulk_load(entries);
+        let mut e = Enc::new();
+        enc_rtree(&mut e, &t);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back: RTree<2, u32> = dec_rtree(&mut d, "t").unwrap();
+        d.finish("t").unwrap();
+        assert_eq!(back, t, "arena layout must survive the round trip exactly");
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let g = sample_graph();
+        let mut e = Enc::new();
+        enc_digraph(&mut e, &g);
+        let bytes = e.into_bytes();
+        for cut in [0, 1, 8, bytes.len() - 1] {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(dec_digraph(&mut d, "g").is_err(), "cut at {cut} must fail");
+        }
+    }
+}

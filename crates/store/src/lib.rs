@@ -1,0 +1,660 @@
+//! # gsr-store: versioned, checksummed index snapshots
+//!
+//! Building a `RangeReach` index over a large geosocial network is the
+//! expensive part of the pipeline — SCC condensation, labeling
+//! construction, R-tree packing. This crate persists a *built* index of any
+//! of the paper's six methods to a compact binary snapshot and loads it
+//! back **bit-identically**: the reloaded index returns the same answers
+//! *and* the same [`gsr_core::QueryCost`] counters as the one that was
+//! saved, because the encoding captures the exact arena layouts rather
+//! than re-deriving them.
+//!
+//! ## Wire format
+//!
+//! ```text
+//! magic    8  bytes  b"GSRSNAP\0"
+//! version  u32 LE    format version (currently 1)
+//! sections           framed + CRC-32-checksummed, see `wire`
+//! ```
+//!
+//! The first section carries the method tag; the remaining sections are
+//! the method's structures in a fixed per-method order (see `DESIGN.md`
+//! for the layout table). Every multi-byte value is little-endian and
+//! fixed-width, so a snapshot written on one machine loads on any other.
+//!
+//! ## Trust model
+//!
+//! A snapshot is *untrusted input*: loading revalidates every structural
+//! invariant a query dereferences (CSR monotonicity, permutations,
+//! component-id bounds, R-tree arena reachability) through the owning
+//! crates' `from_parts` constructors. Corruption, truncation, version
+//! mismatches and impossible structures all surface as
+//! [`GsrError::Load`] — never a panic, never an unbounded allocation.
+//!
+//! ```
+//! use gsr_core::{paper_example, RangeReachIndex, SccSpatialPolicy};
+//! use gsr_core::methods::ThreeDReach;
+//! use gsr_store::SnapshotIndex;
+//!
+//! let prep = paper_example::prepared();
+//! let built = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+//! let mut bytes = Vec::new();
+//! gsr_store::save(&mut bytes, &SnapshotIndex::ThreeDReach(built)).unwrap();
+//!
+//! let loaded = gsr_store::load(&mut bytes.as_slice()).unwrap();
+//! assert_eq!(loaded.name(), "3DReach");
+//! assert!(loaded.query(paper_example::A, &paper_example::query_region()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod wire;
+
+use gsr_core::methods::{
+    GeoReach, GeoReachParts, ScanMode, SocReach, SpaInfoParts, SpaReachBfl, SpaReachFilterParts,
+    SpaReachInt, SpaReachParts, ThreeDParts, ThreeDReach, ThreeDReachRev,
+};
+use gsr_core::{GsrError, QueryCost, RangeReachIndex, SccSpatialPolicy};
+use gsr_geo::Rect;
+use gsr_graph::VertexId;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use codec::*;
+use wire::{read_section, write_section, Dec, Enc};
+
+/// First eight bytes of every snapshot.
+pub const MAGIC: [u8; 8] = *b"GSRSNAP\0";
+
+/// Current snapshot format version. Bump on any incompatible layout
+/// change; loaders reject other versions with a typed error instead of
+/// misinterpreting bytes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section tags (see `DESIGN.md` for the per-method section sequences).
+mod section {
+    pub const META: u8 = 0x01;
+    pub const COMP_OF: u8 = 0x02;
+    pub const MEMBERS: u8 = 0x03;
+    pub const LABELING: u8 = 0x04;
+    pub const FILTER2D: u8 = 0x10;
+    pub const BFL: u8 = 0x11;
+    pub const DAG: u8 = 0x20;
+    pub const GRID: u8 = 0x21;
+    pub const SPA_INFO: u8 = 0x22;
+    pub const POST_TABLE: u8 = 0x30;
+    pub const TREE3D: u8 = 0x40;
+}
+
+/// Method tags stored in the META section.
+mod method_tag {
+    pub const SPAREACH_BFL: u8 = 1;
+    pub const SPAREACH_INT: u8 = 2;
+    pub const GEOREACH: u8 = 3;
+    pub const SOCREACH: u8 = 4;
+    pub const THREED: u8 = 5;
+    pub const THREED_REV: u8 = 6;
+}
+
+/// A built index of any of the six methods, as saved to / loaded from a
+/// snapshot. Implements [`RangeReachIndex`] by delegation, so a loaded
+/// snapshot drops into every consumer of the trait (the batch executor,
+/// the query server) without knowing which method it holds.
+#[derive(Debug, Clone)]
+pub enum SnapshotIndex {
+    /// SpaReach with the BFL reachability back-end.
+    SpaReachBfl(SpaReachBfl),
+    /// SpaReach with the interval-labeling back-end.
+    SpaReachInt(SpaReachInt),
+    /// The GeoReach SPA-graph.
+    GeoReach(GeoReach),
+    /// The social-first SocReach evaluator.
+    SocReach(SocReach),
+    /// The forward 3-D transformation.
+    ThreeDReach(ThreeDReach),
+    /// The reversed (segment-based) 3-D transformation.
+    ThreeDReachRev(ThreeDReachRev),
+}
+
+impl SnapshotIndex {
+    /// The CLI method key of the held index (e.g. `"3dreach-rev"`).
+    pub fn method_key(&self) -> &'static str {
+        match self {
+            SnapshotIndex::SpaReachBfl(_) => "spareach-bfl",
+            SnapshotIndex::SpaReachInt(_) => "spareach-int",
+            SnapshotIndex::GeoReach(_) => "georeach",
+            SnapshotIndex::SocReach(_) => "socreach",
+            SnapshotIndex::ThreeDReach(_) => "3dreach",
+            SnapshotIndex::ThreeDReachRev(_) => "3dreach-rev",
+        }
+    }
+
+    fn as_index(&self) -> &dyn RangeReachIndex {
+        match self {
+            SnapshotIndex::SpaReachBfl(i) => i,
+            SnapshotIndex::SpaReachInt(i) => i,
+            SnapshotIndex::GeoReach(i) => i,
+            SnapshotIndex::SocReach(i) => i,
+            SnapshotIndex::ThreeDReach(i) => i,
+            SnapshotIndex::ThreeDReachRev(i) => i,
+        }
+    }
+}
+
+impl RangeReachIndex for SnapshotIndex {
+    fn num_vertices(&self) -> usize {
+        self.as_index().num_vertices()
+    }
+
+    fn query_unchecked(&self, v: VertexId, region: &Rect) -> bool {
+        self.as_index().query_unchecked(v, region)
+    }
+
+    fn query_with_cost_unchecked(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
+        self.as_index().query_with_cost_unchecked(v, region)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.as_index().index_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        self.as_index().name()
+    }
+}
+
+fn io_save(e: std::io::Error) -> GsrError {
+    GsrError::Internal(format!("snapshot save: {e}"))
+}
+
+fn load_err(msg: String) -> GsrError {
+    GsrError::Load(format!("snapshot: {msg}"))
+}
+
+// ---------------------------------------------------------------------------
+// Section payload builders (shared shapes).
+
+fn members_payload(offsets: &[u32], points: &[gsr_geo::Point]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.vec_u32(offsets);
+    enc_points(&mut e, points);
+    e.into_bytes()
+}
+
+fn read_members(r: &mut impl Read) -> Result<(Vec<u32>, Vec<gsr_geo::Point>), GsrError> {
+    let payload = read_section(r, section::MEMBERS, "members").map_err(load_err)?;
+    let mut d = Dec::new(&payload);
+    let offsets = d.vec_u32("members").map_err(load_err)?;
+    let points = dec_points(&mut d, "members").map_err(load_err)?;
+    d.finish("members").map_err(load_err)?;
+    Ok((offsets, points))
+}
+
+fn comp_of_payload(comp_of: &[u32]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.vec_u32(comp_of);
+    e.into_bytes()
+}
+
+fn read_comp_of(r: &mut impl Read) -> Result<Vec<u32>, GsrError> {
+    let payload = read_section(r, section::COMP_OF, "comp-of").map_err(load_err)?;
+    let mut d = Dec::new(&payload);
+    let comp_of = d.vec_u32("comp-of").map_err(load_err)?;
+    d.finish("comp-of").map_err(load_err)?;
+    Ok(comp_of)
+}
+
+fn labeling_payload(l: &gsr_reach::interval::IntervalLabeling) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_labeling(&mut e, l);
+    e.into_bytes()
+}
+
+fn read_labeling(r: &mut impl Read) -> Result<gsr_reach::interval::IntervalLabeling, GsrError> {
+    let payload = read_section(r, section::LABELING, "labeling").map_err(load_err)?;
+    let mut d = Dec::new(&payload);
+    let l = dec_labeling(&mut d, "labeling").map_err(load_err)?;
+    d.finish("labeling").map_err(load_err)?;
+    Ok(l)
+}
+
+// ---------------------------------------------------------------------------
+// Save.
+
+/// Serializes a built index to `w` in the versioned snapshot format.
+///
+/// I/O failures are [`GsrError::Internal`]; an index configuration that
+/// cannot be persisted (SpaReach with an ablation-only spatial backend or
+/// the streaming candidate mode) is rejected the same way.
+pub fn save(w: &mut impl Write, index: &SnapshotIndex) -> Result<(), GsrError> {
+    w.write_all(&MAGIC).map_err(io_save)?;
+    w.write_all(&FORMAT_VERSION.to_le_bytes()).map_err(io_save)?;
+
+    let (tag, sections): (u8, Vec<(u8, Vec<u8>)>) = match index {
+        SnapshotIndex::SpaReachBfl(i) => {
+            (method_tag::SPAREACH_BFL, spareach_sections(i.to_parts(), enc_bfl, section::BFL)?)
+        }
+        SnapshotIndex::SpaReachInt(i) => (
+            method_tag::SPAREACH_INT,
+            spareach_sections(i.to_parts(), enc_labeling, section::LABELING)?,
+        ),
+        SnapshotIndex::GeoReach(i) => (method_tag::GEOREACH, georeach_sections(i.to_parts())),
+        SnapshotIndex::SocReach(i) => (method_tag::SOCREACH, socreach_sections(i)),
+        SnapshotIndex::ThreeDReach(i) => (method_tag::THREED, threed_sections(i.to_parts())),
+        SnapshotIndex::ThreeDReachRev(i) => (method_tag::THREED_REV, threed_sections(i.to_parts())),
+    };
+
+    write_section(w, section::META, &[tag]).map_err(io_save)?;
+    for (stag, payload) in &sections {
+        write_section(w, *stag, payload).map_err(io_save)?;
+    }
+    w.flush().map_err(io_save)
+}
+
+fn spareach_sections<R>(
+    parts: Option<SpaReachParts<R>>,
+    enc_reach: impl Fn(&mut Enc, &R),
+    reach_tag: u8,
+) -> Result<Vec<(u8, Vec<u8>)>, GsrError> {
+    let parts = parts.ok_or_else(|| {
+        GsrError::Internal(
+            "this SpaReach configuration (ablation backend or streaming mode) cannot be snapshotted"
+                .into(),
+        )
+    })?;
+    let mut filter = Enc::new();
+    match &parts.filter {
+        SpaReachFilterParts::Points(t) => {
+            filter.u8(0);
+            enc_rtree(&mut filter, t);
+        }
+        SpaReachFilterParts::CompBoxes(t) => {
+            filter.u8(1);
+            enc_rtree(&mut filter, t);
+        }
+    }
+    let mut reach = Enc::new();
+    enc_reach(&mut reach, &parts.reach);
+    Ok(vec![
+        (section::COMP_OF, comp_of_payload(&parts.comp_of)),
+        (section::FILTER2D, filter.into_bytes()),
+        (section::MEMBERS, members_payload(&parts.member_offsets, &parts.member_points)),
+        (reach_tag, reach.into_bytes()),
+    ])
+}
+
+fn georeach_sections(parts: GeoReachParts) -> Vec<(u8, Vec<u8>)> {
+    let mut dag = Enc::new();
+    enc_digraph(&mut dag, &parts.dag);
+    let mut grid = Enc::new();
+    enc_rect(&mut grid, &parts.space);
+    grid.u8(parts.finest_exp);
+    let mut info = Enc::new();
+    info.u64(parts.info.len() as u64);
+    for i in &parts.info {
+        match i {
+            SpaInfoParts::B(false) => info.u8(0),
+            SpaInfoParts::B(true) => info.u8(1),
+            SpaInfoParts::R(r) => {
+                info.u8(2);
+                enc_rect(&mut info, r);
+            }
+            SpaInfoParts::G(cells) => {
+                info.u8(3);
+                info.u64(cells.len() as u64);
+                for c in cells {
+                    enc_cell(&mut info, c);
+                }
+            }
+        }
+    }
+    vec![
+        (section::COMP_OF, comp_of_payload(&parts.comp_of)),
+        (section::DAG, dag.into_bytes()),
+        (section::GRID, grid.into_bytes()),
+        (section::SPA_INFO, info.into_bytes()),
+        (section::MEMBERS, members_payload(&parts.member_offsets, &parts.member_points)),
+    ]
+}
+
+fn socreach_sections(i: &SocReach) -> Vec<(u8, Vec<u8>)> {
+    let (comp_of, labeling, post_offsets, points, mode) = i.parts();
+    let mut table = Enc::new();
+    table.vec_u32(post_offsets);
+    enc_points(&mut table, points);
+    table.u8(match mode {
+        ScanMode::PerPost => 0,
+        ScanMode::Compacted => 1,
+    });
+    vec![
+        (section::COMP_OF, comp_of_payload(comp_of)),
+        (section::LABELING, labeling_payload(labeling)),
+        (section::POST_TABLE, table.into_bytes()),
+    ]
+}
+
+fn threed_sections(parts: ThreeDParts) -> Vec<(u8, Vec<u8>)> {
+    let mut tree = Enc::new();
+    tree.u8(match parts.policy {
+        SccSpatialPolicy::Replicate => 0,
+        SccSpatialPolicy::Mbr => 1,
+    });
+    enc_rtree(&mut tree, &parts.tree);
+    vec![
+        (section::COMP_OF, comp_of_payload(&parts.comp_of)),
+        (section::LABELING, labeling_payload(&parts.labeling)),
+        (section::TREE3D, tree.into_bytes()),
+        (section::MEMBERS, members_payload(&parts.member_offsets, &parts.member_points)),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Load.
+
+/// Deserializes a snapshot, revalidating every structural invariant.
+///
+/// All failure modes — bad magic, unsupported version, truncation, CRC
+/// mismatch, structurally impossible data, trailing bytes — are
+/// [`GsrError::Load`] with a diagnostic naming the offending section.
+pub fn load(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|e| load_err(format!("missing magic ({e})")))?;
+    if magic != MAGIC {
+        return Err(load_err(format!("bad magic {magic:02x?}: not a gsr snapshot")));
+    }
+    let mut version = [0u8; 4];
+    r.read_exact(&mut version)
+        .map_err(|e| load_err(format!("missing format version ({e})")))?;
+    let version = u32::from_le_bytes(version);
+    if version != FORMAT_VERSION {
+        return Err(load_err(format!(
+            "unsupported format version {version} (this build reads version {FORMAT_VERSION})"
+        )));
+    }
+
+    let meta = read_section(r, section::META, "meta").map_err(load_err)?;
+    let mut d = Dec::new(&meta);
+    let tag = d.u8("meta").map_err(load_err)?;
+    d.finish("meta").map_err(load_err)?;
+
+    let index = match tag {
+        method_tag::SPAREACH_BFL => load_spareach_bfl(r)?,
+        method_tag::SPAREACH_INT => load_spareach_int(r)?,
+        method_tag::GEOREACH => load_georeach(r)?,
+        method_tag::SOCREACH => load_socreach(r)?,
+        method_tag::THREED => SnapshotIndex::ThreeDReach(
+            ThreeDReach::from_parts(load_threed_parts(r)?).map_err(load_err)?,
+        ),
+        method_tag::THREED_REV => SnapshotIndex::ThreeDReachRev(
+            ThreeDReachRev::from_parts(load_threed_parts(r)?).map_err(load_err)?,
+        ),
+        t => return Err(load_err(format!("unknown method tag {t}"))),
+    };
+
+    // The format has no trailer: anything after the last section is
+    // corruption (e.g. a concatenation accident).
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe) {
+        Ok(0) => Ok(index),
+        Ok(_) => Err(load_err("trailing bytes after the final section".into())),
+        Err(e) => Err(load_err(format!("i/o error at end of snapshot: {e}"))),
+    }
+}
+
+fn read_filter2d(r: &mut impl Read) -> Result<SpaReachFilterParts, GsrError> {
+    let payload = read_section(r, section::FILTER2D, "spatial-filter").map_err(load_err)?;
+    let mut d = Dec::new(&payload);
+    let kind = d.u8("spatial-filter").map_err(load_err)?;
+    let tree = dec_rtree::<2>(&mut d, "spatial-filter").map_err(load_err)?;
+    d.finish("spatial-filter").map_err(load_err)?;
+    match kind {
+        0 => Ok(SpaReachFilterParts::Points(tree)),
+        1 => Ok(SpaReachFilterParts::CompBoxes(tree)),
+        k => Err(load_err(format!("unknown spatial-filter kind {k}"))),
+    }
+}
+
+fn check_backend_coverage(ncomp: usize, backend_n: usize, what: &str) -> Result<(), GsrError> {
+    if backend_n != ncomp {
+        return Err(load_err(format!(
+            "{what} covers {backend_n} components but the spatial side has {ncomp}"
+        )));
+    }
+    Ok(())
+}
+
+fn load_spareach_bfl(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
+    let comp_of = read_comp_of(r)?;
+    let filter = read_filter2d(r)?;
+    let (member_offsets, member_points) = read_members(r)?;
+    let payload = read_section(r, section::BFL, "bfl").map_err(load_err)?;
+    let mut d = Dec::new(&payload);
+    let reach = dec_bfl(&mut d, "bfl").map_err(load_err)?;
+    d.finish("bfl").map_err(load_err)?;
+
+    // `SpaReach::from_parts` bounds-checks component ids against the member
+    // CSR; the reachability back-end's own vertex count is our job, because
+    // the `Reachability` trait does not expose one.
+    let ncomp = member_offsets.len().saturating_sub(1);
+    check_backend_coverage(ncomp, reach.parts().0.num_vertices(), "bfl")?;
+    let parts = SpaReachParts { comp_of, filter, reach, member_offsets, member_points };
+    Ok(SnapshotIndex::SpaReachBfl(
+        SpaReachBfl::from_parts(parts, "SpaReach-BFL").map_err(load_err)?,
+    ))
+}
+
+fn load_spareach_int(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
+    let comp_of = read_comp_of(r)?;
+    let filter = read_filter2d(r)?;
+    let (member_offsets, member_points) = read_members(r)?;
+    let reach = read_labeling(r)?;
+
+    let ncomp = member_offsets.len().saturating_sub(1);
+    check_backend_coverage(ncomp, reach.num_vertices(), "labeling")?;
+    let parts = SpaReachParts { comp_of, filter, reach, member_offsets, member_points };
+    Ok(SnapshotIndex::SpaReachInt(
+        SpaReachInt::from_parts(parts, "SpaReach-INT").map_err(load_err)?,
+    ))
+}
+
+fn load_georeach(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
+    let comp_of = read_comp_of(r)?;
+
+    let payload = read_section(r, section::DAG, "dag").map_err(load_err)?;
+    let mut d = Dec::new(&payload);
+    let dag = dec_digraph(&mut d, "dag").map_err(load_err)?;
+    d.finish("dag").map_err(load_err)?;
+
+    let payload = read_section(r, section::GRID, "grid").map_err(load_err)?;
+    let mut d = Dec::new(&payload);
+    let space = dec_rect(&mut d, "grid").map_err(load_err)?;
+    let finest_exp = d.u8("grid").map_err(load_err)?;
+    d.finish("grid").map_err(load_err)?;
+
+    let payload = read_section(r, section::SPA_INFO, "spa-info").map_err(load_err)?;
+    let mut d = Dec::new(&payload);
+    let n = d.count(1, "spa-info").map_err(load_err)?;
+    let mut info = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = d.u8("spa-info").map_err(load_err)?;
+        info.push(match kind {
+            0 => SpaInfoParts::B(false),
+            1 => SpaInfoParts::B(true),
+            2 => SpaInfoParts::R(dec_rect(&mut d, "spa-info").map_err(load_err)?),
+            3 => {
+                let c = d.count(9, "spa-info").map_err(load_err)?;
+                let mut cells = Vec::with_capacity(c);
+                for _ in 0..c {
+                    cells.push(dec_cell(&mut d, "spa-info").map_err(load_err)?);
+                }
+                SpaInfoParts::G(cells)
+            }
+            k => return Err(load_err(format!("unknown spa-info kind {k}"))),
+        });
+    }
+    d.finish("spa-info").map_err(load_err)?;
+
+    let (member_offsets, member_points) = read_members(r)?;
+    let parts =
+        GeoReachParts { comp_of, dag, space, finest_exp, info, member_offsets, member_points };
+    Ok(SnapshotIndex::GeoReach(GeoReach::from_parts(parts).map_err(load_err)?))
+}
+
+fn load_socreach(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
+    let comp_of = read_comp_of(r)?;
+    let labeling = read_labeling(r)?;
+
+    let payload = read_section(r, section::POST_TABLE, "post-table").map_err(load_err)?;
+    let mut d = Dec::new(&payload);
+    let post_offsets = d.vec_u32("post-table").map_err(load_err)?;
+    let points = dec_points(&mut d, "post-table").map_err(load_err)?;
+    let mode = match d.u8("post-table").map_err(load_err)? {
+        0 => ScanMode::PerPost,
+        1 => ScanMode::Compacted,
+        k => return Err(load_err(format!("unknown scan mode {k}"))),
+    };
+    d.finish("post-table").map_err(load_err)?;
+
+    Ok(SnapshotIndex::SocReach(
+        SocReach::from_parts(comp_of, labeling, post_offsets, points, mode).map_err(load_err)?,
+    ))
+}
+
+fn load_threed_parts(r: &mut impl Read) -> Result<ThreeDParts, GsrError> {
+    let comp_of = read_comp_of(r)?;
+    let labeling = read_labeling(r)?;
+
+    let payload = read_section(r, section::TREE3D, "tree-3d").map_err(load_err)?;
+    let mut d = Dec::new(&payload);
+    let policy = match d.u8("tree-3d").map_err(load_err)? {
+        0 => SccSpatialPolicy::Replicate,
+        1 => SccSpatialPolicy::Mbr,
+        k => return Err(load_err(format!("unknown scc policy {k}"))),
+    };
+    let tree = dec_rtree::<3>(&mut d, "tree-3d").map_err(load_err)?;
+    d.finish("tree-3d").map_err(load_err)?;
+
+    let (member_offsets, member_points) = read_members(r)?;
+    Ok(ThreeDParts { comp_of, labeling, tree, policy, member_offsets, member_points })
+}
+
+// ---------------------------------------------------------------------------
+// Path helpers.
+
+/// Saves a snapshot to a file path (created or truncated).
+pub fn save_to_path(path: impl AsRef<Path>, index: &SnapshotIndex) -> Result<(), GsrError> {
+    let path = path.as_ref();
+    let file = std::fs::File::create(path)
+        .map_err(|e| GsrError::Internal(format!("snapshot save {}: {e}", path.display())))?;
+    let mut w = std::io::BufWriter::new(file);
+    save(&mut w, index)
+}
+
+/// Loads a snapshot from a file path.
+pub fn load_from_path(path: impl AsRef<Path>) -> Result<SnapshotIndex, GsrError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)
+        .map_err(|e| GsrError::Load(format!("snapshot {}: {e}", path.display())))?;
+    let mut r = std::io::BufReader::new(file);
+    load(&mut r)
+}
+
+/// Loads a snapshot into an immutable, reference-counted index that can be
+/// shared across query worker threads ([`SnapshotIndex`] is `Send + Sync`).
+pub fn load_shared(path: impl AsRef<Path>) -> Result<Arc<SnapshotIndex>, GsrError> {
+    load_from_path(path).map(Arc::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsr_core::paper_example;
+
+    fn built_all() -> Vec<SnapshotIndex> {
+        let prep = paper_example::prepared();
+        let p = SccSpatialPolicy::Replicate;
+        vec![
+            SnapshotIndex::SpaReachBfl(SpaReachBfl::build(&prep, p)),
+            SnapshotIndex::SpaReachInt(SpaReachInt::build(&prep, p)),
+            SnapshotIndex::GeoReach(GeoReach::build(&prep)),
+            SnapshotIndex::SocReach(SocReach::build(&prep)),
+            SnapshotIndex::ThreeDReach(ThreeDReach::build(&prep, p)),
+            SnapshotIndex::ThreeDReachRev(ThreeDReachRev::build(&prep, p)),
+        ]
+    }
+
+    #[test]
+    fn every_method_round_trips_in_memory() {
+        let prep = paper_example::prepared();
+        for index in built_all() {
+            let mut bytes = Vec::new();
+            save(&mut bytes, &index).unwrap();
+            let loaded = load(&mut bytes.as_slice()).unwrap();
+            assert_eq!(loaded.name(), index.name());
+            assert_eq!(loaded.method_key(), index.method_key());
+            assert_eq!(loaded.num_vertices(), index.num_vertices());
+            assert_eq!(loaded.index_bytes(), index.index_bytes());
+            for v in prep.network().graph().vertices() {
+                for r in paper_example::probe_regions() {
+                    assert_eq!(
+                        loaded.query_with_cost_unchecked(v, &r),
+                        index.query_with_cost_unchecked(v, &r),
+                        "{} v={v} r={r}",
+                        index.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        let mut bytes = Vec::new();
+        save(&mut bytes, &built_all().remove(3)).unwrap();
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        match load(&mut wrong_magic.as_slice()) {
+            Err(GsrError::Load(msg)) => assert!(msg.contains("magic"), "{msg}"),
+            other => panic!("expected Load error, got {other:?}"),
+        }
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = 0xFF;
+        match load(&mut wrong_version.as_slice()) {
+            Err(GsrError::Load(msg)) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("expected Load error, got {other:?}"),
+        }
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        match load(&mut trailing.as_slice()) {
+            Err(GsrError::Load(msg)) => assert!(msg.contains("trailing"), "{msg}"),
+            other => panic!("expected Load error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        for index in built_all() {
+            let mut bytes = Vec::new();
+            save(&mut bytes, &index).unwrap();
+            // Truncating at *any* prefix length must be a typed Load error.
+            let step = (bytes.len() / 64).max(1);
+            for cut in (0..bytes.len()).step_by(step) {
+                match load(&mut &bytes[..cut]) {
+                    Err(GsrError::Load(_)) => {}
+                    other => panic!(
+                        "{}: truncation at {cut}/{} gave {other:?}",
+                        index.name(),
+                        bytes.len()
+                    ),
+                }
+            }
+        }
+    }
+}

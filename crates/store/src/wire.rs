@@ -1,0 +1,302 @@
+//! Byte-level wire primitives of the snapshot format.
+//!
+//! A snapshot is a fixed file header followed by a sequence of *sections*.
+//! Every section is independently framed and checksummed:
+//!
+//! ```text
+//! tag      u8       section kind (see `crate::section` tags)
+//! len      u64 LE   payload length in bytes
+//! payload  len bytes
+//! crc      u32 LE   CRC-32 (IEEE) of the payload
+//! ```
+//!
+//! All multi-byte integers anywhere in the format are little-endian and
+//! fixed-width; floating-point values are IEEE-754 `f64` bit patterns.
+//! Decoding treats every byte as untrusted: truncation, checksum
+//! mismatches, impossible counts and trailing garbage all surface as
+//! `Err(String)` (wrapped into `gsr_core::GsrError::Load` at the crate
+//! boundary) — never as a panic or an unbounded allocation.
+
+use std::io::{Read, Write};
+
+/// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), bit-reflected,
+/// table-driven. This is the same checksum zlib/PNG use, computed here from
+/// scratch because the build is dependency-free.
+pub fn crc32(data: &[u8]) -> u32 {
+    // The 256-entry table is tiny; build it on the fly (const fn keeps it
+    // in rodata, computed at compile time).
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Growable little-endian payload encoder.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh, empty payload.
+    pub fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an IEEE-754 `f64` bit pattern, little-endian.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed `u32` slice.
+    pub fn vec_u32(&mut self, v: &[u32]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u32(x);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` slice.
+    pub fn vec_u64(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+}
+
+/// Bounds-checked little-endian payload decoder. Every read validates the
+/// remaining length first, so corrupt data can never index out of bounds.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Wraps a payload for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated payload: {what} needs {n} bytes, {} left",
+                self.remaining()
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let s = self.take(4, what)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let s = self.take(8, what)?;
+        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    /// Reads an IEEE-754 `f64`.
+    pub fn f64(&mut self, what: &str) -> Result<f64, String> {
+        let s = self.take(8, what)?;
+        Ok(f64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    /// Reads a count prefix for elements of at least `elem_bytes` bytes
+    /// each, rejecting counts the remaining payload cannot possibly hold —
+    /// the guard that keeps a corrupt length from driving a huge
+    /// allocation.
+    pub fn count(&mut self, elem_bytes: usize, what: &str) -> Result<usize, String> {
+        let raw = self.u64(what)?;
+        let n = usize::try_from(raw).map_err(|_| format!("{what}: count {raw} overflows"))?;
+        let need = n.checked_mul(elem_bytes.max(1));
+        match need {
+            Some(need) if need <= self.remaining() => Ok(n),
+            _ => Err(format!(
+                "{what}: count {n} x {elem_bytes} bytes exceeds the {} remaining",
+                self.remaining()
+            )),
+        }
+    }
+
+    /// Reads a length-prefixed `u32` vector.
+    pub fn vec_u32(&mut self, what: &str) -> Result<Vec<u32>, String> {
+        let n = self.count(4, what)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u32(what)?);
+        }
+        Ok(v)
+    }
+
+    /// Reads a length-prefixed `u64` vector.
+    pub fn vec_u64(&mut self, what: &str) -> Result<Vec<u64>, String> {
+        let n = self.count(8, what)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u64(what)?);
+        }
+        Ok(v)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub fn finish(&self, what: &str) -> Result<(), String> {
+        if self.remaining() != 0 {
+            return Err(format!("{what}: {} trailing bytes in section", self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// Writes one framed, checksummed section.
+pub fn write_section(w: &mut impl Write, tag: u8, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&[tag])?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads one framed section, verifying its tag and checksum. `name` is the
+/// human-readable section name used in diagnostics.
+pub fn read_section(r: &mut impl Read, expect_tag: u8, name: &str) -> Result<Vec<u8>, String> {
+    let mut head = [0u8; 9];
+    r.read_exact(&mut head)
+        .map_err(|e| format!("truncated snapshot: missing {name} section header ({e})"))?;
+    let tag = head[0];
+    if tag != expect_tag {
+        return Err(format!(
+            "unexpected section tag {tag:#04x} where {expect_tag:#04x} ({name}) was expected"
+        ));
+    }
+    let len = u64::from_le_bytes([
+        head[1], head[2], head[3], head[4], head[5], head[6], head[7], head[8],
+    ]);
+    // Pull the payload through `take`, so a lying length on a truncated
+    // stream yields a short read (and a clean error) instead of a huge
+    // up-front allocation.
+    let mut payload = Vec::new();
+    let got = r
+        .by_ref()
+        .take(len)
+        .read_to_end(&mut payload)
+        .map_err(|e| format!("i/o error reading {name} section: {e}"))?;
+    if (got as u64) != len {
+        return Err(format!("truncated snapshot: {name} section claims {len} bytes, {got} present"));
+    }
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)
+        .map_err(|e| format!("truncated snapshot: missing {name} section checksum ({e})"))?;
+    let stored = u32::from_le_bytes(crc_bytes);
+    let actual = crc32(&payload);
+    if stored != actual {
+        return Err(format!(
+            "checksum mismatch in {name} section: stored {stored:#010x}, computed {actual:#010x}"
+        ));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn section_round_trip() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, 0x42, b"hello world").unwrap();
+        let mut r = &buf[..];
+        let payload = read_section(&mut r, 0x42, "test").unwrap();
+        assert_eq!(payload, b"hello world");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn section_detects_corruption() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, 0x42, b"hello world").unwrap();
+        // Flip one payload byte: the checksum must catch it.
+        let mut bad = buf.clone();
+        bad[10] ^= 0x01;
+        let err = read_section(&mut &bad[..], 0x42, "test").unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        // Truncate mid-payload.
+        let err = read_section(&mut &buf[..12], 0x42, "test").unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        // Wrong tag.
+        let err = read_section(&mut &buf[..], 0x43, "test").unwrap_err();
+        assert!(err.contains("unexpected section tag"), "{err}");
+    }
+
+    #[test]
+    fn dec_rejects_absurd_counts() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(d.count(4, "test").is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! End-to-end tests of the TCP query service: the real `gsr serve` code
+//! path (CLI layer included) on a loopback socket, exercised by concurrent
+//! pipelining clients, malformed input, per-request budgets and a graceful
+//! `SHUTDOWN`.
+
+use gsr_cli::{exit_code, parse_args, run};
+use gsr_core::methods::ThreeDReach;
+use gsr_core::{RangeReachIndex, SccSpatialPolicy};
+use gsr_server::{QueryServer, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A `Write` sink the serve thread and the test can share: the test polls
+/// it for the `listening on ADDR` line to learn the OS-assigned port.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn args(s: &[&str]) -> Vec<String> {
+    s.iter().map(|x| x.to_string()).collect()
+}
+
+/// Generates a network, snapshots one method, and starts `gsr serve` on a
+/// loopback port in a background thread. Returns the address, the serve
+/// thread handle, its shared output, and the network path for oracle use.
+struct ServeFixture {
+    addr: SocketAddr,
+    out: SharedBuf,
+    thread: std::thread::JoinHandle<()>,
+    dir: std::path::PathBuf,
+    net_path: String,
+}
+
+fn start_serve(tag: &str, extra: &[&str]) -> ServeFixture {
+    let dir = std::env::temp_dir().join(format!("gsr_server_integration_{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let net = dir.join("net.gsr");
+    let snap = dir.join("idx.snap");
+    let net_path = net.to_string_lossy().to_string();
+    let snap_path = snap.to_string_lossy().to_string();
+
+    run(
+        parse_args(&args(&[
+            "generate", "--preset", "yelp", "--scale", "0.02", "--out", &net_path,
+        ]))
+        .unwrap(),
+        &mut Vec::new(),
+    )
+    .unwrap();
+    run(
+        parse_args(&args(&[
+            "build", &net_path, "--method", "3dreach", "--save", &snap_path,
+        ]))
+        .unwrap(),
+        &mut Vec::new(),
+    )
+    .unwrap();
+
+    let mut serve_args =
+        vec!["serve", "--load", &snap_path, "--port", "0", "--threads", "2"];
+    serve_args.extend_from_slice(extra);
+    let cmd = parse_args(&args(&serve_args)).unwrap();
+    let out = SharedBuf::default();
+    let thread = {
+        let mut out = out.clone();
+        std::thread::spawn(move || {
+            run(cmd, &mut out).expect("serve must exit cleanly");
+        })
+    };
+
+    // Poll for the announced address (the serve thread prints it before
+    // blocking on the accept loop).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        let text = out.contents();
+        if let Some(line) = text.lines().find(|l| l.starts_with("listening on ")) {
+            break line["listening on ".len()..].parse::<SocketAddr>().unwrap();
+        }
+        assert!(Instant::now() < deadline, "server never announced an address:\n{text}");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    ServeFixture { addr, out, thread, dir, net_path }
+}
+
+fn connect(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (reader, stream)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    line.trim_end().to_string()
+}
+
+#[test]
+fn concurrent_pipelined_clients_get_correct_ordered_replies() {
+    let fx = start_serve("concurrent", &[]);
+
+    // Oracle: the same method built fresh from the same network.
+    let net = gsr_datagen::io::load_network(std::path::Path::new(&fx.net_path)).unwrap();
+    let prep = gsr_core::PreparedNetwork::new(net);
+    let oracle = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+    let n = prep.network().num_vertices() as u32;
+    let space = prep.space();
+
+    std::thread::scope(|scope| {
+        for client in 0..4u32 {
+            let oracle = &oracle;
+            let space = &space;
+            scope.spawn(move || {
+                let (mut reader, mut stream) = connect(fx.addr);
+                // Pipeline a full batch before reading anything.
+                let queries: Vec<(u32, gsr_geo::Rect)> = (0..25)
+                    .map(|i| {
+                        let v = (client * 31 + i * 7) % n;
+                        let w = space.width() * (0.05 + 0.2 * ((i % 5) as f64));
+                        let x = space.min_x + (i as f64 / 25.0) * space.width();
+                        let y = space.min_y + ((i * 13 % 25) as f64 / 25.0) * space.height();
+                        (v, gsr_geo::Rect { min_x: x, min_y: y, max_x: x + w, max_y: y + w })
+                    })
+                    .collect();
+                let mut request = String::new();
+                for (v, r) in &queries {
+                    request.push_str(&format!(
+                        "REACH {v} {} {} {} {}\n",
+                        r.min_x, r.min_y, r.max_x, r.max_y
+                    ));
+                }
+                stream.write_all(request.as_bytes()).unwrap();
+
+                for (v, r) in &queries {
+                    let reply = read_line(&mut reader);
+                    let expect = if oracle.query(*v, r) { "TRUE" } else { "FALSE" };
+                    assert_eq!(reply, expect, "client {client}: v={v} r={r}");
+                }
+            });
+        }
+    });
+
+    shutdown_and_join(fx);
+}
+
+#[test]
+fn malformed_and_out_of_range_requests_get_protocol_errors() {
+    let fx = start_serve("errors", &[]);
+    let (mut reader, mut stream) = connect(fx.addr);
+
+    stream
+        .write_all(
+            b"REACH 0 0 0 1 1\n\
+              FETCH 1\n\
+              REACH not-a-vertex 0 0 1 1\n\
+              REACH 99999999 0 0 1 1\n\
+              REACH 0 5 5 1 1\n\
+              REACH 0 NaN 0 1 1\n\
+              \n\
+              STATS\n",
+        )
+        .unwrap();
+
+    let first = read_line(&mut reader);
+    assert!(first == "TRUE" || first == "FALSE", "{first}");
+    assert!(read_line(&mut reader).starts_with("ERR 2 unknown command"));
+    assert!(read_line(&mut reader).starts_with("ERR 2 REACH: vertex id"));
+    assert!(read_line(&mut reader).starts_with("ERR 4 invalid query vertex"));
+    assert!(read_line(&mut reader).starts_with("ERR 4 invalid query rectangle"));
+    assert!(read_line(&mut reader).starts_with("ERR 4 invalid query rectangle"));
+    let stats = read_line(&mut reader);
+    assert!(stats.starts_with("STATS queries="), "{stats}");
+    // 4 REACH lines became queries (1 answer + 3 query errors); 2 were
+    // protocol errors; the blank line was ignored.
+    assert!(stats.contains("queries=4"), "{stats}");
+    assert!(stats.contains("errors=5"), "{stats}");
+
+    shutdown_and_join(fx);
+}
+
+#[test]
+fn zero_budget_times_out_every_query() {
+    let fx = start_serve("budget", &["--budget-ms", "0"]);
+    let (mut reader, mut stream) = connect(fx.addr);
+
+    stream.write_all(b"REACH 0 0 0 1 1\nREACH 1 0 0 1 1\n").unwrap();
+    for _ in 0..2 {
+        let reply = read_line(&mut reader);
+        assert!(reply.starts_with("ERR 5 time budget of 0 ms exceeded"), "{reply}");
+    }
+    shutdown_and_join(fx);
+}
+
+#[test]
+fn serve_with_a_corrupt_snapshot_is_a_load_error_exit() {
+    let dir = std::env::temp_dir().join("gsr_server_integration_corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("bad.snap");
+    std::fs::write(&snap, b"GSRSNAP\0garbage").unwrap();
+    let snap_path = snap.to_string_lossy().to_string();
+
+    let e = run(
+        parse_args(&args(&["serve", "--load", &snap_path])).unwrap(),
+        &mut Vec::new(),
+    )
+    .unwrap_err();
+    assert_eq!(exit_code(e.as_ref()), 3, "{e}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// In-process variant pinning the graceful-shutdown contract of
+/// [`QueryServer`] directly: cancelling the token (not a client SHUTDOWN)
+/// must also stop `run()`.
+#[test]
+fn cancel_token_stops_the_server_without_a_client() {
+    let prep = gsr_core::paper_example::prepared();
+    let index: Arc<dyn RangeReachIndex> =
+        Arc::new(ThreeDReach::build(&prep, SccSpatialPolicy::Replicate));
+    let server =
+        QueryServer::bind(("127.0.0.1", 0), index, ServerConfig::default()).unwrap();
+    let token = server.cancel_token();
+    let thread = std::thread::spawn(move || server.run().unwrap());
+    std::thread::sleep(Duration::from_millis(50));
+    token.cancel();
+    thread.join().expect("run() must return after cancel");
+}
+
+fn shutdown_and_join(fx: ServeFixture) {
+    let (mut reader, mut stream) = connect(fx.addr);
+    stream.write_all(b"SHUTDOWN\n").unwrap();
+    assert_eq!(read_line(&mut reader), "OK shutdown");
+    fx.thread.join().expect("serve thread must exit cleanly after SHUTDOWN");
+    let text = fx.out.contents();
+    assert!(text.contains("server stopped"), "{text}");
+    std::fs::remove_dir_all(&fx.dir).ok();
+}

@@ -1,0 +1,191 @@
+//! Snapshot round-trip and corruption tests for `gsr-store`.
+//!
+//! Every method must come back from a snapshot answering bit-identically
+//! (answers AND work counters) on a generated network; every corruption —
+//! bit flips, truncation, I/O faults mid-stream — must surface as a typed
+//! [`GsrError::Load`], never a panic or a silently different index.
+
+use gsr_core::methods::{
+    GeoReach, SocReach, SpaReachBfl, SpaReachInt, ThreeDReach, ThreeDReachRev,
+};
+use gsr_core::{GsrError, PreparedNetwork, RangeReachIndex, SccSpatialPolicy};
+use gsr_datagen::faults::FailingReader;
+use gsr_datagen::NetworkSpec;
+use gsr_store::SnapshotIndex;
+use gsr_tests::random_regions;
+
+/// All six methods as saveable snapshots over one prepared network.
+fn snapshots(prep: &PreparedNetwork) -> Vec<SnapshotIndex> {
+    let p = SccSpatialPolicy::Replicate;
+    vec![
+        SnapshotIndex::SpaReachBfl(SpaReachBfl::build(prep, p)),
+        SnapshotIndex::SpaReachInt(SpaReachInt::build(prep, p)),
+        SnapshotIndex::GeoReach(GeoReach::build(prep)),
+        SnapshotIndex::SocReach(SocReach::build(prep)),
+        SnapshotIndex::ThreeDReach(ThreeDReach::build(prep, p)),
+        SnapshotIndex::ThreeDReachRev(ThreeDReachRev::build(prep, p)),
+    ]
+}
+
+fn generated_prep() -> PreparedNetwork {
+    PreparedNetwork::new(NetworkSpec::weeplaces(0.05).generate())
+}
+
+#[test]
+fn every_method_replays_a_workload_bit_identically() {
+    let prep = generated_prep();
+    let n = prep.network().num_vertices() as u32;
+    let regions = random_regions(20, 0xC0FFEE);
+
+    for original in snapshots(&prep) {
+        let mut bytes = Vec::new();
+        gsr_store::save(&mut bytes, &original).expect("save");
+        let loaded = gsr_store::load(&mut bytes.as_slice()).expect("load");
+        assert_eq!(loaded.name(), original.name());
+        assert_eq!(loaded.num_vertices(), original.num_vertices());
+        assert_eq!(
+            loaded.index_bytes(),
+            original.index_bytes(),
+            "{}: loaded index has a different memory footprint",
+            original.name()
+        );
+
+        // Replay: every vertex x every region, answers AND QueryCost.
+        for v in (0..n).step_by(7) {
+            for r in &regions {
+                let (a0, c0) = original.query_with_cost(v, r);
+                let (a1, c1) = loaded.query_with_cost(v, r);
+                assert_eq!(a0, a1, "{}: answer diverged at v={v} r={r}", original.name());
+                assert_eq!(c0, c1, "{}: QueryCost diverged at v={v} r={r}", original.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_files_round_trip_through_disk() {
+    let dir = std::env::temp_dir().join("gsr_snapshot_roundtrip_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prep = generated_prep();
+    let regions = random_regions(8, 42);
+
+    for original in snapshots(&prep) {
+        let path = dir.join(format!("{}.snap", original.method_key()));
+        gsr_store::save_to_path(&path, &original).expect("save_to_path");
+        let shared = gsr_store::load_shared(&path).expect("load_shared");
+
+        // The Arc-shared index serves concurrent readers.
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let shared = std::sync::Arc::clone(&shared);
+                let original = &original;
+                let regions = &regions;
+                scope.spawn(move || {
+                    for v in 0..original.num_vertices() as u32 {
+                        for r in regions {
+                            assert_eq!(shared.query(v, r), original.query(v, r));
+                        }
+                    }
+                });
+            }
+        });
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every single-bit flip anywhere in the snapshot must be caught — by the
+/// magic/version check, a section CRC, or a structural validator — and
+/// reported as `GsrError::Load`. A flip that still loads must at minimum
+/// keep the method identity (CRCs make this vanishingly unlikely; the
+/// assert documents the contract).
+#[test]
+fn bit_flips_are_typed_load_errors() {
+    let prep = PreparedNetwork::new(NetworkSpec::yelp(0.02).generate());
+    for original in snapshots(&prep) {
+        let mut bytes = Vec::new();
+        gsr_store::save(&mut bytes, &original).expect("save");
+
+        let stride = (bytes.len() / 97).max(1);
+        for pos in (0..bytes.len()).step_by(stride) {
+            for bit in [0u8, 3, 7] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= 1 << bit;
+                match gsr_store::load(&mut corrupt.as_slice()) {
+                    Err(GsrError::Load(msg)) => {
+                        assert!(!msg.is_empty(), "empty diagnostic at byte {pos}");
+                    }
+                    Err(other) => panic!(
+                        "{}: flip at byte {pos} bit {bit} gave non-Load error {other:?}",
+                        original.name()
+                    ),
+                    Ok(loaded) => {
+                        // A flip in section padding-free payload that still
+                        // passes CRC is practically impossible; if it ever
+                        // happens the index must still be self-consistent.
+                        assert_eq!(loaded.name(), original.name());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncations_are_typed_load_errors() {
+    let prep = PreparedNetwork::new(NetworkSpec::yelp(0.02).generate());
+    for original in snapshots(&prep) {
+        let mut bytes = Vec::new();
+        gsr_store::save(&mut bytes, &original).expect("save");
+        let stride = (bytes.len() / 61).max(1);
+        for cut in (0..bytes.len()).step_by(stride) {
+            let err = gsr_store::load(&mut &bytes[..cut])
+                .expect_err("a truncated snapshot must not load");
+            assert!(
+                matches!(err, GsrError::Load(_)),
+                "{}: cut at {cut} gave {err:?}",
+                original.name()
+            );
+        }
+    }
+}
+
+/// I/O faults mid-stream (disk error rather than short file) must also map
+/// to `GsrError::Load` with the underlying error in the message.
+#[test]
+fn io_faults_mid_stream_are_typed_load_errors() {
+    let prep = PreparedNetwork::new(NetworkSpec::yelp(0.02).generate());
+    let original = snapshots(&prep).remove(0);
+    let mut bytes = Vec::new();
+    gsr_store::save(&mut bytes, &original).expect("save");
+
+    for budget in [0, 1, 8, 11, bytes.len() / 2, bytes.len() - 1] {
+        let mut reader = FailingReader::new(bytes.as_slice(), budget);
+        let err = gsr_store::load(&mut reader).expect_err("faulted read must not load");
+        assert!(matches!(err, GsrError::Load(_)), "budget {budget}: {err:?}");
+    }
+}
+
+#[test]
+fn version_and_method_tag_mismatches_are_diagnosed() {
+    let prep = PreparedNetwork::new(NetworkSpec::yelp(0.02).generate());
+    let original = snapshots(&prep).remove(0);
+    let mut bytes = Vec::new();
+    gsr_store::save(&mut bytes, &original).expect("save");
+
+    // Future format version.
+    let mut wrong = bytes.clone();
+    wrong[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let err = gsr_store::load(&mut wrong.as_slice()).unwrap_err();
+    match err {
+        GsrError::Load(msg) => assert!(msg.contains("version"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+
+    // Not a snapshot at all.
+    let err = gsr_store::load(&mut &b"GSRSNAPx........"[..]).unwrap_err();
+    assert!(matches!(err, GsrError::Load(_)), "{err:?}");
+
+    // Empty input.
+    let err = gsr_store::load(&mut &b""[..]).unwrap_err();
+    assert!(matches!(err, GsrError::Load(_)), "{err:?}");
+}
