@@ -1,0 +1,97 @@
+//! A counting global allocator for the benchmark harness.
+//!
+//! Every binary that links `gsr-bench` (the `repro` driver and the
+//! integration suites that depend on it) routes heap traffic through
+//! [`CountingAllocator`], which delegates to the system allocator and
+//! bumps one relaxed atomic per allocation. The counter is what lets the
+//! `hotpath` experiment and the zero-allocation tests assert that the
+//! steady-state query kernels never touch the heap.
+//!
+//! The counter is process-global: concurrent threads all feed the same
+//! number. Callers that want a per-workload delta must measure on an
+//! otherwise-quiet process (the `repro` driver runs the allocation pass
+//! single-threaded for exactly this reason).
+//!
+//! This is the one module in the crate that needs `unsafe`: implementing
+//! [`GlobalAlloc`] is inherently unsafe. Every unsafe block is a direct
+//! delegation to [`System`] with the caller's own contract.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocations observed since process start (`alloc`, `alloc_zeroed`, and
+/// `realloc` calls; `dealloc` is not counted).
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The system allocator plus a relaxed allocation counter.
+pub struct CountingAllocator;
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counter update has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded under the caller's `GlobalAlloc` contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded under the caller's `GlobalAlloc` contract.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded under the caller's `GlobalAlloc` contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded under the caller's `GlobalAlloc` contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Total heap allocations performed by this process so far.
+///
+/// Take a reading before and after a measured region and subtract; the
+/// difference is exact on a quiet process and an upper bound when other
+/// threads are running.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_advances_on_heap_allocation() {
+        let before = allocation_count();
+        let v: Vec<u64> = std::hint::black_box((0..64).collect());
+        assert!(allocation_count() > before, "a fresh Vec must be counted");
+        drop(v);
+    }
+
+    #[test]
+    fn pure_arithmetic_does_not_advance_the_counter() {
+        // Warm up: the assert machinery itself must not allocate lazily
+        // during the measured window.
+        let mut acc = 0u64;
+        let before = allocation_count();
+        for i in 0..1000u64 {
+            acc = acc.wrapping_mul(31).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let after = allocation_count();
+        // Other test threads may allocate concurrently; on a quiet run
+        // this is exactly zero, so allow only a tiny cross-thread margin.
+        assert!(after - before < 64, "arithmetic loop allocated {} times", after - before);
+    }
+}

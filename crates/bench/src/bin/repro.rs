@@ -20,7 +20,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|parbuild|snapshot|all]... \
+        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|hotpath|parbuild|snapshot|all]... \
          [--scale S] [--queries N] [--seed K] [--threads T] [--csv]"
     );
     std::process::exit(2);
@@ -48,8 +48,9 @@ fn main() {
             }
             "--csv" => csv = true,
             "all" | "table3" | "table4" | "table5" | "table6" | "fig5" | "fig6" | "fig7"
-            | "backends" | "ablations" | "analysis" | "latency" | "throughput" | "parbuild"
-            | "forests" | "georeach" | "reduction" | "spatial" | "polarity" | "snapshot" => {
+            | "backends" | "ablations" | "analysis" | "latency" | "throughput" | "hotpath"
+            | "parbuild" | "forests" | "georeach" | "reduction" | "spatial" | "polarity"
+            | "snapshot" => {
                 experiments_wanted.insert(arg);
             }
             _ => usage(),
@@ -58,8 +59,8 @@ fn main() {
     if experiments_wanted.is_empty() || experiments_wanted.contains("all") {
         for e in [
             "table3", "table4", "table5", "table6", "fig5", "fig6", "fig7", "backends",
-            "ablations", "analysis", "latency", "throughput", "parbuild", "forests",
-            "georeach", "reduction", "spatial", "polarity", "snapshot",
+            "ablations", "analysis", "latency", "throughput", "hotpath", "parbuild",
+            "forests", "georeach", "reduction", "spatial", "polarity", "snapshot",
         ] {
             experiments_wanted.insert(e.to_string());
         }
@@ -182,6 +183,15 @@ fn main() {
             "Extension: multi-threaded throughput over one shared 3DReach index",
             &experiments::throughput(&datasets, &cfg),
         );
+    }
+    if wanted("hotpath") {
+        let (table, points) = experiments::hotpath(&datasets, &cfg);
+        emit("Extension: hot-path profile (latency, throughput, allocs/query)", &table);
+        let json = experiments::hotpath_json(&cfg, &points);
+        match std::fs::write("BENCH_hotpath.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_hotpath.json ({} results)", points.len()),
+            Err(e) => eprintln!("cannot write BENCH_hotpath.json: {e}"),
+        }
     }
     if wanted("snapshot") {
         let (table, points) = experiments::snapshot(&datasets, &cfg);

@@ -911,6 +911,105 @@ pub fn snapshot_json(cfg: &Config, points: &[SnapshotPoint]) -> String {
     s
 }
 
+/// One measured point of the [`hotpath`] experiment.
+#[derive(Debug, Clone)]
+pub struct HotpathPoint {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Median query latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile query latency, microseconds.
+    pub p99_us: f64,
+    /// Batched query throughput, queries per second.
+    pub qps: f64,
+    /// Heap allocations per steady-state query (after one warm-up pass).
+    pub allocs_per_query: f64,
+}
+
+/// **Extension**: the hot-path profile behind the zero-allocation query
+/// kernels — per-method p50/p99 latency, batched throughput, and heap
+/// allocations per steady-state query, counted by the crate's global
+/// counting allocator ([`crate::alloc_track`]).
+///
+/// A warm-up pass runs first so the one-time thread-local scratch
+/// allocation and index page faults are paid outside the measured window;
+/// after it, every method is expected to report `allocs/query = 0`. The
+/// allocation pass is single-threaded because the counter is
+/// process-global.
+pub fn hotpath(datasets: &[Dataset], cfg: &Config) -> (TextTable, Vec<HotpathPoint>) {
+    let mut t = TextTable::new([
+        "dataset",
+        "method",
+        "p50 [us]",
+        "p99 [us]",
+        "queries/s",
+        "allocs/query",
+    ]);
+    let mut points = Vec::new();
+    let default_bucket = DegreeBucket::PAPER_BUCKETS[DegreeBucket::DEFAULT_INDEX];
+    for ds in datasets {
+        let gen = WorkloadGen::new(&ds.prep);
+        let w = gen.extent_degree(DEFAULT_EXTENT, default_bucket, cfg.queries, cfg.seed);
+        for method in ALL_METHODS {
+            let idx = method.build(&ds.prep, SccSpatialPolicy::Replicate);
+            // Warm-up: pays the per-thread scratch allocation once.
+            std::hint::black_box(run_workload(idx.as_ref(), &w));
+            let p = run_workload_latencies(idx.as_ref(), &w);
+            let (qps, _) = run_workload_parallel(idx.as_ref(), &w, cfg.threads.max(1));
+            let before = crate::alloc_track::allocation_count();
+            for (v, region) in &w.queries {
+                std::hint::black_box(idx.query(*v, region));
+            }
+            let allocs = crate::alloc_track::allocation_count().saturating_sub(before);
+            let allocs_per_query = allocs as f64 / w.queries.len().max(1) as f64;
+            t.row([
+                ds.name.to_string(),
+                method.name().to_string(),
+                fmt_micros(p.p50_micros),
+                fmt_micros(p.p99_micros),
+                format!("{qps:.0}"),
+                format!("{allocs_per_query:.3}"),
+            ]);
+            points.push(HotpathPoint {
+                dataset: ds.name.to_string(),
+                method: method.name().to_string(),
+                p50_us: p.p50_micros,
+                p99_us: p.p99_micros,
+                qps,
+                allocs_per_query,
+            });
+        }
+    }
+    (t, points)
+}
+
+/// Renders the hotpath experiment as the `BENCH_hotpath.json` trajectory
+/// file (hand-written JSON; the harness is std-only).
+pub fn hotpath_json(cfg: &Config, points: &[HotpathPoint]) -> String {
+    let mut s = String::from("{\n  \"experiment\": \"hotpath\",\n");
+    s.push_str(&format!(
+        "  \"scale\": {}, \"queries\": {}, \"seed\": {}, \"threads\": {},\n  \"results\": [\n",
+        cfg.scale, cfg.queries, cfg.seed, cfg.threads
+    ));
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"method\": \"{}\", \"p50_us\": {:.3}, \
+             \"p99_us\": {:.3}, \"qps\": {:.1}, \"allocs_per_query\": {:.4}}}{}\n",
+            p.dataset,
+            p.method,
+            p.p50_us,
+            p.p99_us,
+            p.qps,
+            p.allocs_per_query,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,11 +11,15 @@
 //! Each experiment prints the same rows/series the paper reports; see
 //! EXPERIMENTS.md for the paper-vs-measured comparison.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `alloc_track` module implements
+// `GlobalAlloc`, which is unavoidably unsafe, behind a scoped allow.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_track;
 pub mod experiments;
 pub mod harness;
 pub mod table;
 
+pub use alloc_track::allocation_count;
 pub use harness::{Config, Dataset, MethodKind, ALL_METHODS};

@@ -85,7 +85,8 @@ pub enum Command {
         /// Snapshot output path.
         save: PathBuf,
     },
-    /// `gsr serve --load PATH [--port P] [--threads T] [--budget-ms B]`
+    /// `gsr serve --load PATH [--port P] [--threads T] [--budget-ms B]
+    /// [--cache-entries N]`
     Serve {
         /// Snapshot to load (built with `gsr build --save`).
         load: PathBuf,
@@ -96,6 +97,8 @@ pub enum Command {
         threads: usize,
         /// Per-request time budget in milliseconds (unlimited if absent).
         budget_ms: Option<u64>,
+        /// Result-cache capacity in entries (`0` = caching disabled).
+        cache_entries: usize,
     },
 }
 
@@ -127,8 +130,9 @@ usage:
   gsr report FILE --vertex V --rect X0,Y0,X1,Y1
   gsr build FILE --method <3dreach|3dreach-rev|spareach-bfl|spareach-int|georeach|socreach>
                  --save PATH [--threads T]          (persist a built index as a snapshot)
-  gsr serve --load PATH [--port P] [--threads T] [--budget-ms B]
-                 (serve REACH/STATS/SHUTDOWN lines over TCP from a snapshot)
+  gsr serve --load PATH [--port P] [--threads T] [--budget-ms B] [--cache-entries N]
+                 (serve REACH/STATS/SHUTDOWN lines over TCP from a snapshot;
+                  N > 0 enables the sharded result cache)
 ";
 
 /// Validates four raw coordinates as a query rectangle: all finite, minima
@@ -275,7 +279,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .map(|b| b.parse())
                 .transpose()
                 .map_err(|_| err("--budget-ms must be a non-negative integer"))?;
-            Ok(Command::Serve { load: PathBuf::from(load), port, threads, budget_ms })
+            let cache_entries = flag("cache-entries")
+                .map(|c| c.parse())
+                .transpose()
+                .map_err(|_| err("--cache-entries must be a non-negative integer"))?
+                .unwrap_or(0);
+            Ok(Command::Serve { load: PathBuf::from(load), port, threads, budget_ms, cache_entries })
         }
         other => Err(err(format!("unknown subcommand {other:?}\n{USAGE}"))),
     }
@@ -497,11 +506,12 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn st
                 save.display()
             )?;
         }
-        Command::Serve { load, port, threads, budget_ms } => {
+        Command::Serve { load, port, threads, budget_ms, cache_entries } => {
             let index = gsr_store::load_shared(&load)?;
             let config = gsr_server::ServerConfig {
                 threads,
                 budget: budget_ms.map(Duration::from_millis),
+                cache_entries,
             };
             let server = gsr_server::QueryServer::bind(("127.0.0.1", port), index, config)
                 .map_err(|e| Box::new(e) as Box<dyn std::error::Error>)?;
@@ -631,7 +641,7 @@ mod tests {
 
         let cmd = parse_args(&args(&[
             "serve", "--load", "idx.snap", "--port", "0", "--threads", "2",
-            "--budget-ms", "50",
+            "--budget-ms", "50", "--cache-entries", "1024",
         ]))
         .unwrap();
         assert_eq!(
@@ -641,12 +651,17 @@ mod tests {
                 port: 0,
                 threads: 2,
                 budget_ms: Some(50),
+                cache_entries: 1024,
             }
         );
         let cmd = parse_args(&args(&["serve", "--load", "idx.snap"])).unwrap();
-        assert!(matches!(cmd, Command::Serve { port: 7070, threads: 0, budget_ms: None, .. }));
+        assert!(matches!(
+            cmd,
+            Command::Serve { port: 7070, threads: 0, budget_ms: None, cache_entries: 0, .. }
+        ));
         assert!(parse_args(&args(&["serve"])).is_err(), "load missing");
         assert!(parse_args(&args(&["serve", "--load", "x", "--port", "high"])).is_err());
+        assert!(parse_args(&args(&["serve", "--load", "x", "--cache-entries", "-1"])).is_err());
     }
 
     #[test]

@@ -60,9 +60,12 @@ mod fallback;
 pub mod methods;
 mod network;
 pub mod paper_example;
+pub mod scratch;
 mod traits;
 
-pub use batch::{BatchExecutor, BatchOptions, BatchOutcome, BatchQuery, CancelToken};
+pub use batch::{
+    BatchExecutor, BatchOptions, BatchOutcome, BatchQuery, BatchSchedule, CancelToken,
+};
 pub use error::GsrError;
 pub use fallback::{DegradedReason, FallbackIndex, FallbackOptions, OnlineReach};
 pub use network::{GeosocialNetwork, NetworkError, NetworkStats, PreparedNetwork};

@@ -45,7 +45,12 @@ pub struct GeoReachParams {
 
 impl Default for GeoReachParams {
     fn default() -> Self {
-        GeoReachParams { max_rmbr_frac: 0.8, max_reach_grids: 64, merge_count: 3, finest_exp: 7 }
+        GeoReachParams {
+            max_rmbr_frac: 0.8,
+            max_reach_grids: 64,
+            merge_count: 3,
+            finest_exp: 7,
+        }
     }
 }
 
@@ -137,7 +142,9 @@ impl GeoReach {
             // Own spatial members.
             let mut my_rmbr = prep.comp_mbr(c);
             let mut my_cells: Option<Vec<CellId>> = Some(
-                prep.spatial_member_points(c).map(|p| grid.cell_of(&p)).collect(),
+                prep.spatial_member_points(c)
+                    .map(|p| grid.cell_of(&p))
+                    .collect(),
             );
             // Successors.
             for &s in dag.out_neighbors(c) {
@@ -251,11 +258,21 @@ impl GeoReach {
     /// `comp_of` must reference DAG components, so that no traversal can
     /// index out of bounds. Violations are `Err(String)`, never panics.
     pub fn from_parts(parts: GeoReachParts) -> Result<Self, String> {
-        let GeoReachParts { comp_of, dag, space, finest_exp, info, member_offsets, member_points } =
-            parts;
+        let GeoReachParts {
+            comp_of,
+            dag,
+            space,
+            finest_exp,
+            info,
+            member_offsets,
+            member_points,
+        } = parts;
         let ncomp = dag.num_vertices();
         if info.len() != ncomp {
-            return Err(format!("georeach: {} info entries for {ncomp} components", info.len()));
+            return Err(format!(
+                "georeach: {} info entries for {ncomp} components",
+                info.len()
+            ));
         }
         if member_offsets.len() != ncomp + 1 {
             return Err(format!(
@@ -274,7 +291,9 @@ impl GeoReach {
             ));
         }
         if let Some(&c) = comp_of.iter().find(|&&c| (c as usize) >= ncomp) {
-            return Err(format!("georeach: comp_of references component {c} >= {ncomp}"));
+            return Err(format!(
+                "georeach: comp_of references component {c} >= {ncomp}"
+            ));
         }
         let info = info
             .into_iter()
@@ -321,69 +340,69 @@ impl RangeReachIndex for GeoReach {
     fn query_with_cost_unchecked(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
         let mut cost = QueryCost::default();
         let start = self.comp_of[v as usize];
-        let mut visited = vec![false; self.dag.num_vertices()];
-        let mut queue = std::collections::VecDeque::new();
-        visited[start as usize] = true;
-        queue.push_back(start);
+        crate::scratch::with_scratch(|scratch| {
+            scratch.begin_visit(self.dag.num_vertices());
+            scratch.mark(start);
+            scratch.queue.push_back(start);
 
-        while let Some(c) = queue.pop_front() {
-            cost.vertices_visited += 1;
-            let expand = match &self.info[c as usize] {
-                // GeoB(v) = FALSE: nothing spatial downstream — prune.
-                SpaInfo::B(false) => false,
-                // GeoB(v) = TRUE: no geometry to prune with — expand, but
-                // first test the component's own points exactly.
-                SpaInfo::B(true) => {
-                    if self.own_member_in(c, region, &mut cost) {
-                        return (true, cost);
-                    }
-                    true
-                }
-                SpaInfo::R(rmbr) => {
-                    if !rmbr.intersects(region) {
-                        false // no reachable spatial vertex can be in R
-                    } else if region.contains_rect(rmbr) {
-                        // All reachable spatial vertices are inside R and at
-                        // least one exists.
-                        return (true, cost);
-                    } else {
+            while let Some(c) = scratch.queue.pop_front() {
+                cost.vertices_visited += 1;
+                let expand = match &self.info[c as usize] {
+                    // GeoB(v) = FALSE: nothing spatial downstream — prune.
+                    SpaInfo::B(false) => false,
+                    // GeoB(v) = TRUE: no geometry to prune with — expand, but
+                    // first test the component's own points exactly.
+                    SpaInfo::B(true) => {
                         if self.own_member_in(c, region, &mut cost) {
                             return (true, cost);
                         }
                         true
                     }
-                }
-                SpaInfo::G(cells) => {
-                    let mut any_overlap = false;
-                    for cell in cells {
-                        let r = self.grid.cell_rect(cell);
-                        if region.contains_rect(&r) {
-                            // A ReachGrid cell always holds >= 1 reachable
-                            // spatial vertex: terminate with TRUE.
+                    SpaInfo::R(rmbr) => {
+                        if !rmbr.intersects(region) {
+                            false // no reachable spatial vertex can be in R
+                        } else if region.contains_rect(rmbr) {
+                            // All reachable spatial vertices are inside R and at
+                            // least one exists.
                             return (true, cost);
+                        } else {
+                            if self.own_member_in(c, region, &mut cost) {
+                                return (true, cost);
+                            }
+                            true
                         }
-                        any_overlap |= r.intersects(region);
                     }
-                    if !any_overlap {
-                        false
-                    } else {
-                        if self.own_member_in(c, region, &mut cost) {
-                            return (true, cost);
+                    SpaInfo::G(cells) => {
+                        let mut any_overlap = false;
+                        for cell in cells {
+                            let r = self.grid.cell_rect(cell);
+                            if region.contains_rect(&r) {
+                                // A ReachGrid cell always holds >= 1 reachable
+                                // spatial vertex: terminate with TRUE.
+                                return (true, cost);
+                            }
+                            any_overlap |= r.intersects(region);
                         }
-                        true
+                        if !any_overlap {
+                            false
+                        } else {
+                            if self.own_member_in(c, region, &mut cost) {
+                                return (true, cost);
+                            }
+                            true
+                        }
                     }
-                }
-            };
-            if expand {
-                for &w in self.dag.out_neighbors(c) {
-                    if !visited[w as usize] {
-                        visited[w as usize] = true;
-                        queue.push_back(w);
+                };
+                if expand {
+                    for &w in self.dag.out_neighbors(c) {
+                        if scratch.mark(w) {
+                            scratch.queue.push_back(w);
+                        }
                     }
                 }
             }
-        }
-        (false, cost)
+            (false, cost)
+        })
     }
 
     fn index_bytes(&self) -> usize {
@@ -424,11 +443,26 @@ mod tests {
         let params = [
             GeoReachParams::default(),
             // Tiny budgets force R- and B-vertices everywhere.
-            GeoReachParams { max_reach_grids: 1, max_rmbr_frac: 0.05, merge_count: 1, finest_exp: 3 },
+            GeoReachParams {
+                max_reach_grids: 1,
+                max_rmbr_frac: 0.05,
+                merge_count: 1,
+                finest_exp: 3,
+            },
             // Generous budgets keep everything a G-vertex.
-            GeoReachParams { max_reach_grids: 1 << 20, max_rmbr_frac: 1.0, merge_count: 1000, finest_exp: 5 },
+            GeoReachParams {
+                max_reach_grids: 1 << 20,
+                max_rmbr_frac: 1.0,
+                merge_count: 1000,
+                finest_exp: 5,
+            },
             // Degenerate grid: a single cell.
-            GeoReachParams { max_reach_grids: 8, max_rmbr_frac: 0.5, merge_count: 2, finest_exp: 0 },
+            GeoReachParams {
+                max_reach_grids: 8,
+                max_rmbr_frac: 0.5,
+                merge_count: 2,
+                finest_exp: 0,
+            },
         ];
         for prep in [paper_example::prepared(), paper_example::cyclic_prepared()] {
             for p in params {
@@ -451,7 +485,12 @@ mod tests {
         let prep = paper_example::prepared();
         let generous = GeoReach::build_with(
             &prep,
-            GeoReachParams { max_reach_grids: 1 << 20, max_rmbr_frac: 1.0, merge_count: 1000, finest_exp: 5 },
+            GeoReachParams {
+                max_reach_grids: 1 << 20,
+                max_rmbr_frac: 1.0,
+                merge_count: 1000,
+                finest_exp: 5,
+            },
         );
         let (_b, r, g) = generous.class_counts();
         assert_eq!(r, 0, "generous budgets never downgrade to R");
@@ -459,7 +498,12 @@ mod tests {
 
         let stingy = GeoReach::build_with(
             &prep,
-            GeoReachParams { max_reach_grids: 0, max_rmbr_frac: -1.0, merge_count: 1, finest_exp: 5 },
+            GeoReachParams {
+                max_reach_grids: 0,
+                max_rmbr_frac: -1.0,
+                merge_count: 1,
+                finest_exp: 5,
+            },
         );
         let (_b2, r2, g2) = stingy.class_counts();
         assert_eq!(g2, 0, "zero grid budget leaves no G-vertices");

@@ -464,25 +464,32 @@ impl<R: Reachability> RangeReachIndex for SpaReach<R> {
                     self.reach.reaches(from, comp)
                 })
             }
-            SpatialFilter::Points(tree) => match self.mode {
-                CandidateMode::Materialize => {
-                    // Step 1 (Example 2.4): evaluate SRange(P, R) in full.
-                    let candidates: Vec<CompId> =
-                        tree.query(&window).map(|(_, &comp)| comp).collect();
-                    cost.spatial_candidates = candidates.len();
-                    // Step 2: one GReach per candidate until a positive.
-                    candidates.into_iter().any(|comp| {
-                        cost.reach_tests += 1;
-                        self.reach.reaches(from, comp)
-                    })
+            SpatialFilter::Points(tree) => crate::scratch::with_scratch(|scratch| {
+                let crate::scratch::QueryScratch { stack, comps, .. } = scratch;
+                match self.mode {
+                    CandidateMode::Materialize => {
+                        // Step 1 (Example 2.4): evaluate SRange(P, R) in full,
+                        // materializing into the reusable candidate buffer.
+                        comps.clear();
+                        comps.extend(tree.query_with(&window, stack).map(|(_, &comp)| comp));
+                        cost.spatial_candidates = comps.len();
+                        // Step 2: one GReach per candidate until a positive.
+                        comps.iter().any(|&comp| {
+                            cost.reach_tests += 1;
+                            self.reach.reaches(from, comp)
+                        })
+                    }
+                    CandidateMode::Streaming => {
+                        tree.query_with(&window, stack).any(|(_, &comp)| {
+                            cost.spatial_candidates += 1;
+                            cost.reach_tests += 1;
+                            self.reach.reaches(from, comp)
+                        })
+                    }
                 }
-                CandidateMode::Streaming => tree.query(&window).any(|(_, &comp)| {
-                    cost.spatial_candidates += 1;
-                    cost.reach_tests += 1;
-                    self.reach.reaches(from, comp)
-                }),
-            },
-            SpatialFilter::CompBoxes(tree) => {
+            }),
+            SpatialFilter::CompBoxes(tree) => crate::scratch::with_scratch(|scratch| {
+                let crate::scratch::QueryScratch { stack, boxes, .. } = scratch;
                 let test = |mbr: &Aabb<2>, comp: CompId, cost: &mut QueryCost| {
                     cost.reach_tests += 1;
                     if !self.reach.reaches(from, comp) {
@@ -500,17 +507,17 @@ impl<R: Reachability> RangeReachIndex for SpaReach<R> {
                 };
                 match self.mode {
                     CandidateMode::Materialize => {
-                        let candidates: Vec<(Aabb<2>, CompId)> =
-                            tree.query(&window).map(|(b, &c)| (*b, c)).collect();
-                        cost.spatial_candidates = candidates.len();
-                        candidates.into_iter().any(|(b, c)| test(&b, c, &mut cost))
+                        boxes.clear();
+                        boxes.extend(tree.query_with(&window, stack).map(|(b, &c)| (*b, c)));
+                        cost.spatial_candidates = boxes.len();
+                        boxes.iter().any(|&(b, c)| test(&b, c, &mut cost))
                     }
-                    CandidateMode::Streaming => tree.query(&window).any(|(b, &c)| {
+                    CandidateMode::Streaming => tree.query_with(&window, stack).any(|(b, &c)| {
                         cost.spatial_candidates += 1;
                         test(b, c, &mut cost)
                     }),
                 }
-            }
+            }),
         };
         (answer, cost)
     }

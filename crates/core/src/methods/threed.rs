@@ -22,21 +22,25 @@ use gsr_graph::scc::CompId;
 use gsr_graph::VertexId;
 use gsr_index::{RTree, RTreeParams};
 use gsr_reach::interval::{BuildOptions, IntervalLabeling};
+use std::sync::Arc;
 
 /// Payload of a 3-D entry: which component it certifies, so MBR-policy
 /// candidates can be refined against actual member points.
 type Entry = CompId;
 
-/// Shared plumbing of the two 3-D methods.
+/// Shared plumbing of the two 3-D methods. Everything is immutable after
+/// construction, so the heavy sections (labeling, R-tree, member CSR) are
+/// `Arc`-shared: cloning an index — e.g. fanning a snapshot-loaded index
+/// out to worker threads — is O(1) and does not duplicate the structures.
 #[derive(Debug, Clone)]
 struct ThreeDCommon {
-    comp_of: Vec<CompId>,
-    labeling: IntervalLabeling,
-    tree: RTree<3, Entry>,
+    comp_of: Arc<Vec<CompId>>,
+    labeling: Arc<IntervalLabeling>,
+    tree: Arc<RTree<3, Entry>>,
     policy: SccSpatialPolicy,
     /// Member points per component for MBR refinement (CSR).
-    member_offsets: Vec<u32>,
-    member_points: Vec<Point>,
+    member_offsets: Arc<Vec<u32>>,
+    member_points: Arc<Vec<Point>>,
 }
 
 impl ThreeDCommon {
@@ -128,12 +132,12 @@ pub struct ThreeDParts {
 impl ThreeDCommon {
     fn to_parts(&self) -> ThreeDParts {
         ThreeDParts {
-            comp_of: self.comp_of.clone(),
-            labeling: self.labeling.clone(),
-            tree: self.tree.clone(),
+            comp_of: (*self.comp_of).clone(),
+            labeling: (*self.labeling).clone(),
+            tree: (*self.tree).clone(),
             policy: self.policy,
-            member_offsets: self.member_offsets.clone(),
-            member_points: self.member_points.clone(),
+            member_offsets: (*self.member_offsets).clone(),
+            member_points: (*self.member_points).clone(),
         }
     }
 
@@ -166,7 +170,14 @@ impl ThreeDCommon {
         if let Some((_, &c)) = tree.iter().find(|(_, &c)| (c as usize) >= ncomp) {
             return Err(format!("3dreach: tree references component {c} >= {ncomp}"));
         }
-        Ok(ThreeDCommon { comp_of, labeling, tree, policy, member_offsets, member_points })
+        Ok(ThreeDCommon {
+            comp_of: Arc::new(comp_of),
+            labeling: Arc::new(labeling),
+            tree: Arc::new(tree),
+            policy,
+            member_offsets: Arc::new(member_offsets),
+            member_points: Arc::new(member_points),
+        })
     }
 }
 
@@ -220,12 +231,12 @@ impl ThreeDReach {
 
         ThreeDReach {
             common: ThreeDCommon {
-                comp_of: ThreeDCommon::comp_of(prep, threads),
-                labeling,
-                tree: RTree::bulk_load_parallel(entries, RTreeParams::default(), threads),
+                comp_of: Arc::new(ThreeDCommon::comp_of(prep, threads)),
+                labeling: Arc::new(labeling),
+                tree: Arc::new(RTree::bulk_load_parallel(entries, RTreeParams::default(), threads)),
                 policy,
-                member_offsets,
-                member_points,
+                member_offsets: Arc::new(member_offsets),
+                member_points: Arc::new(member_points),
             },
         }
     }
@@ -259,17 +270,19 @@ impl RangeReachIndex for ThreeDReach {
     fn query_with_cost_unchecked(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
         let mut cost = QueryCost::default();
         let from = self.common.comp_of[v as usize];
-        // One rectangular cuboid per label of L(v) (Example 4.2); stop at
-        // the first certified hit.
-        for iv in self.common.labeling.intervals(from) {
-            cost.range_queries += 1;
-            let cuboid = cuboid_from_rect(region, iv.lo as f64, iv.hi as f64);
-            let mut hits = self.common.tree.query(&cuboid);
-            if hits.any(|(b, &comp)| self.common.candidate_hits(b, comp, region, &mut cost)) {
-                return (true, cost);
+        crate::scratch::with_scratch(|scratch| {
+            // One rectangular cuboid per label of L(v) (Example 4.2); stop
+            // at the first certified hit.
+            for iv in self.common.labeling.intervals(from) {
+                cost.range_queries += 1;
+                let cuboid = cuboid_from_rect(region, iv.lo as f64, iv.hi as f64);
+                let mut hits = self.common.tree.query_with(&cuboid, &mut scratch.stack);
+                if hits.any(|(b, &comp)| self.common.candidate_hits(b, comp, region, &mut cost)) {
+                    return (true, cost);
+                }
             }
-        }
-        (false, cost)
+            (false, cost)
+        })
     }
 
     fn index_bytes(&self) -> usize {
@@ -287,7 +300,7 @@ impl RangeReachIndex for ThreeDReach {
 pub struct ThreeDReachRev {
     common: ThreeDCommon,
     /// `post_rev` of every component (the plane height of a query).
-    rev_post: Vec<u32>,
+    rev_post: Arc<Vec<u32>>,
 }
 
 impl ThreeDReachRev {
@@ -330,18 +343,20 @@ impl ThreeDReachRev {
             }
             SccSpatialPolicy::Mbr => par::map_indexed(threads, prep.num_components(), |c| {
                 let c = c as CompId;
-                let Some(m) = prep.comp_mbr(c) else { return Vec::new() };
-                labeling
-                    .intervals(c)
-                    .iter()
-                    .map(|iv| {
-                        (
-                            Aabb::new(
-                                [m.min_x, m.min_y, iv.lo as f64],
-                                [m.max_x, m.max_y, iv.hi as f64],
-                            ),
-                            c,
-                        )
+                // A component without spatial members (no MBR) contributes
+                // an empty iterator — no sentinel early-return.
+                prep.comp_mbr(c)
+                    .into_iter()
+                    .flat_map(|m| {
+                        labeling.intervals(c).iter().map(move |iv| {
+                            (
+                                Aabb::new(
+                                    [m.min_x, m.min_y, iv.lo as f64],
+                                    [m.max_x, m.max_y, iv.hi as f64],
+                                ),
+                                c,
+                            )
+                        })
                     })
                     .collect()
             }),
@@ -351,14 +366,14 @@ impl ThreeDReachRev {
 
         ThreeDReachRev {
             common: ThreeDCommon {
-                comp_of: ThreeDCommon::comp_of(prep, threads),
-                labeling,
-                tree: RTree::bulk_load_parallel(entries, RTreeParams::default(), threads),
+                comp_of: Arc::new(ThreeDCommon::comp_of(prep, threads)),
+                labeling: Arc::new(labeling),
+                tree: Arc::new(RTree::bulk_load_parallel(entries, RTreeParams::default(), threads)),
                 policy,
-                member_offsets,
-                member_points,
+                member_offsets: Arc::new(member_offsets),
+                member_points: Arc::new(member_points),
             },
-            rev_post,
+            rev_post: Arc::new(rev_post),
         }
     }
 
@@ -380,7 +395,7 @@ impl ThreeDReachRev {
         let common = ThreeDCommon::from_parts(parts)?;
         let rev_post: Vec<u32> =
             (0..common.labeling.num_vertices() as CompId).map(|c| common.labeling.post(c)).collect();
-        Ok(ThreeDReachRev { common, rev_post })
+        Ok(ThreeDReachRev { common, rev_post: Arc::new(rev_post) })
     }
 }
 
@@ -401,8 +416,10 @@ impl RangeReachIndex for ThreeDReachRev {
         // vertical segment whose base point lies inside R.
         let z = self.rev_post[from as usize] as f64;
         let plane = cuboid_from_rect(region, z, z);
-        let mut hits = self.common.tree.query(&plane);
-        let answer = hits.any(|(b, &comp)| self.common.candidate_hits(b, comp, region, &mut cost));
+        let answer = crate::scratch::with_scratch(|scratch| {
+            let mut hits = self.common.tree.query_with(&plane, &mut scratch.stack);
+            hits.any(|(b, &comp)| self.common.candidate_hits(b, comp, region, &mut cost))
+        });
         (answer, cost)
     }
 
@@ -483,6 +500,26 @@ mod tests {
                     assert_eq!(rev.common.tree, rev_seq.common.tree, "{policy:?} t={threads}");
                     assert_eq!(rev.rev_post, rev_seq.rev_post);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn clone_shares_immutable_sections() {
+        let prep = paper_example::prepared();
+        let fwd = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+        let fc = fwd.clone();
+        assert!(Arc::ptr_eq(&fwd.common.tree, &fc.common.tree));
+        assert!(Arc::ptr_eq(&fwd.common.labeling, &fc.common.labeling));
+        assert!(Arc::ptr_eq(&fwd.common.member_points, &fc.common.member_points));
+        let rev = ThreeDReachRev::build(&prep, SccSpatialPolicy::Replicate);
+        let rc = rev.clone();
+        assert!(Arc::ptr_eq(&rev.common.tree, &rc.common.tree));
+        assert!(Arc::ptr_eq(&rev.rev_post, &rc.rev_post));
+        // A clone answers exactly like the original.
+        for v in prep.network().graph().vertices() {
+            for r in paper_example::probe_regions() {
+                assert_eq!(fwd.query(v, &r), fc.query(v, &r));
             }
         }
     }

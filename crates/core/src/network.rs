@@ -278,26 +278,30 @@ impl PreparedNetwork {
     pub fn range_reach_bfs_with_cost(&self, v: VertexId, region: &Rect) -> (bool, QueryCost) {
         let mut cost = QueryCost::default();
         let start = self.comp(v);
-        let mut visited = vec![false; self.num_components()];
-        let mut stack = vec![start];
-        visited[start as usize] = true;
-        while let Some(c) = stack.pop() {
-            cost.vertices_visited += 1;
-            let hit = self.spatial_member_points(c).any(|p| {
-                cost.containment_tests += 1;
-                region.contains_point(&p)
-            });
-            if hit {
-                return (true, cost);
-            }
-            for &w in self.dag().out_neighbors(c) {
-                if !visited[w as usize] {
-                    visited[w as usize] = true;
-                    stack.push(w);
+        // The traversal runs over this thread's reusable scratch buffers
+        // (the frontier deque used LIFO), so steady-state evaluation is
+        // allocation-free; the visit order matches the old Vec stack.
+        crate::scratch::with_scratch(|scratch| {
+            scratch.begin_visit(self.num_components());
+            scratch.mark(start);
+            scratch.queue.push_back(start);
+            while let Some(c) = scratch.queue.pop_back() {
+                cost.vertices_visited += 1;
+                let hit = self.spatial_member_points(c).any(|p| {
+                    cost.containment_tests += 1;
+                    region.contains_point(&p)
+                });
+                if hit {
+                    return (true, cost);
+                }
+                for &w in self.dag().out_neighbors(c) {
+                    if scratch.mark(w) {
+                        scratch.queue.push_back(w);
+                    }
                 }
             }
-        }
-        (false, cost)
+            (false, cost)
+        })
     }
 }
 

@@ -541,6 +541,29 @@ impl<const N: usize, T> RTree<N, T> {
         self.query(region).next().is_some()
     }
 
+    /// Like [`RTree::query`], but traversing with a caller-provided stack
+    /// buffer instead of allocating one per query. The stack is cleared on
+    /// entry and retains its capacity afterwards, so a caller that reuses
+    /// the same buffer (e.g. a per-thread `QueryScratch`) performs zero
+    /// heap allocations per query in steady state. Results are identical
+    /// to [`RTree::query`].
+    pub fn query_with<'t, 's>(
+        &'t self,
+        region: &Aabb<N>,
+        stack: &'s mut Vec<u32>,
+    ) -> QueryWith<'t, 's, N, T> {
+        stack.clear();
+        if self.nodes[self.root as usize].mbr.intersects(region) {
+            stack.push(self.root);
+        }
+        QueryWith { tree: self, region: *region, stack, leaf: None }
+    }
+
+    /// [`RTree::query_exists`] with a caller-provided stack buffer.
+    pub fn query_exists_with(&self, region: &Aabb<N>, stack: &mut Vec<u32>) -> bool {
+        self.query_with(region, stack).next().is_some()
+    }
+
     /// Number of entries intersecting `region`.
     pub fn count_in(&self, region: &Aabb<N>) -> usize {
         self.query(region).count()
@@ -966,6 +989,47 @@ impl<'a, const N: usize, T> Iterator for Query<'a, N, T> {
     }
 }
 
+/// Range-query iterator borrowing its traversal stack from the caller;
+/// see [`RTree::query_with`].
+pub struct QueryWith<'t, 's, const N: usize, T> {
+    tree: &'t RTree<N, T>,
+    region: Aabb<N>,
+    stack: &'s mut Vec<u32>,
+    leaf: Option<(&'t [(Aabb<N>, T)], usize)>,
+}
+
+impl<'t, const N: usize, T> Iterator for QueryWith<'t, '_, N, T> {
+    type Item = (&'t Aabb<N>, &'t T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((entries, pos)) = &mut self.leaf {
+                while *pos < entries.len() {
+                    let (b, t) = &entries[*pos];
+                    *pos += 1;
+                    if b.intersects(&self.region) {
+                        return Some((b, t));
+                    }
+                }
+                self.leaf = None;
+            }
+            let id = self.stack.pop()?;
+            match &self.tree.nodes[id as usize].kind {
+                NodeKind::Leaf(entries) => {
+                    self.leaf = Some((entries.as_slice(), 0));
+                }
+                NodeKind::Inner(children) => {
+                    for &c in children {
+                        if self.tree.nodes[c as usize].mbr.intersects(&self.region) {
+                            self.stack.push(c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1039,6 +1103,30 @@ mod tests {
             let r = Aabb::new(lo, hi);
             assert_eq!(t.query_exists(&r), t.count_in(&r) > 0);
         }
+    }
+
+    #[test]
+    fn query_with_matches_query_and_reuses_buffer() {
+        let t = RTree::bulk_load(grid_points(500));
+        let mut stack = Vec::new();
+        for (lo, hi) in [
+            ([0.0, 0.0], [1.0, 1.0]),
+            ([3.0, 3.0], [12.0, 9.0]),
+            ([900.0, 900.0], [950.0, 950.0]),
+            ([-10.0, -10.0], [100.0, 100.0]),
+        ] {
+            let r = Aabb::new(lo, hi);
+            let plain: Vec<usize> = t.query(&r).map(|(_, &v)| v).collect();
+            let with: Vec<usize> = t.query_with(&r, &mut stack).map(|(_, &v)| v).collect();
+            assert_eq!(plain, with, "query_with diverged on {r:?}");
+            assert_eq!(t.query_exists(&r), t.query_exists_with(&r, &mut stack));
+        }
+        // The buffer is reusable: a second pass over the same windows must
+        // not need to grow it.
+        let cap = stack.capacity();
+        let r = Aabb::new([-10.0, -10.0], [100.0, 100.0]);
+        let _ = t.query_with(&r, &mut stack).count();
+        assert_eq!(stack.capacity(), cap);
     }
 
     #[test]

@@ -352,29 +352,32 @@ impl Reachability for BflIndex {
         if !self.filters_admit(f, t) {
             return false;
         }
-        // Guided DFS with the same cuts.
-        let mut visited = vec![false; self.g.num_vertices()];
-        let mut stack = vec![from];
-        visited[f] = true;
-        while let Some(v) = stack.pop() {
-            for &w in self.g.out_neighbors(v) {
-                let wi = w as usize;
-                if w == to {
-                    return true;
-                }
-                if visited[wi] || self.post[wi] < to_post {
-                    continue;
-                }
-                if self.tree_contains(wi, to_post) {
-                    return true;
-                }
-                visited[wi] = true;
-                if self.filters_admit(wi, t) {
-                    stack.push(w);
+        // Guided DFS with the same cuts, over this thread's reusable
+        // traversal buffers (zero allocations in steady state).
+        crate::scratch::with_traversal_scratch(|s| {
+            s.begin(self.g.num_vertices());
+            s.stack.push(from);
+            s.mark(from);
+            while let Some(v) = s.stack.pop() {
+                for &w in self.g.out_neighbors(v) {
+                    let wi = w as usize;
+                    if w == to {
+                        return true;
+                    }
+                    if s.is_marked(w) || self.post[wi] < to_post {
+                        continue;
+                    }
+                    if self.tree_contains(wi, to_post) {
+                        return true;
+                    }
+                    s.mark(w);
+                    if self.filters_admit(wi, t) {
+                        s.stack.push(w);
+                    }
                 }
             }
-        }
-        false
+            false
+        })
     }
 
     fn heap_bytes(&self) -> usize {

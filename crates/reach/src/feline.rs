@@ -154,27 +154,30 @@ impl Reachability for FelineIndex {
         if self.tree_contains(f, to_post) {
             return true;
         }
-        // Guided DFS with the dominance prune.
-        let mut visited = vec![false; self.g.num_vertices()];
-        let mut stack = vec![from];
-        visited[f] = true;
-        while let Some(v) = stack.pop() {
-            for &w in self.g.out_neighbors(v) {
-                let wi = w as usize;
-                if w == to {
-                    return true;
+        // Guided DFS with the dominance prune, over this thread's
+        // reusable traversal buffers.
+        crate::scratch::with_traversal_scratch(|s| {
+            s.begin(self.g.num_vertices());
+            s.stack.push(from);
+            s.mark(from);
+            while let Some(v) = s.stack.pop() {
+                for &w in self.g.out_neighbors(v) {
+                    let wi = w as usize;
+                    if w == to {
+                        return true;
+                    }
+                    if s.is_marked(w) || !self.dominates(wi, t) {
+                        continue;
+                    }
+                    if self.tree_contains(wi, to_post) {
+                        return true;
+                    }
+                    s.mark(w);
+                    s.stack.push(w);
                 }
-                if visited[wi] || !self.dominates(wi, t) {
-                    continue;
-                }
-                if self.tree_contains(wi, to_post) {
-                    return true;
-                }
-                visited[wi] = true;
-                stack.push(w);
             }
-        }
-        false
+            false
+        })
     }
 
     fn heap_bytes(&self) -> usize {

@@ -240,23 +240,25 @@ impl Reachability for GrailIndex {
         if !self.all_contain(f, t) {
             return false; // some labeling refutes
         }
-        // DFS fallback pruned by the same containment test.
-        let mut visited = vec![false; self.g.num_vertices()];
-        let mut stack = vec![from];
-        visited[f] = true;
-        while let Some(v) = stack.pop() {
-            for &w in self.g.out_neighbors(v) {
-                if w == to {
-                    return true;
-                }
-                let wi = w as usize;
-                if !visited[wi] && self.all_contain(wi, t) {
-                    visited[wi] = true;
-                    stack.push(w);
+        // DFS fallback pruned by the same containment test, over this
+        // thread's reusable traversal buffers.
+        crate::scratch::with_traversal_scratch(|s| {
+            s.begin(self.g.num_vertices());
+            s.stack.push(from);
+            s.mark(from);
+            while let Some(v) = s.stack.pop() {
+                for &w in self.g.out_neighbors(v) {
+                    if w == to {
+                        return true;
+                    }
+                    if !s.is_marked(w) && self.all_contain(w as usize, t) {
+                        s.mark(w);
+                        s.stack.push(w);
+                    }
                 }
             }
-        }
-        false
+            false
+        })
     }
 
     fn heap_bytes(&self) -> usize {

@@ -27,6 +27,7 @@ pub mod feline;
 pub mod grail;
 pub mod interval;
 pub mod pll;
+pub mod scratch;
 
 use gsr_graph::VertexId;
 

@@ -22,8 +22,13 @@
 //!   [`QueryServer::cancel_token`], or a client's `SHUTDOWN` line) stops
 //!   the accept loop, wakes idle workers, and lets in-flight connections
 //!   close at their next poll tick. [`QueryServer::run`] then returns.
-//! * `STATS` reports queries served, error replies and p50/p99 request
-//!   latency from a fixed-bucket histogram ([`ServerStats`]).
+//! * An optional **sharded result cache** ([`ResultCache`], enabled via
+//!   [`ServerConfig::cache_entries`]) memoizes `(vertex, rectangle)`
+//!   answers across connections; batches probe it first and only the
+//!   misses reach the index.
+//! * `STATS` reports queries served, error replies, p50/p99 request
+//!   latency from a fixed-bucket histogram ([`ServerStats`]), and the
+//!   cache's hit/miss/eviction counters.
 //!
 //! Every failure a query can hit maps onto one `ERR <code> <msg>` line
 //! mirroring the [`GsrError`] taxonomy; a malformed line never kills the
@@ -33,9 +38,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod proto;
 mod stats;
 
+pub use cache::{CacheStats, ResultCache};
 pub use stats::{LatencyHistogram, ServerStats, StatsSnapshot};
 
 use gsr_core::{BatchExecutor, BatchOptions, BatchQuery, CancelToken, GsrError, RangeReachIndex};
@@ -59,6 +66,10 @@ pub struct ServerConfig {
     /// queries; `None` means unlimited. Exceeding it answers the remaining
     /// queries of the batch with `ERR 5`.
     pub budget: Option<Duration>,
+    /// Total capacity of the sharded result cache ([`ResultCache`]);
+    /// `0` disables caching. Cached answers are exact — the index is
+    /// immutable — and only successful answers are ever cached.
+    pub cache_entries: usize,
 }
 
 /// A bound TCP query service. Construct with [`QueryServer::bind`], then
@@ -70,6 +81,7 @@ pub struct QueryServer {
     config: ServerConfig,
     cancel: CancelToken,
     stats: Arc<ServerStats>,
+    cache: Option<ResultCache>,
 }
 
 /// The connection hand-off queue between the accept loop and the workers.
@@ -92,6 +104,10 @@ impl QueryServer {
         let local_addr = listener
             .local_addr()
             .map_err(|e| GsrError::Internal(format!("server local_addr: {e}")))?;
+        let cache = match config.cache_entries {
+            0 => None,
+            n => Some(ResultCache::new(n)),
+        };
         Ok(QueryServer {
             listener,
             local_addr,
@@ -99,6 +115,7 @@ impl QueryServer {
             config,
             cancel: CancelToken::new(),
             stats: Arc::new(ServerStats::default()),
+            cache,
         })
     }
 
@@ -259,7 +276,11 @@ impl QueryServer {
                     self.flush_batch(&mut batch, &mut replies);
                     match other {
                         Ok(Some(Request::Stats)) => {
-                            replies.push_str(&format!("STATS {}\n", self.stats.snapshot()));
+                            let mut snap = self.stats.snapshot();
+                            if let Some(cache) = &self.cache {
+                                snap.cache = cache.stats();
+                            }
+                            replies.push_str(&format!("STATS {snap}\n"));
                         }
                         Ok(Some(Request::Shutdown)) => {
                             replies.push_str("OK shutdown\n");
@@ -283,6 +304,11 @@ impl QueryServer {
     /// per query. Request latency is recorded per query as its batch's
     /// wall-clock time — under pipelining, that is the time from batch
     /// start to the reply being ready.
+    ///
+    /// With the result cache enabled, the batch is probed first and only
+    /// the misses are evaluated; successful answers are inserted back.
+    /// Errors, timeouts and cancellations are never cached, so degraded
+    /// replies cannot be replayed once the condition clears.
     fn flush_batch(&self, batch: &mut Vec<BatchQuery>, replies: &mut String) {
         if batch.is_empty() {
             return;
@@ -293,20 +319,53 @@ impl QueryServer {
             options = options.with_budget(budget);
         }
         let started = Instant::now();
-        let outcome = BatchExecutor::new(1).run_bounded(self.index.as_ref(), &queries, &options);
+        let (answers, errors, timed_out, cancelled) = match &self.cache {
+            None => {
+                let o =
+                    BatchExecutor::new(1).run_bounded(self.index.as_ref(), &queries, &options);
+                (o.answers, o.errors, o.timed_out, o.cancelled)
+            }
+            Some(cache) => {
+                let mut answers: Vec<Option<bool>> =
+                    queries.iter().map(|(v, r)| cache.get(*v, r)).collect();
+                let misses: Vec<usize> =
+                    (0..queries.len()).filter(|&i| answers[i].is_none()).collect();
+                let mut errors = Vec::new();
+                let mut timed_out = false;
+                let mut cancelled = false;
+                if !misses.is_empty() {
+                    let sub: Vec<BatchQuery> = misses.iter().map(|&i| queries[i]).collect();
+                    let o = BatchExecutor::new(1).run_bounded(self.index.as_ref(), &sub, &options);
+                    timed_out = o.timed_out;
+                    cancelled = o.cancelled;
+                    for (j, answer) in o.answers.into_iter().enumerate() {
+                        let i = misses[j];
+                        if let Some(hit) = answer {
+                            let (v, r) = &queries[i];
+                            cache.insert(*v, r, hit);
+                        }
+                        answers[i] = answer;
+                    }
+                    // Sub-batch error indexes map back through `misses`;
+                    // `misses` is ascending, so order is preserved.
+                    errors = o.errors.into_iter().map(|(j, e)| (misses[j], e)).collect();
+                }
+                (answers, errors, timed_out, cancelled)
+            }
+        };
         let elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
 
         let budget_ms = self.config.budget.map_or(0, |b| b.as_millis().min(u64::MAX as u128) as u64);
-        for (i, answer) in outcome.answers.iter().enumerate() {
+        for (i, answer) in answers.iter().enumerate() {
             let reply = match answer {
                 Some(true) => "TRUE".to_string(),
                 Some(false) => "FALSE".to_string(),
                 None => {
-                    if let Some((_, e)) = outcome.errors.iter().find(|(j, _)| *j == i) {
+                    if let Some((_, e)) = errors.iter().find(|(j, _)| *j == i) {
                         error_reply(e)
-                    } else if outcome.timed_out {
+                    } else if timed_out {
                         error_reply(&GsrError::Timeout { budget_ms })
-                    } else if outcome.cancelled {
+                    } else if cancelled {
                         error_reply(&GsrError::Cancelled)
                     } else {
                         error_reply(&GsrError::Internal("query produced no answer".into()))
@@ -364,10 +423,54 @@ mod tests {
 
     #[test]
     fn zero_budget_times_out_with_err_5() {
-        let server =
-            test_server(ServerConfig { threads: 1, budget: Some(Duration::ZERO) });
+        let server = test_server(ServerConfig {
+            threads: 1,
+            budget: Some(Duration::ZERO),
+            ..ServerConfig::default()
+        });
         let (replies, _) = server.serve_lines(b"REACH 0 0 0 1 1\n");
         assert!(replies.starts_with("ERR 5 time budget of 0 ms exceeded"), "{replies}");
+    }
+
+    #[test]
+    fn cache_repeats_answers_and_counts_hits() {
+        let server =
+            test_server(ServerConfig { cache_entries: 64, ..ServerConfig::default() });
+        let r = paper_example::query_region();
+        let line = format!(
+            "REACH {} {} {} {} {}\n",
+            paper_example::A, r.min_x, r.min_y, r.max_x, r.max_y,
+        );
+        let (first, _) = server.serve_lines(line.as_bytes());
+        assert_eq!(first, "TRUE\n");
+        let (second, _) = server.serve_lines(line.as_bytes());
+        assert_eq!(second, first, "cached reply must match the computed one");
+        let (stats, _) = server.serve_lines(b"STATS\n");
+        assert!(stats.contains("cache_hits=1"), "{stats}");
+        assert!(stats.contains("cache_misses=1"), "{stats}");
+        assert!(stats.contains("cache_evictions=0"), "{stats}");
+    }
+
+    #[test]
+    fn cache_preserves_order_and_does_not_cache_errors() {
+        let server =
+            test_server(ServerConfig { cache_entries: 64, ..ServerConfig::default() });
+        let r = paper_example::query_region();
+        let reach = |v: u32| format!("REACH {v} {} {} {} {}\n", r.min_x, r.min_y, r.max_x, r.max_y);
+        // A mixed pipelined batch: good, invalid, good.
+        let input = format!("{}REACH 9999 0 0 1 1\n{}", reach(paper_example::A), reach(paper_example::C));
+        let (replies, _) = server.serve_lines(input.as_bytes());
+        let lines: Vec<&str> = replies.lines().collect();
+        assert_eq!(lines[0], "TRUE");
+        assert!(lines[1].starts_with("ERR 4 invalid query vertex"), "{}", lines[1]);
+        assert_eq!(lines[2], "FALSE");
+        // Replaying the invalid query still fails (errors are not cached)
+        // and the good queries now hit.
+        let (again, _) = server.serve_lines(input.as_bytes());
+        assert_eq!(again, replies);
+        let (stats, _) = server.serve_lines(b"STATS\n");
+        assert!(stats.contains("cache_hits=2"), "{stats}");
+        assert!(stats.contains("cache_misses=4"), "{stats}");
     }
 
     #[test]

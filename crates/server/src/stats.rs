@@ -84,6 +84,7 @@ impl ServerStats {
             errors: self.errors.load(Ordering::Relaxed),
             p50_us: self.hist.quantile_us(0.50),
             p99_us: self.hist.quantile_us(0.99),
+            cache: crate::cache::CacheStats::default(),
         }
     }
 }
@@ -99,14 +100,23 @@ pub struct StatsSnapshot {
     pub p50_us: u64,
     /// 99th-percentile request latency, microseconds (bucket upper bound).
     pub p99_us: u64,
+    /// Result-cache counters; all zero when the cache is disabled. Filled
+    /// in by the server, which owns the cache.
+    pub cache: crate::cache::CacheStats,
 }
 
 impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "queries={} errors={} p50_us={} p99_us={}",
-            self.queries, self.errors, self.p50_us, self.p99_us
+            "queries={} errors={} p50_us={} p99_us={} cache_hits={} cache_misses={} cache_evictions={}",
+            self.queries,
+            self.errors,
+            self.p50_us,
+            self.p99_us,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
         )
     }
 }
@@ -151,6 +161,10 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.queries, 2);
         assert_eq!(snap.errors, 2);
-        assert_eq!(snap.to_string(), "queries=2 errors=2 p50_us=15 p99_us=15");
+        assert_eq!(
+            snap.to_string(),
+            "queries=2 errors=2 p50_us=15 p99_us=15 \
+             cache_hits=0 cache_misses=0 cache_evictions=0"
+        );
     }
 }

@@ -160,6 +160,74 @@ fn concurrent_pipelined_clients_get_correct_ordered_replies() {
     shutdown_and_join(fx);
 }
 
+/// The result cache must be invisible to clients (answers identical to a
+/// fresh uncached index) while its counters show up in `STATS`.
+#[test]
+fn cached_server_agrees_with_oracle_under_concurrent_clients() {
+    let fx = start_serve("cache", &["--cache-entries", "256"]);
+
+    let net = gsr_datagen::io::load_network(std::path::Path::new(&fx.net_path)).unwrap();
+    let prep = gsr_core::PreparedNetwork::new(net);
+    let oracle = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+    let n = prep.network().num_vertices() as u32;
+    let space = prep.space();
+
+    // All clients pipeline the SAME 25 queries twice, so every later probe
+    // of a key the sub-batch already answered can be served by the cache.
+    let queries: Vec<(u32, gsr_geo::Rect)> = (0..25)
+        .map(|i| {
+            let v = (i * 7) % n;
+            let w = space.width() * (0.05 + 0.2 * ((i % 5) as f64));
+            let x = space.min_x + (i as f64 / 25.0) * space.width();
+            let y = space.min_y + ((i * 13 % 25) as f64 / 25.0) * space.height();
+            (v, gsr_geo::Rect { min_x: x, min_y: y, max_x: x + w, max_y: y + w })
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for client in 0..4u32 {
+            let oracle = &oracle;
+            let queries = &queries;
+            scope.spawn(move || {
+                let (mut reader, mut stream) = connect(fx.addr);
+                let mut request = String::new();
+                for (v, r) in queries.iter().chain(queries) {
+                    request.push_str(&format!(
+                        "REACH {v} {} {} {} {}\n",
+                        r.min_x, r.min_y, r.max_x, r.max_y
+                    ));
+                }
+                stream.write_all(request.as_bytes()).unwrap();
+                for (v, r) in queries.iter().chain(queries) {
+                    let reply = read_line(&mut reader);
+                    let expect = if oracle.query(*v, r) { "TRUE" } else { "FALSE" };
+                    assert_eq!(reply, expect, "client {client}: v={v} r={r}");
+                }
+            });
+        }
+    });
+
+    // Every valid REACH probes the cache exactly once: 4 clients x 50.
+    let (mut reader, mut stream) = connect(fx.addr);
+    stream.write_all(b"STATS\n").unwrap();
+    let stats = read_line(&mut reader);
+    let field = |name: &str| -> u64 {
+        stats
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{name}=")))
+            .unwrap_or_else(|| panic!("{name} missing from {stats}"))
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(field("cache_hits") + field("cache_misses"), 200, "{stats}");
+    assert!(field("cache_hits") > 0, "repeated queries must hit: {stats}");
+    assert!(field("cache_misses") >= 25, "each distinct key misses once: {stats}");
+    assert_eq!(field("cache_evictions"), 0, "256 entries fit 25 keys: {stats}");
+    assert_eq!(field("errors"), 0, "{stats}");
+
+    shutdown_and_join(fx);
+}
+
 #[test]
 fn malformed_and_out_of_range_requests_get_protocol_errors() {
     let fx = start_serve("errors", &[]);
