@@ -8,7 +8,7 @@ use gsr_core::{RangeReachIndex, SccSpatialPolicy};
 use gsr_datagen::workload::WorkloadGen;
 use gsr_geo::{Aabb, Point, Rect};
 use gsr_graph::stats::DegreeBucket;
-use gsr_index::{KdTree, QuadTree, RTree, UniformGrid};
+use gsr_index::{DynRTree, KdTree, QuadTree, RTree, UniformGrid};
 use gsr_reach::bfl::BflIndex;
 use gsr_reach::feline::FelineIndex;
 use gsr_reach::grail::GrailIndex;
@@ -62,7 +62,7 @@ fn rtree_loading(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("insert", entries.len()), &entries, |b, e| {
         b.iter(|| {
-            let mut t = RTree::new();
+            let mut t = DynRTree::new();
             for (aabb, v) in e {
                 t.insert(*aabb, *v);
             }

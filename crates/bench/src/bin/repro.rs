@@ -20,7 +20,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|hotpath|parbuild|snapshot|all]... \
+        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|hotpath|memory|parbuild|snapshot|all]... \
          [--scale S] [--queries N] [--seed K] [--threads T] [--csv]"
     );
     std::process::exit(2);
@@ -49,8 +49,8 @@ fn main() {
             "--csv" => csv = true,
             "all" | "table3" | "table4" | "table5" | "table6" | "fig5" | "fig6" | "fig7"
             | "backends" | "ablations" | "analysis" | "latency" | "throughput" | "hotpath"
-            | "parbuild" | "forests" | "georeach" | "reduction" | "spatial" | "polarity"
-            | "snapshot" => {
+            | "memory" | "parbuild" | "forests" | "georeach" | "reduction" | "spatial"
+            | "polarity" | "snapshot" => {
                 experiments_wanted.insert(arg);
             }
             _ => usage(),
@@ -59,8 +59,8 @@ fn main() {
     if experiments_wanted.is_empty() || experiments_wanted.contains("all") {
         for e in [
             "table3", "table4", "table5", "table6", "fig5", "fig6", "fig7", "backends",
-            "ablations", "analysis", "latency", "throughput", "hotpath", "parbuild",
-            "forests", "georeach", "reduction", "spatial", "polarity", "snapshot",
+            "ablations", "analysis", "latency", "throughput", "hotpath", "memory",
+            "parbuild", "forests", "georeach", "reduction", "spatial", "polarity", "snapshot",
         ] {
             experiments_wanted.insert(e.to_string());
         }
@@ -191,6 +191,15 @@ fn main() {
         match std::fs::write("BENCH_hotpath.json", &json) {
             Ok(()) => eprintln!("wrote BENCH_hotpath.json ({} results)", points.len()),
             Err(e) => eprintln!("cannot write BENCH_hotpath.json: {e}"),
+        }
+    }
+    if wanted("memory") {
+        let (table, points) = experiments::memory(&datasets, &cfg);
+        emit("Extension: memory footprint, compact vs pre-compaction layouts", &table);
+        let json = experiments::memory_json(&cfg, &points);
+        match std::fs::write("BENCH_memory.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_memory.json ({} results)", points.len()),
+            Err(e) => eprintln!("cannot write BENCH_memory.json: {e}"),
         }
     }
     if wanted("snapshot") {

@@ -7,7 +7,8 @@ use crate::harness::{
 use crate::table::{fmt_mb, fmt_micros, fmt_secs, TextTable};
 use gsr_core::methods::{
     CandidateMode, GeoReach, GeoReachParams, ScanMode, SocReach, SpaReach, SpaReachBfl,
-    SpaReachFeline, SpaReachGrail, SpaReachInt, SpaReachPll, SpatialBackend,
+    SpaReachFeline, SpaReachFilterParts, SpaReachGrail, SpaReachInt, SpaReachParts, SpaReachPll,
+    SpatialBackend, ThreeDReach, ThreeDReachRev,
 };
 use gsr_core::{QueryCost, RangeReachIndex, SccSpatialPolicy};
 use gsr_datagen::workload::{WorkloadGen, PAPER_EXTENTS_PCT, PAPER_SELECTIVITIES_PCT};
@@ -1010,6 +1011,192 @@ pub fn hotpath_json(cfg: &Config, points: &[HotpathPoint]) -> String {
     s
 }
 
+/// One measured point of the [`memory`] experiment.
+#[derive(Debug, Clone)]
+pub struct MemoryPoint {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Vertices in the network.
+    pub num_vertices: usize,
+    /// Heap footprint of the compact layout, bytes.
+    pub heap_bytes: usize,
+    /// Reconstructed footprint of the pre-compaction layout, bytes.
+    pub legacy_bytes: usize,
+    /// `100 * (1 - heap/legacy)`.
+    pub reduction_pct: f64,
+    /// Median query latency on the compact layout, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile query latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// Footprint of the retired pointer-node R-tree layout for a tree with the
+/// same node and entry counts: one heap node per arena id (MBR + a 24-byte
+/// `Vec` header + ~8 bytes of enum tag/padding), `(Aabb, payload)` tuples
+/// in the leaves, and one 4-byte child id per non-root node. The same
+/// formula anchors the `soa_arena_is_smaller_than_pointer_nodes` unit test
+/// in `gsr-index`.
+fn legacy_rtree_bytes<const N: usize>(num_nodes: usize, len: usize) -> usize {
+    let node_header = std::mem::size_of::<gsr_geo::Aabb<N>>() + 32;
+    num_nodes * node_header
+        + len * std::mem::size_of::<(gsr_geo::Aabb<N>, usize)>()
+        + num_nodes.saturating_sub(1) * 4
+}
+
+/// Heap bytes of a full [`IntervalLabeling`] over `n` posts holding
+/// `num_labels` labels: the post permutation and its inverse, the label
+/// CSR, and the 8-byte `(lo, hi)` interval array — what SocReach, 3DReach
+/// and 3DReach-REV stored before delta compression.
+fn legacy_labeling_bytes(n: usize, num_labels: usize) -> usize {
+    4 * n + 4 * n + 4 * (n + 1) + 8 * num_labels
+}
+
+/// Legacy footprint of a SpaReach variant: only its 2-D spatial filter
+/// changed layout; the reachability back-end is stored as before.
+fn spareach_legacy_bytes<R>(current: usize, parts: Option<SpaReachParts<R>>) -> usize {
+    match parts {
+        Some(p) => {
+            let tree = match &p.filter {
+                SpaReachFilterParts::Points(t) => t,
+                SpaReachFilterParts::CompBoxes(t) => t,
+            };
+            current - tree.heap_bytes()
+                + legacy_rtree_bytes::<2>(tree.num_nodes(), tree.len())
+        }
+        None => current,
+    }
+}
+
+/// **Extension**: the memory-footprint profile behind the compact index
+/// layouts — per-method heap bytes (via the `HeapBytes` accounting every
+/// index implements), bytes/vertex, and the reconstructed footprint of the
+/// pre-compaction layout (pointer-node R-trees, uncompressed interval
+/// labels, plain post-offset arrays) for a before/after comparison, plus
+/// query p50/p99 on the compact layout to show the shrink is not paid for
+/// in latency.
+pub fn memory(datasets: &[Dataset], cfg: &Config) -> (TextTable, Vec<MemoryPoint>) {
+    use gsr_graph::HeapBytes;
+    let mut t = TextTable::new([
+        "dataset",
+        "method",
+        "heap",
+        "bytes/vertex",
+        "legacy bytes/vertex",
+        "reduction",
+        "p50 [us]",
+        "p99 [us]",
+    ]);
+    let mut points = Vec::new();
+    let default_bucket = DegreeBucket::PAPER_BUCKETS[DegreeBucket::DEFAULT_INDEX];
+    let policy = SccSpatialPolicy::Replicate;
+    for ds in datasets {
+        let gen = WorkloadGen::new(&ds.prep);
+        let w = gen.extent_degree(DEFAULT_EXTENT, default_bucket, cfg.queries, cfg.seed);
+        let nv = ds.prep.network().num_vertices().max(1);
+
+        let mut push = |method: &str, idx: &dyn RangeReachIndex, legacy: usize| {
+            let heap = idx.index_bytes();
+            let p = run_workload_latencies(idx, &w);
+            let reduction_pct =
+                if legacy > 0 { 100.0 * (1.0 - heap as f64 / legacy as f64) } else { 0.0 };
+            t.row([
+                ds.name.to_string(),
+                method.to_string(),
+                fmt_mb(heap),
+                format!("{:.1}", heap as f64 / nv as f64),
+                format!("{:.1}", legacy as f64 / nv as f64),
+                format!("{reduction_pct:.1}%"),
+                fmt_micros(p.p50_micros),
+                fmt_micros(p.p99_micros),
+            ]);
+            points.push(MemoryPoint {
+                dataset: ds.name.to_string(),
+                method: method.to_string(),
+                num_vertices: nv,
+                heap_bytes: heap,
+                legacy_bytes: legacy,
+                reduction_pct,
+                p50_us: p.p50_micros,
+                p99_us: p.p99_micros,
+            });
+        };
+
+        let bfl = SpaReachBfl::build_threaded(&ds.prep, policy, cfg.threads);
+        push("SpaReach-BFL", &bfl, spareach_legacy_bytes(bfl.index_bytes(), bfl.to_parts()));
+
+        let int = SpaReachInt::build_threaded(&ds.prep, policy, cfg.threads);
+        push("SpaReach-INT", &int, spareach_legacy_bytes(int.index_bytes(), int.to_parts()));
+
+        // GeoReach carries no R-tree and no interval labels; its layout is
+        // unchanged by the compaction, so legacy == current (0% reduction).
+        let geo = GeoReach::build(&ds.prep);
+        push("GeoReach", &geo, geo.index_bytes());
+
+        let soc = SocReach::build(&ds.prep);
+        let (comp_of, labels, _post_offsets, pts, _mode) = soc.parts();
+        let nc = labels.num_vertices();
+        let soc_legacy = comp_of.len() * 4
+            + legacy_labeling_bytes(nc, labels.num_labels())
+            + 4 * (nc + 1)
+            + std::mem::size_of_val(pts);
+        push("SocReach", &soc, soc_legacy);
+
+        let fwd = ThreeDReach::build_threaded(&ds.prep, policy, cfg.threads);
+        let parts = fwd.to_parts();
+        let fwd_legacy = fwd.index_bytes() - parts.labels.heap_bytes()
+            + legacy_labeling_bytes(parts.labels.num_vertices(), parts.labels.num_labels())
+            - parts.tree.heap_bytes()
+            + legacy_rtree_bytes::<3>(parts.tree.num_nodes(), parts.tree.len());
+        push("3DReach", &fwd, fwd_legacy);
+
+        let rev = ThreeDReachRev::build_threaded(&ds.prep, policy, cfg.threads);
+        let parts = rev.to_parts();
+        // The old layout kept the full reversed labeling; rebuild it to
+        // count its labels (the built index only stores the post heights).
+        let rev_labeling = IntervalLabeling::build(&ds.prep.dag().reversed());
+        let nc = parts.rev_post.len();
+        let rev_legacy = rev.index_bytes() - nc * 4
+            + legacy_labeling_bytes(nc, rev_labeling.num_labels())
+            - parts.tree.heap_bytes()
+            + legacy_rtree_bytes::<3>(parts.tree.num_nodes(), parts.tree.len());
+        push("3DReach-REV", &rev, rev_legacy);
+    }
+    (t, points)
+}
+
+/// Renders the memory experiment as the `BENCH_memory.json` trajectory
+/// file (hand-written JSON; the harness is std-only).
+pub fn memory_json(cfg: &Config, points: &[MemoryPoint]) -> String {
+    let mut s = String::from("{\n  \"experiment\": \"memory\",\n");
+    s.push_str(&format!(
+        "  \"scale\": {}, \"queries\": {}, \"seed\": {}, \"threads\": {},\n  \"results\": [\n",
+        cfg.scale, cfg.queries, cfg.seed, cfg.threads
+    ));
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"method\": \"{}\", \"num_vertices\": {}, \
+             \"heap_bytes\": {}, \"legacy_bytes\": {}, \
+             \"bytes_per_vertex\": {:.2}, \"legacy_bytes_per_vertex\": {:.2}, \
+             \"reduction_pct\": {:.2}, \"p50_us\": {:.3}, \"p99_us\": {:.3}}}{}\n",
+            p.dataset,
+            p.method,
+            p.num_vertices,
+            p.heap_bytes,
+            p.legacy_bytes,
+            p.heap_bytes as f64 / p.num_vertices.max(1) as f64,
+            p.legacy_bytes as f64 / p.num_vertices.max(1) as f64,
+            p.reduction_pct,
+            p.p50_us,
+            p.p99_us,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1020,6 +1207,33 @@ mod tests {
             Dataset::from_spec(&NetworkSpec::weeplaces(0.03)),
             Dataset::from_spec(&NetworkSpec::yelp(0.01)),
         ]
+    }
+
+    #[test]
+    fn memory_reports_shrink_for_label_backed_methods() {
+        let ds = tiny_datasets();
+        let cfg = Config { queries: 50, ..Config::default() };
+        let (t, points) = memory(&ds, &cfg);
+        assert_eq!(t.len(), 2 * 6, "six methods per dataset");
+        assert_eq!(points.len(), 2 * 6);
+        for p in &points {
+            assert!(p.heap_bytes > 0, "{}: zero heap", p.method);
+            assert!(
+                p.heap_bytes <= p.legacy_bytes,
+                "{}: compact layout {} larger than legacy {}",
+                p.method,
+                p.heap_bytes,
+                p.legacy_bytes
+            );
+            // The delta-compressed methods must show a real reduction even
+            // on tiny inputs (the acceptance gate at scale 3 is 30%).
+            if matches!(p.method.as_str(), "SocReach" | "3DReach" | "3DReach-REV") {
+                assert!(p.reduction_pct > 10.0, "{}: only {:.1}%", p.method, p.reduction_pct);
+            }
+        }
+        let json = memory_json(&cfg, &points);
+        assert!(json.contains("\"experiment\": \"memory\""));
+        assert!(json.contains("\"reduction_pct\""));
     }
 
     #[test]

@@ -499,10 +499,14 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn st
             let build_time = start.elapsed();
             gsr_store::save_to_path(&save, &snapshot)?;
             let bytes = std::fs::metadata(&save).map(|m| m.len()).unwrap_or(0);
+            let heap = snapshot.index_bytes();
+            let nv = snapshot.num_vertices().max(1);
             writeln!(
                 out,
-                "built {} in {build_time:?}; wrote {bytes} byte snapshot to {}",
+                "built {} in {build_time:?}; index heap {heap} bytes ({:.1} bytes/vertex); \
+                 wrote {bytes} byte snapshot to {}",
                 snapshot.method_key(),
+                heap as f64 / nv as f64,
                 save.display()
             )?;
         }

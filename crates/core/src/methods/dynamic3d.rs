@@ -25,7 +25,7 @@ use crate::{PreparedNetwork, RangeReachIndex};
 use gsr_geo::{cuboid_from_rect, point3, Point, Rect};
 use gsr_graph::scc::CompId;
 use gsr_graph::VertexId;
-use gsr_index::RTree;
+use gsr_index::DynRTree;
 pub use gsr_reach::dynamic::CycleError;
 use gsr_reach::dynamic::DynamicIntervalLabeling;
 use gsr_reach::Reachability;
@@ -47,7 +47,7 @@ pub struct DynamicThreeDReach {
     /// Component of every original or added vertex.
     comp_of: Vec<CompId>,
     labeling: DynamicIntervalLabeling,
-    tree: RTree<3, CompId>,
+    tree: DynRTree<3, CompId>,
 }
 
 impl DynamicThreeDReach {
@@ -55,7 +55,7 @@ impl DynamicThreeDReach {
     /// point per spatial vertex).
     pub fn build(prep: &PreparedNetwork) -> Self {
         let labeling = DynamicIntervalLabeling::from_graph(prep.dag());
-        let mut tree = RTree::new();
+        let mut tree = DynRTree::new();
         for (v, p) in prep.network().spatial_vertices() {
             let comp = prep.comp(v);
             tree.insert(point3(p, labeling.post(comp) as f64), comp);

@@ -17,4 +17,4 @@ pub use spareach::{
     CandidateMode, SpaReach, SpaReachBfl, SpaReachFeline, SpaReachFilterParts, SpaReachGrail,
     SpaReachInt, SpaReachParts, SpaReachPll, SpatialBackend,
 };
-pub use threed::{ThreeDParts, ThreeDReach, ThreeDReachRev};
+pub use threed::{ThreeDParts, ThreeDReach, ThreeDReachRev, ThreeDRevParts};

@@ -16,6 +16,7 @@ use crate::{PreparedNetwork, QueryCost, RangeReachIndex};
 use gsr_geo::{Point, Rect};
 use gsr_graph::scc::CompId;
 use gsr_graph::VertexId;
+use gsr_reach::compact::{CompactLabels, DeltaArray};
 use gsr_reach::interval::IntervalLabeling;
 
 /// How SocReach enumerates the descendant set `D(v)`.
@@ -48,11 +49,15 @@ pub enum ScanMode {
 #[derive(Debug, Clone)]
 pub struct SocReach {
     comp_of: Vec<CompId>,
-    labeling: IntervalLabeling,
+    /// Delta-compressed interval labels: the per-label scans walk the
+    /// labels strictly sequentially, so the random-access arrays of the
+    /// full [`IntervalLabeling`] are construction scaffolding only.
+    labels: CompactLabels,
     /// Spatial member points grouped by the post-order number of their
     /// component: points of the component with post `p` are
-    /// `points[post_offsets[p - 1] .. post_offsets[p]]`.
-    post_offsets: Vec<u32>,
+    /// `points[post_offsets[p - 1] .. post_offsets[p]]`. Stored
+    /// delta-compressed — the per-post scan decodes them as a cursor.
+    post_offsets: DeltaArray,
     points: Vec<Point>,
     mode: ScanMode,
 }
@@ -85,37 +90,47 @@ impl SocReach {
             .map(|v| prep.comp(v))
             .collect();
 
-        SocReach { comp_of, labeling, post_offsets, points, mode }
+        SocReach {
+            comp_of,
+            labels: CompactLabels::from_labeling(&labeling),
+            // The freshly built CSR is monotone by construction, so the
+            // fallback is unreachable; it keeps the build panic-free.
+            post_offsets: DeltaArray::from_sorted(&post_offsets).unwrap_or_default(),
+            points,
+            mode,
+        }
     }
 
     /// The points of the component with post-order number `p` — the unit of
     /// the per-label scans performed by [`RangeReachIndex::query`].
     #[inline]
     pub fn points_of_post(&self, p: u32) -> &[Point] {
-        let lo = self.post_offsets[(p - 1) as usize] as usize;
-        let hi = self.post_offsets[p as usize] as usize;
+        let lo = self.post_offsets.get((p - 1) as usize) as usize;
+        let hi = self.post_offsets.get(p as usize) as usize;
         &self.points[lo..hi]
     }
 
-    /// The underlying labeling (exposed for stats and tests).
-    pub fn labeling(&self) -> &IntervalLabeling {
-        &self.labeling
+    /// The compacted interval labels (exposed for stats and tests).
+    pub fn labels(&self) -> &CompactLabels {
+        &self.labels
     }
 
     /// Number of descendants (components) the method would enumerate for a
     /// query from `v` — useful for analyzing query cost.
     pub fn descendant_count(&self, v: VertexId) -> usize {
-        self.labeling.num_descendants(self.comp_of[v as usize])
+        self.labels.num_descendants(self.comp_of[v as usize])
     }
 
     /// Decomposes the evaluator for snapshot encoding:
-    /// `(comp_of, labeling, post_offsets, points, mode)`.
+    /// `(comp_of, labels, post_offsets, points, mode)`.
     /// [`SocReach::from_parts`] inverts it.
-    pub fn parts(&self) -> (&[CompId], &IntervalLabeling, &[u32], &[Point], ScanMode) {
-        (&self.comp_of, &self.labeling, &self.post_offsets, &self.points, self.mode)
+    pub fn parts(&self) -> (&[CompId], &CompactLabels, &DeltaArray, &[Point], ScanMode) {
+        (&self.comp_of, &self.labels, &self.post_offsets, &self.points, self.mode)
     }
 
-    /// Reassembles an evaluator from the pieces of [`SocReach::parts`].
+    /// Reassembles an evaluator from the pieces of [`SocReach::parts`]
+    /// (the post offsets as the plain sorted values of
+    /// [`DeltaArray::to_vec`]).
     ///
     /// Untrusted input: the post-aligned point CSR must have exactly one
     /// range per post-order number and `comp_of` must reference labeled
@@ -123,19 +138,25 @@ impl SocReach {
     /// Violations are `Err(String)`, never panics.
     pub fn from_parts(
         comp_of: Vec<CompId>,
-        labeling: IntervalLabeling,
+        labels: CompactLabels,
         post_offsets: Vec<u32>,
         points: Vec<Point>,
         mode: ScanMode,
     ) -> Result<Self, String> {
-        let ncomp = labeling.num_vertices();
+        let ncomp = labels.num_vertices();
         if post_offsets.len() != ncomp + 1 {
             return Err(format!(
                 "socreach: {} post offsets for {ncomp} components",
                 post_offsets.len()
             ));
         }
-        if post_offsets[0] != 0 || post_offsets.windows(2).any(|w| w[0] > w[1]) {
+        if labels.max_post() as usize > ncomp {
+            return Err(format!(
+                "socreach: labels cover post {} but only {ncomp} components exist",
+                labels.max_post()
+            ));
+        }
+        if post_offsets[0] != 0 {
             return Err("socreach: post offsets not monotone from 0".into());
         }
         if post_offsets[ncomp] as usize != points.len() {
@@ -145,10 +166,13 @@ impl SocReach {
                 points.len()
             ));
         }
+        // from_sorted rejects decreasing runs, completing the CSR check.
+        let post_offsets = DeltaArray::from_sorted(&post_offsets)
+            .map_err(|e| format!("socreach: {e}"))?;
         if let Some(&c) = comp_of.iter().find(|&&c| (c as usize) >= ncomp) {
             return Err(format!("socreach: comp_of references component {c} >= {ncomp}"));
         }
-        Ok(SocReach { comp_of, labeling, post_offsets, points, mode })
+        Ok(SocReach { comp_of, labels, post_offsets, points, mode })
     }
 }
 
@@ -169,15 +193,22 @@ impl RangeReachIndex for SocReach {
         let answer = match self.mode {
             ScanMode::PerPost => {
                 // Faithful: walk every descendant post, spatial or not, and
-                // test the points of the spatial ones until one hits.
+                // test the points of the spatial ones until one hits. The
+                // posts of a label are consecutive, so the delta-compressed
+                // CSR is decoded with a forward cursor — one varint per
+                // visited post, never a random-access block decode.
                 'outer: {
-                    for iv in self.labeling.intervals(from) {
-                        for p in iv.lo..=iv.hi {
+                    for iv in self.labels.intervals(from) {
+                        let mut offs = self.post_offsets.iter_from((iv.lo - 1) as usize);
+                        let mut prev = offs.next().unwrap_or(0) as usize;
+                        for _p in iv.lo..=iv.hi {
                             cost.vertices_visited += 1;
-                            let hit = self.points_of_post(p).iter().any(|pt| {
+                            let cur = offs.next().unwrap_or(prev as u32) as usize;
+                            let hit = self.points[prev..cur].iter().any(|pt| {
                                 cost.containment_tests += 1;
                                 region.contains_point(pt)
                             });
+                            prev = cur;
                             if hit {
                                 break 'outer true;
                             }
@@ -190,9 +221,9 @@ impl RangeReachIndex for SocReach {
                 // Optimized: the point table is post-order-aligned, so each
                 // label is one contiguous scan over spatial descendants.
                 'outer: {
-                    for iv in self.labeling.intervals(from) {
-                        let lo = self.post_offsets[(iv.lo - 1) as usize] as usize;
-                        let hi = self.post_offsets[iv.hi as usize] as usize;
+                    for iv in self.labels.intervals(from) {
+                        let lo = self.post_offsets.get((iv.lo - 1) as usize) as usize;
+                        let hi = self.post_offsets.get(iv.hi as usize) as usize;
                         let hit = self.points[lo..hi].iter().any(|p| {
                             cost.containment_tests += 1;
                             region.contains_point(p)
@@ -209,8 +240,9 @@ impl RangeReachIndex for SocReach {
     }
 
     fn index_bytes(&self) -> usize {
-        self.labeling.heap_bytes()
-            + self.post_offsets.len() * 4
+        use gsr_graph::HeapBytes;
+        self.labels.heap_bytes()
+            + self.post_offsets.heap_bytes()
             + self.points.len() * std::mem::size_of::<Point>()
             + self.comp_of.len() * 4
     }

@@ -508,13 +508,13 @@ impl<R: Reachability> RangeReachIndex for SpaReach<R> {
                 match self.mode {
                     CandidateMode::Materialize => {
                         boxes.clear();
-                        boxes.extend(tree.query_with(&window, stack).map(|(b, &c)| (*b, c)));
+                        boxes.extend(tree.query_with(&window, stack).map(|(b, &c)| (b, c)));
                         cost.spatial_candidates = boxes.len();
                         boxes.iter().any(|&(b, c)| test(&b, c, &mut cost))
                     }
                     CandidateMode::Streaming => tree.query_with(&window, stack).any(|(b, &c)| {
                         cost.spatial_candidates += 1;
-                        test(b, c, &mut cost)
+                        test(&b, c, &mut cost)
                     }),
                 }
             }),

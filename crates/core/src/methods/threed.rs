@@ -19,8 +19,9 @@ use crate::{PreparedNetwork, QueryCost, RangeReachIndex, SccSpatialPolicy};
 use gsr_geo::{cuboid_from_rect, Aabb, Cuboid, Point, Rect};
 use gsr_graph::par;
 use gsr_graph::scc::CompId;
-use gsr_graph::VertexId;
+use gsr_graph::{HeapBytes, VertexId};
 use gsr_index::{RTree, RTreeParams};
+use gsr_reach::compact::CompactLabels;
 use gsr_reach::interval::{BuildOptions, IntervalLabeling};
 use std::sync::Arc;
 
@@ -35,7 +36,6 @@ type Entry = CompId;
 #[derive(Debug, Clone)]
 struct ThreeDCommon {
     comp_of: Arc<Vec<CompId>>,
-    labeling: Arc<IntervalLabeling>,
     tree: Arc<RTree<3, Entry>>,
     policy: SccSpatialPolicy,
     /// Member points per component for MBR refinement (CSR).
@@ -97,8 +97,7 @@ impl ThreeDCommon {
     }
 
     fn bytes(&self) -> usize {
-        self.labeling.heap_bytes()
-            + self.tree.heap_bytes()
+        self.tree.heap_bytes()
             + self.comp_of.len() * 4
             + match self.policy {
                 SccSpatialPolicy::Replicate => 0,
@@ -110,16 +109,15 @@ impl ThreeDCommon {
     }
 }
 
-/// Owned decomposition of the shared state of the two 3-D methods for
-/// snapshot encoding; produced by [`ThreeDReach::to_parts`] /
-/// [`ThreeDReachRev::to_parts`], inverted by the matching `from_parts`.
+/// Owned decomposition of [`ThreeDReach`] for snapshot encoding; produced
+/// by [`ThreeDReach::to_parts`], inverted by [`ThreeDReach::from_parts`].
 #[derive(Debug, Clone)]
 pub struct ThreeDParts {
     /// Component of every original vertex.
     pub comp_of: Vec<CompId>,
-    /// The interval labeling over the condensation (reversed for REV).
-    pub labeling: IntervalLabeling,
-    /// The 3-D R-tree of points (forward) or segments (REV).
+    /// Delta-compressed forward interval labels over the condensation.
+    pub labels: CompactLabels,
+    /// The 3-D R-tree of points.
     pub tree: RTree<3, CompId>,
     /// Which SCC spatial policy the entries were generated under.
     pub policy: SccSpatialPolicy,
@@ -129,25 +127,47 @@ pub struct ThreeDParts {
     pub member_points: Vec<Point>,
 }
 
+/// Owned decomposition of [`ThreeDReachRev`] for snapshot encoding.
+///
+/// REV's query only ever reads the per-component plane height
+/// `post_rev(v)` — the full reversed labeling is construction scaffolding
+/// (its labels are baked into the segment R-tree) and is not persisted.
+#[derive(Debug, Clone)]
+pub struct ThreeDRevParts {
+    /// Component of every original vertex.
+    pub comp_of: Vec<CompId>,
+    /// Reversed post-order number (plane height) of every component.
+    pub rev_post: Vec<u32>,
+    /// The 3-D R-tree of vertical segments.
+    pub tree: RTree<3, CompId>,
+    /// Which SCC spatial policy the entries were generated under.
+    pub policy: SccSpatialPolicy,
+    /// CSR offsets into `member_points`, one range per component.
+    pub member_offsets: Vec<u32>,
+    /// Flattened per-component spatial member points.
+    pub member_points: Vec<Point>,
+}
+
+type CommonParts = (Vec<CompId>, RTree<3, CompId>, SccSpatialPolicy, Vec<u32>, Vec<Point>);
+
 impl ThreeDCommon {
-    fn to_parts(&self) -> ThreeDParts {
-        ThreeDParts {
-            comp_of: (*self.comp_of).clone(),
-            labeling: (*self.labeling).clone(),
-            tree: (*self.tree).clone(),
-            policy: self.policy,
-            member_offsets: (*self.member_offsets).clone(),
-            member_points: (*self.member_points).clone(),
-        }
+    fn to_parts(&self) -> CommonParts {
+        (
+            (*self.comp_of).clone(),
+            (*self.tree).clone(),
+            self.policy,
+            (*self.member_offsets).clone(),
+            (*self.member_points).clone(),
+        )
     }
 
     /// Validates untrusted parts and reassembles the shared state. Every
     /// index a query dereferences — component ids in `comp_of` and in tree
-    /// payloads, the member CSR — is bounds-checked against the labeling's
-    /// component count so queries cannot panic.
-    fn from_parts(parts: ThreeDParts) -> Result<Self, String> {
-        let ThreeDParts { comp_of, labeling, tree, policy, member_offsets, member_points } = parts;
-        let ncomp = labeling.num_vertices();
+    /// payloads, the member CSR — is bounds-checked against `ncomp` (the
+    /// component count of the accompanying label structure) so queries
+    /// cannot panic.
+    fn from_parts(ncomp: usize, parts: CommonParts) -> Result<Self, String> {
+        let (comp_of, tree, policy, member_offsets, member_points) = parts;
         if member_offsets.len() != ncomp + 1 {
             return Err(format!(
                 "3dreach: {} member offsets for {ncomp} components",
@@ -172,7 +192,6 @@ impl ThreeDCommon {
         }
         Ok(ThreeDCommon {
             comp_of: Arc::new(comp_of),
-            labeling: Arc::new(labeling),
             tree: Arc::new(tree),
             policy,
             member_offsets: Arc::new(member_offsets),
@@ -185,6 +204,10 @@ impl ThreeDCommon {
 #[derive(Debug, Clone)]
 pub struct ThreeDReach {
     common: ThreeDCommon,
+    /// Delta-compressed forward labels: the query's per-label loop is a
+    /// strictly sequential decode, so the random-access arrays of the full
+    /// [`IntervalLabeling`] are never needed after construction.
+    labels: Arc<CompactLabels>,
 }
 
 impl ThreeDReach {
@@ -232,29 +255,42 @@ impl ThreeDReach {
         ThreeDReach {
             common: ThreeDCommon {
                 comp_of: Arc::new(ThreeDCommon::comp_of(prep, threads)),
-                labeling: Arc::new(labeling),
                 tree: Arc::new(RTree::bulk_load_parallel(entries, RTreeParams::default(), threads)),
                 policy,
                 member_offsets: Arc::new(member_offsets),
                 member_points: Arc::new(member_points),
             },
+            labels: Arc::new(CompactLabels::from_labeling(&labeling)),
         }
     }
 
-    /// The forward labeling (for stats).
-    pub fn labeling(&self) -> &IntervalLabeling {
-        &self.common.labeling
+    /// The compacted forward labels (for stats).
+    pub fn labels(&self) -> &CompactLabels {
+        &self.labels
     }
 
     /// Decomposes the index for snapshot encoding.
     pub fn to_parts(&self) -> ThreeDParts {
-        self.common.to_parts()
+        let (comp_of, tree, policy, member_offsets, member_points) = self.common.to_parts();
+        ThreeDParts {
+            comp_of,
+            labels: (*self.labels).clone(),
+            tree,
+            policy,
+            member_offsets,
+            member_points,
+        }
     }
 
     /// Reassembles an index from untrusted [`ThreeDParts`]; violations of
     /// the structural invariants are `Err(String)`, never panics.
     pub fn from_parts(parts: ThreeDParts) -> Result<Self, String> {
-        Ok(ThreeDReach { common: ThreeDCommon::from_parts(parts)? })
+        let ThreeDParts { comp_of, labels, tree, policy, member_offsets, member_points } = parts;
+        let common = ThreeDCommon::from_parts(
+            labels.num_vertices(),
+            (comp_of, tree, policy, member_offsets, member_points),
+        )?;
+        Ok(ThreeDReach { common, labels: Arc::new(labels) })
     }
 }
 
@@ -273,11 +309,11 @@ impl RangeReachIndex for ThreeDReach {
         crate::scratch::with_scratch(|scratch| {
             // One rectangular cuboid per label of L(v) (Example 4.2); stop
             // at the first certified hit.
-            for iv in self.common.labeling.intervals(from) {
+            for iv in self.labels.intervals(from) {
                 cost.range_queries += 1;
                 let cuboid = cuboid_from_rect(region, iv.lo as f64, iv.hi as f64);
                 let mut hits = self.common.tree.query_with(&cuboid, &mut scratch.stack);
-                if hits.any(|(b, &comp)| self.common.candidate_hits(b, comp, region, &mut cost)) {
+                if hits.any(|(b, &comp)| self.common.candidate_hits(&b, comp, region, &mut cost)) {
                     return (true, cost);
                 }
             }
@@ -286,7 +322,7 @@ impl RangeReachIndex for ThreeDReach {
     }
 
     fn index_bytes(&self) -> usize {
-        self.common.bytes()
+        self.common.bytes() + self.labels.heap_bytes()
     }
 
     fn name(&self) -> &'static str {
@@ -296,6 +332,10 @@ impl RangeReachIndex for ThreeDReach {
 
 /// The line-based 3DReach-REV variant: reversed labeling, vertical
 /// segments, a single plane query per `RangeReach`.
+///
+/// The reversed labeling exists only during construction — its labels are
+/// baked into the segment R-tree, so the index keeps just the
+/// per-component plane heights (`rev_post`), 4 bytes per component.
 #[derive(Debug, Clone)]
 pub struct ThreeDReachRev {
     common: ThreeDCommon,
@@ -367,7 +407,6 @@ impl ThreeDReachRev {
         ThreeDReachRev {
             common: ThreeDCommon {
                 comp_of: Arc::new(ThreeDCommon::comp_of(prep, threads)),
-                labeling: Arc::new(labeling),
                 tree: Arc::new(RTree::bulk_load_parallel(entries, RTreeParams::default(), threads)),
                 policy,
                 member_offsets: Arc::new(member_offsets),
@@ -377,24 +416,33 @@ impl ThreeDReachRev {
         }
     }
 
-    /// The reversed labeling (for stats).
-    pub fn labeling(&self) -> &IntervalLabeling {
-        &self.common.labeling
+    /// The per-component plane heights (for stats).
+    pub fn rev_post(&self) -> &[u32] {
+        &self.rev_post
     }
 
-    /// Decomposes the index for snapshot encoding; `rev_post` is derived
-    /// from the labeling and need not be persisted separately.
-    pub fn to_parts(&self) -> ThreeDParts {
-        self.common.to_parts()
+    /// Decomposes the index for snapshot encoding.
+    pub fn to_parts(&self) -> ThreeDRevParts {
+        let (comp_of, tree, policy, member_offsets, member_points) = self.common.to_parts();
+        ThreeDRevParts {
+            comp_of,
+            rev_post: (*self.rev_post).clone(),
+            tree,
+            policy,
+            member_offsets,
+            member_points,
+        }
     }
 
-    /// Reassembles an index from untrusted [`ThreeDParts`], re-deriving the
-    /// per-component plane heights from the reversed labeling exactly as the
-    /// build does. Violations are `Err(String)`, never panics.
-    pub fn from_parts(parts: ThreeDParts) -> Result<Self, String> {
-        let common = ThreeDCommon::from_parts(parts)?;
-        let rev_post: Vec<u32> =
-            (0..common.labeling.num_vertices() as CompId).map(|c| common.labeling.post(c)).collect();
+    /// Reassembles an index from untrusted [`ThreeDRevParts`]. Violations
+    /// of the structural invariants are `Err(String)`, never panics.
+    pub fn from_parts(parts: ThreeDRevParts) -> Result<Self, String> {
+        let ThreeDRevParts { comp_of, rev_post, tree, policy, member_offsets, member_points } =
+            parts;
+        let common = ThreeDCommon::from_parts(
+            rev_post.len(),
+            (comp_of, tree, policy, member_offsets, member_points),
+        )?;
         Ok(ThreeDReachRev { common, rev_post: Arc::new(rev_post) })
     }
 }
@@ -418,7 +466,7 @@ impl RangeReachIndex for ThreeDReachRev {
         let plane = cuboid_from_rect(region, z, z);
         let answer = crate::scratch::with_scratch(|scratch| {
             let mut hits = self.common.tree.query_with(&plane, &mut scratch.stack);
-            hits.any(|(b, &comp)| self.common.candidate_hits(b, comp, region, &mut cost))
+            hits.any(|(b, &comp)| self.common.candidate_hits(&b, comp, region, &mut cost))
         });
         (answer, cost)
     }
@@ -457,8 +505,8 @@ mod tests {
         // is one 3-D range query; c has three labels.
         let prep = paper_example::prepared();
         let fwd = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
-        assert_eq!(fwd.labeling().intervals(prep.comp(paper_example::A)).len(), 1);
-        assert_eq!(fwd.labeling().intervals(prep.comp(paper_example::C)).len(), 3);
+        assert_eq!(fwd.labels().num_intervals(prep.comp(paper_example::A)), 1);
+        assert_eq!(fwd.labels().num_intervals(prep.comp(paper_example::C)), 3);
     }
 
     #[test]
@@ -491,12 +539,11 @@ mod tests {
                 for threads in [2, 4, 8] {
                     let fwd = ThreeDReach::build_threaded(&prep, policy, threads);
                     let rev = ThreeDReachRev::build_threaded(&prep, policy, threads);
-                    assert_eq!(fwd.common.labeling, fwd_seq.common.labeling);
+                    assert_eq!(fwd.labels, fwd_seq.labels);
                     assert_eq!(fwd.common.tree, fwd_seq.common.tree, "{policy:?} t={threads}");
                     assert_eq!(fwd.common.comp_of, fwd_seq.common.comp_of);
                     assert_eq!(fwd.common.member_offsets, fwd_seq.common.member_offsets);
                     assert_eq!(fwd.common.member_points, fwd_seq.common.member_points);
-                    assert_eq!(rev.common.labeling, rev_seq.common.labeling);
                     assert_eq!(rev.common.tree, rev_seq.common.tree, "{policy:?} t={threads}");
                     assert_eq!(rev.rev_post, rev_seq.rev_post);
                 }
@@ -510,7 +557,7 @@ mod tests {
         let fwd = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
         let fc = fwd.clone();
         assert!(Arc::ptr_eq(&fwd.common.tree, &fc.common.tree));
-        assert!(Arc::ptr_eq(&fwd.common.labeling, &fc.common.labeling));
+        assert!(Arc::ptr_eq(&fwd.labels, &fc.labels));
         assert!(Arc::ptr_eq(&fwd.common.member_points, &fc.common.member_points));
         let rev = ThreeDReachRev::build(&prep, SccSpatialPolicy::Replicate);
         let rc = rev.clone();

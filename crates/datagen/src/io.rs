@@ -160,6 +160,17 @@ pub fn read_network_with<R: Read>(
                 let n: u64 = s.parse().map_err(|_| {
                     malformed(lineno, trimmed, format!("expected a vertex count, got {s:?}"))
                 })?;
+                if n > gsr_graph::MAX_VERTICES as u64 {
+                    return Err(malformed(
+                        lineno,
+                        trimmed,
+                        format!(
+                            "declared vertex count {n} exceeds the u32 id width \
+                             (max {} vertices); ids are never truncated",
+                            gsr_graph::MAX_VERTICES
+                        ),
+                    ));
+                }
                 if n > limits.max_vertices as u64 {
                     return Err(malformed(
                         lineno,
@@ -315,6 +326,24 @@ mod tests {
     fn huge_declared_count_is_rejected_not_allocated() {
         let text = format!("V {}\n", u64::from(DEFAULT_MAX_VERTICES) + 1);
         assert!(matches!(read_network(text.as_bytes()), Err(LoadError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn over_u32_declared_count_is_a_typed_id_width_error() {
+        // A synthetic header declaring V = 2^32 must be rejected with a
+        // typed error naming the u32 id width — never silently truncated
+        // to 0 vertices. Even an explicitly permissive limit cannot widen
+        // the id space past u32.
+        for v in [1u64 << 32, (1u64 << 32) + 7, u64::MAX] {
+            let text = format!("V {v}\n");
+            let permissive = LoadLimits { max_vertices: u32::MAX };
+            match read_network_with(text.as_bytes(), permissive) {
+                Err(LoadError::Parse { line: 1, reason, .. }) => {
+                    assert!(reason.contains("u32 id width"), "reason = {reason:?}");
+                }
+                other => panic!("expected typed id-width error for V {v}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -138,6 +138,13 @@ impl DiGraph {
         if out_offsets.is_empty() {
             return Err("csr: empty offset array".into());
         }
+        if out_offsets.len() - 1 > crate::MAX_VERTICES {
+            return Err(format!(
+                "csr: {} vertices exceed the u32 id width (max {})",
+                out_offsets.len() - 1,
+                crate::MAX_VERTICES
+            ));
+        }
         if out_offsets[0] != 0 {
             return Err(format!("csr: offsets[0] = {}, expected 0", out_offsets[0]));
         }

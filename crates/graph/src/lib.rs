@@ -24,6 +24,7 @@ pub mod bitset;
 mod builder;
 mod csr;
 pub mod dfs;
+pub mod mem;
 pub mod par;
 pub mod reduction;
 pub mod scc;
@@ -32,6 +33,15 @@ pub mod topo;
 
 pub use builder::{graph_from_edges, GraphBuilder};
 pub use csr::DiGraph;
+pub use mem::HeapBytes;
 
 /// Identifier of a vertex: a dense index in `0..graph.num_vertices()`.
 pub type VertexId = u32;
+
+/// Largest vertex count representable under the `u32` id width.
+///
+/// Ids are dense indices in `0..V`, so `V` may be at most `u32::MAX + 1`;
+/// we cap at `u32::MAX` so that `V` itself also fits in a `u32` (snapshot
+/// headers and CSR offsets store it as one). Builders and loaders must
+/// reject — never truncate — vertex counts above this.
+pub const MAX_VERTICES: usize = u32::MAX as usize;

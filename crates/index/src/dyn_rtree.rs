@@ -1,0 +1,666 @@
+//! A mutable const-generic R-tree (Guttman) with quadratic split, for
+//! incremental workloads.
+//!
+//! The static [`crate::RTree`] stores its nodes in a flat breadth-first
+//! structure-of-arrays arena, which is compact and cache-linear but
+//! immutable once built. Dynamic workloads — the paper's dynamic-update
+//! extension (`Dyn3DReach`) and stress tests that interleave inserts and
+//! removes — need in-place mutation, which this pointer-style node arena
+//! provides: Guttman insertion with quadratic split and CondenseTree
+//! removal with orphan reinsertion.
+
+use gsr_geo::Aabb;
+use gsr_graph::HeapBytes;
+
+pub use crate::rtree::RTreeParams;
+
+#[derive(Debug, Clone, PartialEq)]
+enum NodeKind<const N: usize, T> {
+    /// Data entries.
+    Leaf(Vec<(Aabb<N>, T)>),
+    /// Child node ids into the arena.
+    Inner(Vec<u32>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Node<const N: usize, T> {
+    mbr: Aabb<N>,
+    kind: NodeKind<N, T>,
+}
+
+impl<const N: usize, T> Node<N, T> {
+    fn len(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(e) => e.len(),
+            NodeKind::Inner(c) => c.len(),
+        }
+    }
+}
+
+/// A mutable R-tree over `N`-dimensional boxes with payloads of type `T`.
+///
+/// ```
+/// use gsr_geo::Aabb;
+/// use gsr_index::DynRTree;
+///
+/// let mut t: DynRTree<2, u32> = DynRTree::new();
+/// for i in 0..100u32 {
+///     let p = [i as f64, (i * 7 % 100) as f64];
+///     t.insert(Aabb::from_point(p), i);
+/// }
+/// let region = Aabb::new([0.0, 0.0], [10.0, 100.0]);
+/// assert!(t.query_exists(&region));
+/// assert_eq!(t.query(&region).count(), 11);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynRTree<const N: usize, T> {
+    params: RTreeParams,
+    nodes: Vec<Node<N, T>>,
+    root: u32,
+    len: usize,
+}
+
+impl<const N: usize, T> Default for DynRTree<N, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize, T> DynRTree<N, T> {
+    /// An empty tree with default parameters.
+    pub fn new() -> Self {
+        Self::with_params(RTreeParams::default())
+    }
+
+    /// An empty tree with the given fan-out parameters.
+    pub fn with_params(params: RTreeParams) -> Self {
+        DynRTree {
+            params,
+            nodes: vec![Node { mbr: Aabb::empty(), kind: NodeKind::Leaf(Vec::new()) }],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    fn push_node(&mut self, node: Node<N, T>) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node);
+        id
+    }
+
+    /// Number of data entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The MBR of all entries ([`Aabb::empty`] when the tree is empty).
+    #[inline]
+    pub fn mbr(&self) -> Aabb<N> {
+        self.nodes[self.root as usize].mbr
+    }
+
+    /// The fan-out parameters the tree was built with.
+    #[inline]
+    pub fn params(&self) -> RTreeParams {
+        self.params
+    }
+
+    /// Inserts one entry (Guttman insertion with quadratic split).
+    pub fn insert(&mut self, aabb: Aabb<N>, value: T) {
+        self.len += 1;
+
+        // Descend to a leaf, remembering the path.
+        let mut path: Vec<u32> = Vec::new();
+        let mut current = self.root;
+        loop {
+            path.push(current);
+            match &self.nodes[current as usize].kind {
+                NodeKind::Leaf(_) => break,
+                NodeKind::Inner(children) => {
+                    current = choose_child(&self.nodes, children, &aabb);
+                }
+            }
+        }
+
+        // Insert into the leaf and expand MBRs along the path.
+        let leaf = *path.last().expect("path contains the leaf");
+        match &mut self.nodes[leaf as usize].kind {
+            NodeKind::Leaf(entries) => entries.push((aabb, value)),
+            NodeKind::Inner(_) => unreachable!("descent must end at a leaf"),
+        }
+        for &id in &path {
+            self.nodes[id as usize].mbr.expand(&aabb);
+        }
+
+        // Split overflowing nodes bottom-up, recomputing ancestor MBRs: a
+        // split shrinks the original node, so the simple expansion above is
+        // no longer tight on the path.
+        let mut overflow: Option<u32> = None; // node created by the last split
+        let mut split_below = false;
+        for depth in (0..path.len()).rev() {
+            let id = path[depth];
+            if let Some(new_child) = overflow.take() {
+                match &mut self.nodes[id as usize].kind {
+                    NodeKind::Inner(children) => children.push(new_child),
+                    NodeKind::Leaf(_) => unreachable!("split child under a leaf"),
+                }
+            }
+            if split_below {
+                self.recompute_mbr(id);
+            }
+            if self.nodes[id as usize].len() > self.params.max_entries {
+                overflow = Some(self.split_node(id));
+                split_below = true;
+            } else if overflow.is_none() && !split_below {
+                break;
+            }
+        }
+
+        // A pending overflow at the top means the root itself split.
+        if let Some(sibling) = overflow {
+            let old_root = self.root;
+            let mbr = self.nodes[old_root as usize].mbr.union(&self.nodes[sibling as usize].mbr);
+            let new_root =
+                self.push_node(Node { mbr, kind: NodeKind::Inner(vec![old_root, sibling]) });
+            self.root = new_root;
+        }
+    }
+
+    /// Recomputes a node's MBR tightly from its contents.
+    fn recompute_mbr(&mut self, id: u32) {
+        let mbr = match &self.nodes[id as usize].kind {
+            NodeKind::Leaf(entries) => Aabb::mbr_of(entries.iter().map(|(b, _)| *b)),
+            NodeKind::Inner(children) => {
+                Aabb::mbr_of(children.iter().map(|&c| self.nodes[c as usize].mbr))
+            }
+        };
+        self.nodes[id as usize].mbr = mbr.unwrap_or_else(Aabb::empty);
+    }
+
+    /// Splits node `id` in place, returning the id of the new sibling.
+    fn split_node(&mut self, id: u32) -> u32 {
+        let min = self.params.min_entries;
+        match std::mem::replace(
+            &mut self.nodes[id as usize].kind,
+            NodeKind::Leaf(Vec::new()),
+        ) {
+            NodeKind::Leaf(entries) => {
+                let (a, b) = quadratic_split(entries, min);
+                let mbr_a = Aabb::mbr_of(a.iter().map(|(m, _)| *m)).expect("non-empty");
+                let mbr_b = Aabb::mbr_of(b.iter().map(|(m, _)| *m)).expect("non-empty");
+                self.nodes[id as usize].kind = NodeKind::Leaf(a);
+                self.nodes[id as usize].mbr = mbr_a;
+                self.push_node(Node { mbr: mbr_b, kind: NodeKind::Leaf(b) })
+            }
+            NodeKind::Inner(children) => {
+                let with_mbrs: Vec<(Aabb<N>, u32)> =
+                    children.iter().map(|&c| (self.nodes[c as usize].mbr, c)).collect();
+                let (a, b) = quadratic_split(with_mbrs, min);
+                let mbr_a = Aabb::mbr_of(a.iter().map(|(m, _)| *m)).expect("non-empty");
+                let mbr_b = Aabb::mbr_of(b.iter().map(|(m, _)| *m)).expect("non-empty");
+                self.nodes[id as usize].kind =
+                    NodeKind::Inner(a.into_iter().map(|(_, c)| c).collect());
+                self.nodes[id as usize].mbr = mbr_a;
+                self.push_node(Node {
+                    mbr: mbr_b,
+                    kind: NodeKind::Inner(b.into_iter().map(|(_, c)| c).collect()),
+                })
+            }
+        }
+    }
+
+    /// Removes one entry whose box equals `aabb` and whose value satisfies
+    /// `matches`, returning it. Underfull nodes are condensed (Guttman's
+    /// CondenseTree): their surviving entries are reinserted and the root
+    /// is shrunk when it degenerates to a single inner child.
+    pub fn remove_one(&mut self, aabb: &Aabb<N>, matches: impl Fn(&T) -> bool) -> Option<T> {
+        // Find a path (root -> leaf) to a leaf holding a matching entry.
+        let mut path: Vec<u32> = Vec::new();
+        let mut removed: Option<T> = None;
+        self.find_and_remove(self.root, aabb, &matches, &mut path, &mut removed);
+        let value = removed?;
+        self.len -= 1;
+
+        // Condense bottom-up: drop underfull non-root nodes, collecting
+        // their remaining entries for reinsertion.
+        let min = self.params.min_entries;
+        let mut orphans: Vec<(Aabb<N>, T)> = Vec::new();
+        for depth in (1..path.len()).rev() {
+            let id = path[depth];
+            let parent = path[depth - 1];
+            if self.nodes[id as usize].len() < min {
+                match &mut self.nodes[parent as usize].kind {
+                    NodeKind::Inner(children) => children.retain(|&c| c != id),
+                    NodeKind::Leaf(_) => unreachable!("parents are inner nodes"),
+                }
+                self.collect_entries(id, &mut orphans);
+            } else {
+                self.recompute_mbr(id);
+            }
+        }
+        self.recompute_mbr(self.root);
+
+        // Shrink a degenerate root.
+        loop {
+            let next = match &self.nodes[self.root as usize].kind {
+                NodeKind::Inner(children) if children.len() == 1 => children[0],
+                NodeKind::Inner(children) if children.is_empty() => {
+                    self.nodes[self.root as usize] =
+                        Node { mbr: Aabb::empty(), kind: NodeKind::Leaf(Vec::new()) };
+                    break;
+                }
+                _ => break,
+            };
+            self.root = next;
+        }
+
+        // Reinsert orphans (insert() bumps len, so compensate first).
+        self.len -= orphans.len();
+        for (b, t) in orphans {
+            self.insert(b, t);
+        }
+        Some(value)
+    }
+
+    /// Removes one entry equal to `(aabb, value)`; see
+    /// [`DynRTree::remove_one`].
+    pub fn remove(&mut self, aabb: &Aabb<N>, value: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        self.remove_one(aabb, |t| t == value).is_some()
+    }
+
+    /// Depth-first search for a matching entry; fills `path` with the node
+    /// chain to the leaf it was removed from.
+    fn find_and_remove(
+        &mut self,
+        id: u32,
+        aabb: &Aabb<N>,
+        matches: &impl Fn(&T) -> bool,
+        path: &mut Vec<u32>,
+        removed: &mut Option<T>,
+    ) {
+        if removed.is_some() || !self.nodes[id as usize].mbr.contains(aabb) {
+            return;
+        }
+        path.push(id);
+        match &mut self.nodes[id as usize].kind {
+            NodeKind::Leaf(entries) => {
+                if let Some(pos) = entries.iter().position(|(b, t)| b == aabb && matches(t)) {
+                    *removed = Some(entries.swap_remove(pos).1);
+                    return;
+                }
+            }
+            NodeKind::Inner(children) => {
+                for c in children.clone() {
+                    self.find_and_remove(c, aabb, matches, path, removed);
+                    if removed.is_some() {
+                        return;
+                    }
+                }
+            }
+        }
+        path.pop();
+    }
+
+    /// Drains every data entry under `id` into `out` (used by condensing).
+    fn collect_entries(&mut self, id: u32, out: &mut Vec<(Aabb<N>, T)>) {
+        match std::mem::replace(&mut self.nodes[id as usize].kind, NodeKind::Inner(Vec::new())) {
+            NodeKind::Leaf(entries) => out.extend(entries),
+            NodeKind::Inner(children) => {
+                for c in children {
+                    self.collect_entries(c, out);
+                }
+            }
+        }
+    }
+
+    /// Iterator over all entries whose box intersects `region`.
+    pub fn query<'a>(&'a self, region: &Aabb<N>) -> DynQuery<'a, N, T> {
+        let mut stack = Vec::new();
+        if self.nodes[self.root as usize].mbr.intersects(region) {
+            stack.push(self.root);
+        }
+        DynQuery { tree: self, region: *region, stack, leaf: None }
+    }
+
+    /// Whether any entry intersects `region` (early-exit traversal).
+    pub fn query_exists(&self, region: &Aabb<N>) -> bool {
+        self.query(region).next().is_some()
+    }
+
+    /// Number of entries intersecting `region`.
+    pub fn count_in(&self, region: &Aabb<N>) -> usize {
+        self.query(region).count()
+    }
+
+    /// Iterator over all entries in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Aabb<N>, &T)> {
+        self.nodes
+            .iter()
+            .flat_map(|n| match &n.kind {
+                NodeKind::Leaf(entries) => entries.iter(),
+                NodeKind::Inner(_) => [].iter(),
+            })
+            .map(|(b, t)| (b, t))
+    }
+
+    /// Height of the tree (1 for a single leaf root).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize].kind {
+                NodeKind::Leaf(_) => return h,
+                NodeKind::Inner(children) => {
+                    h += 1;
+                    id = children[0];
+                }
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes: node headers plus entry storage.
+    pub fn heap_bytes(&self) -> usize {
+        let node_header = std::mem::size_of::<Node<N, T>>();
+        let entry = std::mem::size_of::<(Aabb<N>, T)>();
+        self.nodes
+            .iter()
+            .map(|n| {
+                node_header
+                    + match &n.kind {
+                        NodeKind::Leaf(e) => e.len() * entry,
+                        NodeKind::Inner(c) => c.len() * 4,
+                    }
+            })
+            .sum()
+    }
+
+    /// Checks structural invariants (entry count, MBR containment, fan-out
+    /// bounds). Intended for tests; panics with a description on violation.
+    pub fn check_invariants(&self) {
+        fn walk<const N: usize, T>(
+            tree: &DynRTree<N, T>,
+            id: u32,
+            is_root: bool,
+            count: &mut usize,
+        ) -> Aabb<N> {
+            let node = &tree.nodes[id as usize];
+            assert!(
+                node.len() <= tree.params.max_entries,
+                "node {id} overflows: {} > {}",
+                node.len(),
+                tree.params.max_entries
+            );
+            if !is_root && tree.len > tree.params.max_entries {
+                assert!(node.len() >= 1, "empty non-root node {id}");
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    *count += entries.len();
+                    for (b, _) in entries {
+                        assert!(node.mbr.contains(b), "leaf {id} mbr misses an entry");
+                    }
+                    node.mbr
+                }
+                NodeKind::Inner(children) => {
+                    assert!(!children.is_empty(), "inner node {id} has no children");
+                    let mut acc = Aabb::empty();
+                    for &c in children {
+                        let child_mbr = walk(tree, c, false, count);
+                        assert!(node.mbr.contains(&child_mbr), "node {id} mbr misses child {c}");
+                        acc.expand(&child_mbr);
+                    }
+                    assert_eq!(acc, node.mbr, "node {id} mbr is not tight");
+                    node.mbr
+                }
+            }
+        }
+        let mut count = 0;
+        if self.len > 0 {
+            walk(self, self.root, true, &mut count);
+        }
+        assert_eq!(count, self.len, "entry count mismatch");
+    }
+}
+
+impl<const N: usize, T> HeapBytes for DynRTree<N, T> {
+    fn heap_bytes(&self) -> usize {
+        DynRTree::heap_bytes(self)
+    }
+}
+
+/// Picks the child needing the least MBR enlargement (ties: smaller volume).
+fn choose_child<const N: usize, T>(nodes: &[Node<N, T>], children: &[u32], aabb: &Aabb<N>) -> u32 {
+    debug_assert!(!children.is_empty());
+    let mut best = children[0];
+    let mut best_enl = f64::INFINITY;
+    let mut best_vol = f64::INFINITY;
+    for &c in children {
+        let mbr = nodes[c as usize].mbr;
+        let enl = mbr.enlargement(aabb);
+        let vol = mbr.volume();
+        if enl < best_enl || (enl == best_enl && vol < best_vol) {
+            best = c;
+            best_enl = enl;
+            best_vol = vol;
+        }
+    }
+    best
+}
+
+/// Guttman's quadratic split: seeds are the pair wasting the most area; the
+/// remaining entries go to the group whose MBR grows the least, with the
+/// `min` lower bound enforced.
+type SplitGroups<const N: usize, E> = (Vec<(Aabb<N>, E)>, Vec<(Aabb<N>, E)>);
+
+fn quadratic_split<const N: usize, E>(
+    mut entries: Vec<(Aabb<N>, E)>,
+    min: usize,
+) -> SplitGroups<N, E> {
+    debug_assert!(entries.len() >= 2);
+
+    // Pick seeds.
+    let (mut seed_a, mut seed_b, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let d = entries[i].0.union(&entries[j].0).volume()
+                - entries[i].0.volume()
+                - entries[j].0.volume();
+            if d > worst {
+                worst = d;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    // Move the seeds out (larger index first so removal is stable).
+    let (hi, lo) = (seed_a.max(seed_b), seed_a.min(seed_b));
+    let b0 = entries.swap_remove(hi);
+    let a0 = entries.swap_remove(lo);
+    let mut group_a = vec![a0];
+    let mut group_b = vec![b0];
+    let mut mbr_a = group_a[0].0;
+    let mut mbr_b = group_b[0].0;
+
+    while let Some((aabb, e)) = entries.pop() {
+        let remaining = entries.len();
+        // Force-assign when a group must absorb everything left to reach min.
+        if group_a.len() + remaining < min {
+            mbr_a.expand(&aabb);
+            group_a.push((aabb, e));
+            continue;
+        }
+        if group_b.len() + remaining < min {
+            mbr_b.expand(&aabb);
+            group_b.push((aabb, e));
+            continue;
+        }
+        let enl_a = mbr_a.enlargement(&aabb);
+        let enl_b = mbr_b.enlargement(&aabb);
+        let to_a = match enl_a.partial_cmp(&enl_b) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => group_a.len() <= group_b.len(),
+        };
+        if to_a {
+            mbr_a.expand(&aabb);
+            group_a.push((aabb, e));
+        } else {
+            mbr_b.expand(&aabb);
+            group_b.push((aabb, e));
+        }
+    }
+    (group_a, group_b)
+}
+
+/// Range-query iterator over a [`DynRTree`]; see [`DynRTree::query`].
+pub struct DynQuery<'a, const N: usize, T> {
+    tree: &'a DynRTree<N, T>,
+    region: Aabb<N>,
+    stack: Vec<u32>,
+    leaf: Option<(&'a [(Aabb<N>, T)], usize)>,
+}
+
+impl<'a, const N: usize, T> Iterator for DynQuery<'a, N, T> {
+    type Item = (&'a Aabb<N>, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((entries, pos)) = &mut self.leaf {
+                while *pos < entries.len() {
+                    let (b, t) = &entries[*pos];
+                    *pos += 1;
+                    if b.intersects(&self.region) {
+                        return Some((b, t));
+                    }
+                }
+                self.leaf = None;
+            }
+            let id = self.stack.pop()?;
+            match &self.tree.nodes[id as usize].kind {
+                NodeKind::Leaf(entries) => {
+                    self.leaf = Some((entries.as_slice(), 0));
+                }
+                NodeKind::Inner(children) => {
+                    for &c in children {
+                        if self.tree.nodes[c as usize].mbr.intersects(&self.region) {
+                            self.stack.push(c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Aabb<2> {
+        Aabb::from_point([x, y])
+    }
+
+    fn grid_points(n: usize) -> Vec<(Aabb<2>, usize)> {
+        (0..n).map(|i| (pt((i % 32) as f64, (i / 32) as f64), i)).collect()
+    }
+
+    #[test]
+    fn insert_maintains_invariants_and_finds_everything() {
+        let mut t: DynRTree<2, usize> = DynRTree::new();
+        for (b, i) in grid_points(1000) {
+            t.insert(b, i);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 1000);
+        let region = Aabb::new([10.0, 10.0], [12.0, 11.0]);
+        let mut hits: Vec<usize> = t.query(&region).map(|(_, &i)| i).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![330, 331, 332, 362, 363, 364]);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: DynRTree<2, u32> = DynRTree::new();
+        assert!(t.is_empty());
+        let all = Aabb::new([-1e9, -1e9], [1e9, 1e9]);
+        assert_eq!(t.query(&all).count(), 0);
+        assert!(!t.query_exists(&all));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_condenses_and_reinserts() {
+        let mut t: DynRTree<2, usize> = DynRTree::with_params(RTreeParams::new(8, 3));
+        let entries = grid_points(300);
+        for &(b, i) in &entries {
+            t.insert(b, i);
+        }
+        // Remove every third entry.
+        for &(b, i) in entries.iter().step_by(3) {
+            assert!(t.remove(&b, &i), "entry {i} must be removable");
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 200);
+        // The survivors are all still findable; removed ones are gone.
+        for (j, &(b, i)) in entries.iter().enumerate() {
+            let found = t.query(&b).any(|(_, &v)| v == i);
+            assert_eq!(found, j % 3 != 0, "entry {i}");
+        }
+        // Removing a missing entry reports false.
+        assert!(!t.remove(&pt(0.0, 0.0), &0));
+    }
+
+    #[test]
+    fn remove_down_to_empty() {
+        let mut t: DynRTree<2, usize> = DynRTree::with_params(RTreeParams::new(4, 2));
+        let entries = grid_points(64);
+        for &(b, i) in &entries {
+            t.insert(b, i);
+        }
+        for &(b, i) in &entries {
+            assert!(t.remove(&b, &i));
+        }
+        assert!(t.is_empty());
+        t.check_invariants();
+        // The tree remains usable.
+        t.insert(pt(1.0, 2.0), 7);
+        assert_eq!(t.count_in(&pt(1.0, 2.0)), 1);
+    }
+
+    #[test]
+    fn duplicate_geometry_is_allowed() {
+        let mut t: DynRTree<2, u32> = DynRTree::new();
+        for i in 0..50u32 {
+            t.insert(pt(1.0, 1.0), i);
+        }
+        t.check_invariants();
+        assert_eq!(t.count_in(&Aabb::from_point([1.0, 1.0])), 50);
+        // remove_one takes out exactly one of them.
+        assert!(t.remove_one(&pt(1.0, 1.0), |_| true).is_some());
+        assert_eq!(t.count_in(&Aabb::from_point([1.0, 1.0])), 49);
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_entries() {
+        let mut small: DynRTree<2, usize> = DynRTree::new();
+        let mut large: DynRTree<2, usize> = DynRTree::new();
+        for (b, i) in grid_points(10) {
+            small.insert(b, i);
+        }
+        for (b, i) in grid_points(5000) {
+            large.insert(b, i);
+        }
+        assert!(large.heap_bytes() > small.heap_bytes());
+    }
+}

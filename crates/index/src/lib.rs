@@ -2,10 +2,12 @@
 //!
 //! The paper's evaluation methods need two kinds of spatial access paths:
 //!
-//! * an **R-tree** (Guttman) over 2-D points/rectangles (SpaReach's spatial
+//! * an **R-tree** over 2-D points/rectangles (SpaReach's spatial
 //!   filter) and over 3-D points/segments/boxes (3DReach's transformed
-//!   space) — provided by the const-generic [`RTree`] with both one-by-one
-//!   insertion (quadratic split) and STR bulk loading;
+//!   space) — provided by the const-generic [`RTree`], a static STR
+//!   bulk-loaded tree stored as a flat breadth-first structure-of-arrays
+//!   arena, and by [`DynRTree`], a mutable Guttman tree (quadratic split)
+//!   for incremental workloads;
 //! * the **hierarchical grid** that GeoReach's SPA-graph partitions the
 //!   space with — provided by [`grid::HierarchicalGrid`] and [`grid::CellId`];
 //! * a **uniform grid** ([`UniformGrid`]), a static **kd-tree**
@@ -19,13 +21,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dyn_rtree;
 pub mod grid;
 mod kdtree;
 mod quadtree;
 mod rtree;
 mod uniform;
 
+pub use dyn_rtree::DynRTree;
 pub use kdtree::KdTree;
 pub use quadtree::QuadTree;
-pub use rtree::{RTree, RTreeNode, RTreeParams};
+pub use rtree::{RTree, RTreeParams, RTreeSnapshot};
 pub use uniform::UniformGrid;

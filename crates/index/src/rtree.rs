@@ -1,12 +1,41 @@
-//! A const-generic R-tree (Guttman) with quadratic split and STR bulk load.
+//! A const-generic static R-tree packed with STR bulk loading, stored as a
+//! flat breadth-first structure-of-arrays arena.
 //!
 //! The tree indexes axis-aligned boxes ([`Aabb<N>`]) with an arbitrary
 //! payload `T`. Points are degenerate boxes, so the same structure serves as
 //! the paper's 2-D point R-tree (SpaReach), its 2-D rectangle R-tree (the
 //! MBR-based SCC variants of Section 5), the 3-D point R-tree (3DReach) and
 //! the 3-D segment/box R-tree (3DReach-REV).
+//!
+//! # Memory layout
+//!
+//! Nodes are numbered breadth-first from the root (id 0): all inner nodes
+//! come before all leaves, parents before children, and the children of any
+//! node are consecutive ids. Instead of per-node allocations the tree keeps
+//! six flat arrays:
+//!
+//! * `mbrs[id]` — every node's MBR, contiguous so a traversal that filters
+//!   children scans coordinates cache-linearly;
+//! * `child_start` / `children` — CSR adjacency of the inner nodes;
+//! * `entry_start` — CSR offsets of the leaves into the entry columns;
+//! * entry coordinates in column-major order (one column per dimension and
+//!   bound), with per-dimension *degenerate compression*: when every entry
+//!   is flat in some dimension (points in any dimension, the x/y columns of
+//!   3DReach-REV's vertical segments) the `hi` column is dropped and reads
+//!   fall back to `lo` — bit-exact, since equality is tested on the raw
+//!   `f64` bits;
+//! * `values` — the payloads, parallel to the entry columns.
+//!
+//! Traversal order (children pushed in list order, leaf entries scanned
+//! forward) is a function of the per-node child lists only, not of the id
+//! values, so queries visit candidates in exactly the order of the previous
+//! pointer-style arena and `QueryCost` accounting is unchanged.
+//!
+//! The tree is immutable once built; for incremental workloads (the
+//! dynamic-insertion extension) see [`crate::DynRTree`].
 
 use gsr_geo::Aabb;
+use gsr_graph::HeapBytes;
 
 /// Fan-out parameters of an [`RTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,48 +62,90 @@ impl RTreeParams {
     }
 }
 
+/// Column-major entry coordinates with per-dimension degenerate
+/// compression: dimension `d` keeps no `hi` column when every entry
+/// satisfies `lo[d] == hi[d]` bit-exactly.
 #[derive(Debug, Clone, PartialEq)]
-enum NodeKind<const N: usize, T> {
-    /// Data entries.
-    Leaf(Vec<(Aabb<N>, T)>),
-    /// Child node ids into the arena.
-    Inner(Vec<u32>),
+struct EntryStore<const N: usize> {
+    lo: [Vec<f64>; N],
+    hi: [Option<Vec<f64>>; N],
 }
 
-#[derive(Debug, Clone, PartialEq)]
-struct Node<const N: usize, T> {
-    mbr: Aabb<N>,
-    kind: NodeKind<N, T>,
-}
+impl<const N: usize> EntryStore<N> {
+    fn from_boxes(boxes: &[Aabb<N>]) -> Self {
+        let lo: [Vec<f64>; N] =
+            std::array::from_fn(|d| boxes.iter().map(|b| b.min[d]).collect());
+        let hi: [Option<Vec<f64>>; N] = std::array::from_fn(|d| {
+            if boxes.iter().all(|b| b.min[d].to_bits() == b.max[d].to_bits()) {
+                None
+            } else {
+                Some(boxes.iter().map(|b| b.max[d]).collect())
+            }
+        });
+        EntryStore { lo, hi }
+    }
 
-impl<const N: usize, T> Node<N, T> {
+    #[inline]
     fn len(&self) -> usize {
-        match &self.kind {
-            NodeKind::Leaf(e) => e.len(),
-            NodeKind::Inner(c) => c.len(),
-        }
+        self.lo[0].len()
+    }
+
+    /// Reconstructs entry `i`'s box, bit-identical to the one stored.
+    #[inline]
+    fn get(&self, i: usize) -> Aabb<N> {
+        let min: [f64; N] = std::array::from_fn(|d| self.lo[d][i]);
+        let max: [f64; N] = std::array::from_fn(|d| match &self.hi[d] {
+            Some(col) => col[i],
+            None => self.lo[d][i],
+        });
+        Aabb { min, max }
+    }
+
+    /// Whether entry `i` intersects `region` — the same closed-interval
+    /// test as [`Aabb::intersects`], evaluated straight off the columns.
+    #[inline]
+    fn intersects(&self, i: usize, region: &Aabb<N>) -> bool {
+        (0..N).all(|d| {
+            let lo = self.lo[d][i];
+            let hi = match &self.hi[d] {
+                Some(col) => col[i],
+                None => lo,
+            };
+            lo <= region.max[d] && region.min[d] <= hi
+        })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        let lo: usize = self.lo.iter().map(HeapBytes::heap_bytes).sum();
+        let hi: usize =
+            self.hi.iter().map(|c| c.as_ref().map_or(0, HeapBytes::heap_bytes)).sum();
+        lo + hi
     }
 }
 
-/// One node of an [`RTree`] in snapshot form. Node ids index the arena
-/// order returned by [`RTree::snapshot_nodes`]; [`RTree::from_snapshot`]
-/// re-validates the ids before rebuilding a tree.
+/// The flat arena of an [`RTree`] with public fields, for snapshot
+/// encoding. [`RTree::to_snapshot`] produces it and
+/// [`RTree::from_snapshot`] re-validates and rebuilds the tree.
 #[derive(Debug, Clone, PartialEq)]
-pub enum RTreeNode<const N: usize, T> {
-    /// A leaf holding data entries.
-    Leaf {
-        /// Minimum bounding rectangle of the entries.
-        mbr: Aabb<N>,
-        /// The data entries.
-        entries: Vec<(Aabb<N>, T)>,
-    },
-    /// An inner node holding child node ids.
-    Inner {
-        /// Minimum bounding rectangle of the children.
-        mbr: Aabb<N>,
-        /// Arena ids of the children.
-        children: Vec<u32>,
-    },
+pub struct RTreeSnapshot<const N: usize, T> {
+    /// Fan-out parameters.
+    pub params: RTreeParams,
+    /// Per-node MBRs in breadth-first id order (inner nodes first).
+    pub mbrs: Vec<Aabb<N>>,
+    /// CSR offsets into `children` for inner node `i` (`len = num_inner + 1`).
+    pub child_start: Vec<u32>,
+    /// Concatenated child id lists of the inner nodes.
+    pub children: Vec<u32>,
+    /// CSR offsets into the entry columns for leaf `l` = node
+    /// `num_inner + l` (`len = num_leaves + 1`).
+    pub entry_start: Vec<u32>,
+    /// Per-dimension entry lower bounds.
+    pub entry_lo: [Vec<f64>; N],
+    /// Per-dimension entry upper bounds; `None` marks a degenerate
+    /// dimension whose upper bounds equal `entry_lo` bit-exactly.
+    pub entry_hi: [Option<Vec<f64>>; N],
+    /// Entry payloads, parallel to the coordinate columns.
+    pub values: Vec<T>,
 }
 
 /// An R-tree over `N`-dimensional boxes with payloads of type `T`.
@@ -83,11 +154,10 @@ pub enum RTreeNode<const N: usize, T> {
 /// use gsr_geo::Aabb;
 /// use gsr_index::RTree;
 ///
-/// let mut t: RTree<2, u32> = RTree::new();
-/// for i in 0..100u32 {
-///     let p = [i as f64, (i * 7 % 100) as f64];
-///     t.insert(Aabb::from_point(p), i);
-/// }
+/// let entries: Vec<(Aabb<2>, u32)> = (0..100u32)
+///     .map(|i| (Aabb::from_point([i as f64, (i * 7 % 100) as f64]), i))
+///     .collect();
+/// let t = RTree::bulk_load(entries);
 /// let region = Aabb::new([0.0, 0.0], [10.0, 100.0]);
 /// assert!(t.query_exists(&region));
 /// assert_eq!(t.query(&region).count(), 11);
@@ -95,9 +165,14 @@ pub enum RTreeNode<const N: usize, T> {
 #[derive(Debug, Clone, PartialEq)]
 pub struct RTree<const N: usize, T> {
     params: RTreeParams,
-    nodes: Vec<Node<N, T>>,
-    root: u32,
     len: usize,
+    num_inner: usize,
+    mbrs: Vec<Aabb<N>>,
+    child_start: Vec<u32>,
+    children: Vec<u32>,
+    entry_start: Vec<u32>,
+    entries: EntryStore<N>,
+    values: Vec<T>,
 }
 
 impl<const N: usize, T> Default for RTree<N, T> {
@@ -112,13 +187,19 @@ impl<const N: usize, T> RTree<N, T> {
         Self::with_params(RTreeParams::default())
     }
 
-    /// An empty tree with the given fan-out parameters.
+    /// An empty tree with the given fan-out parameters: a single empty
+    /// leaf root.
     pub fn with_params(params: RTreeParams) -> Self {
         RTree {
             params,
-            nodes: vec![Node { mbr: Aabb::empty(), kind: NodeKind::Leaf(Vec::new()) }],
-            root: 0,
             len: 0,
+            num_inner: 0,
+            mbrs: vec![Aabb::empty()],
+            child_start: vec![0],
+            entry_start: vec![0, 0],
+            children: Vec::new(),
+            entries: EntryStore::from_boxes(&[]),
+            values: Vec::new(),
         }
     }
 
@@ -127,6 +208,20 @@ impl<const N: usize, T> RTree<N, T> {
     /// strategy for static datasets such as the paper's networks.
     pub fn bulk_load(entries: Vec<(Aabb<N>, T)>) -> Self {
         Self::bulk_load_with_params(entries, RTreeParams::default())
+    }
+
+    /// [`RTree::bulk_load`] with explicit parameters.
+    pub fn bulk_load_with_params(entries: Vec<(Aabb<N>, T)>, params: RTreeParams) -> Self {
+        if entries.is_empty() {
+            return Self::with_params(params);
+        }
+        let mut leaf_groups: Vec<Vec<(Aabb<N>, T)>> = Vec::new();
+        str_tile(entries, params.max_entries, 0, &mut leaf_groups);
+        Self::assemble(params, leaf_groups, |level| {
+            let mut groups = Vec::new();
+            str_tile(level, params.max_entries, 0, &mut groups);
+            groups
+        })
     }
 
     /// [`RTree::bulk_load`] with explicit parameters and a thread count:
@@ -146,84 +241,120 @@ impl<const N: usize, T> RTree<N, T> {
         if threads <= 1 {
             return Self::bulk_load_with_params(entries, params);
         }
-        let len = entries.len();
-        let mut tree = RTree { params, nodes: Vec::new(), root: 0, len };
         if entries.is_empty() {
-            tree.nodes.push(Node { mbr: Aabb::empty(), kind: NodeKind::Leaf(Vec::new()) });
-            return tree;
+            return Self::with_params(params);
         }
-
         let leaf_groups = str_tile_threaded(entries, params.max_entries, threads);
-        let mut level: Vec<u32> = leaf_groups
-            .into_iter()
-            .map(|group| {
-                let mbr = Aabb::mbr_of(group.iter().map(|(b, _)| *b)).expect("non-empty group");
-                tree.push_node(Node { mbr, kind: NodeKind::Leaf(group) })
-            })
-            .collect();
-
-        while level.len() > 1 {
-            let with_mbrs: Vec<(Aabb<N>, u32)> =
-                level.iter().map(|&id| (tree.nodes[id as usize].mbr, id)).collect();
-            let groups = str_tile_threaded(with_mbrs, params.max_entries, threads);
-            level = groups
-                .into_iter()
-                .map(|group| {
-                    let mbr =
-                        Aabb::mbr_of(group.iter().map(|(b, _)| *b)).expect("non-empty group");
-                    let children = group.into_iter().map(|(_, id)| id).collect();
-                    tree.push_node(Node { mbr, kind: NodeKind::Inner(children) })
-                })
-                .collect();
-        }
-        tree.root = level[0];
-        tree
+        Self::assemble(params, leaf_groups, |level| {
+            str_tile_threaded(level, params.max_entries, threads)
+        })
     }
 
-    /// [`RTree::bulk_load`] with explicit parameters.
-    pub fn bulk_load_with_params(entries: Vec<(Aabb<N>, T)>, params: RTreeParams) -> Self {
-        let len = entries.len();
-        let mut tree = RTree { params, nodes: Vec::new(), root: 0, len };
-        if entries.is_empty() {
-            tree.nodes.push(Node { mbr: Aabb::empty(), kind: NodeKind::Leaf(Vec::new()) });
-            return tree;
+    /// Builds the breadth-first arena from the STR leaf groups, tiling the
+    /// upper levels with `tile` (sequential or threaded — both emit the
+    /// same group lists, so both produce the same arena).
+    fn assemble(
+        params: RTreeParams,
+        mut leaf_groups: Vec<Vec<(Aabb<N>, T)>>,
+        mut tile: impl FnMut(Vec<(Aabb<N>, u32)>) -> Vec<Vec<(Aabb<N>, u32)>>,
+    ) -> Self {
+        // Tile upward until one root group remains. Positions in
+        // `upper_children[k]` index the groups of the level below.
+        let mut level_mbrs: Vec<Vec<Aabb<N>>> = vec![leaf_groups
+            .iter()
+            .map(|g| Aabb::mbr_of(g.iter().map(|(b, _)| *b)).expect("non-empty group"))
+            .collect()];
+        let mut upper_children: Vec<Vec<Vec<u32>>> = Vec::new();
+        while level_mbrs.last().expect("at least the leaf level").len() > 1 {
+            let below = level_mbrs.last().expect("non-empty");
+            let with_pos: Vec<(Aabb<N>, u32)> =
+                below.iter().enumerate().map(|(i, &m)| (m, i as u32)).collect();
+            let groups = tile(with_pos);
+            level_mbrs.push(
+                groups
+                    .iter()
+                    .map(|g| Aabb::mbr_of(g.iter().map(|(b, _)| *b)).expect("non-empty group"))
+                    .collect(),
+            );
+            upper_children
+                .push(groups.into_iter().map(|g| g.into_iter().map(|(_, p)| p).collect()).collect());
         }
 
-        // Build the leaf level.
-        let mut leaf_groups: Vec<Vec<(Aabb<N>, T)>> = Vec::new();
-        str_tile(entries, params.max_entries, 0, &mut leaf_groups);
-        let mut level: Vec<u32> = leaf_groups
-            .into_iter()
-            .map(|group| {
-                let mbr = Aabb::mbr_of(group.iter().map(|(b, _)| *b)).expect("non-empty group");
-                tree.push_node(Node { mbr, kind: NodeKind::Leaf(group) })
+        // Breadth-first numbering, root (the single top group) first. The
+        // BFS order of each level is the concatenation of the child lists
+        // of the level above in its own BFS order.
+        let top = upper_children.len();
+        let mut orders: Vec<Vec<u32>> = vec![Vec::new(); top + 1];
+        orders[top] = vec![0];
+        for lvl in (1..=top).rev() {
+            let mut next = Vec::new();
+            for &pos in &orders[lvl] {
+                next.extend_from_slice(&upper_children[lvl - 1][pos as usize]);
+            }
+            orders[lvl - 1] = next;
+        }
+        let ranks: Vec<Vec<u32>> = orders
+            .iter()
+            .map(|order| {
+                let mut rank = vec![0u32; order.len()];
+                for (i, &pos) in order.iter().enumerate() {
+                    rank[pos as usize] = i as u32;
+                }
+                rank
             })
             .collect();
-
-        // Build upper levels until a single root remains.
-        while level.len() > 1 {
-            let with_mbrs: Vec<(Aabb<N>, u32)> =
-                level.iter().map(|&id| (tree.nodes[id as usize].mbr, id)).collect();
-            let mut groups: Vec<Vec<(Aabb<N>, u32)>> = Vec::new();
-            str_tile(with_mbrs, params.max_entries, 0, &mut groups);
-            level = groups
-                .into_iter()
-                .map(|group| {
-                    let mbr =
-                        Aabb::mbr_of(group.iter().map(|(b, _)| *b)).expect("non-empty group");
-                    let children = group.into_iter().map(|(_, id)| id).collect();
-                    tree.push_node(Node { mbr, kind: NodeKind::Inner(children) })
-                })
-                .collect();
+        let mut base = vec![0u32; top + 1];
+        let mut next_id = 0u32;
+        for lvl in (0..=top).rev() {
+            base[lvl] = next_id;
+            next_id += orders[lvl].len() as u32;
         }
-        tree.root = level[0];
-        tree
-    }
+        let num_nodes = next_id as usize;
+        let num_inner = num_nodes - orders[0].len();
 
-    fn push_node(&mut self, node: Node<N, T>) -> u32 {
-        let id = self.nodes.len() as u32;
-        self.nodes.push(node);
-        id
+        // Fill the arrays in id order: MBRs over every level, child CSR
+        // over the inner levels, entry columns over the leaves.
+        let mut mbrs = Vec::with_capacity(num_nodes);
+        for lvl in (0..=top).rev() {
+            for &pos in &orders[lvl] {
+                mbrs.push(level_mbrs[lvl][pos as usize]);
+            }
+        }
+        let mut child_start = Vec::with_capacity(num_inner + 1);
+        let mut children = Vec::new();
+        child_start.push(0u32);
+        for lvl in (1..=top).rev() {
+            for &pos in &orders[lvl] {
+                for &cpos in &upper_children[lvl - 1][pos as usize] {
+                    children.push(base[lvl - 1] + ranks[lvl - 1][cpos as usize]);
+                }
+                child_start.push(children.len() as u32);
+            }
+        }
+        let mut entry_start = Vec::with_capacity(orders[0].len() + 1);
+        let mut boxes = Vec::new();
+        let mut values = Vec::new();
+        entry_start.push(0u32);
+        for &pos in &orders[0] {
+            for (b, t) in std::mem::take(&mut leaf_groups[pos as usize]) {
+                boxes.push(b);
+                values.push(t);
+            }
+            entry_start.push(boxes.len() as u32);
+        }
+        let entries = EntryStore::from_boxes(&boxes);
+
+        RTree {
+            params,
+            len: values.len(),
+            num_inner,
+            mbrs,
+            child_start,
+            children,
+            entry_start,
+            entries,
+            values,
+        }
     }
 
     /// Number of data entries.
@@ -241,223 +372,39 @@ impl<const N: usize, T> RTree<N, T> {
     /// The MBR of all entries ([`Aabb::empty`] when the tree is empty).
     #[inline]
     pub fn mbr(&self) -> Aabb<N> {
-        self.nodes[self.root as usize].mbr
+        self.mbrs[0]
     }
 
-    /// Inserts one entry (Guttman insertion with quadratic split).
-    pub fn insert(&mut self, aabb: Aabb<N>, value: T) {
-        self.len += 1;
-
-        // Descend to a leaf, remembering the path.
-        let mut path: Vec<u32> = Vec::new();
-        let mut current = self.root;
-        loop {
-            path.push(current);
-            match &self.nodes[current as usize].kind {
-                NodeKind::Leaf(_) => break,
-                NodeKind::Inner(children) => {
-                    current = choose_child(&self.nodes, children, &aabb);
-                }
-            }
-        }
-
-        // Insert into the leaf and expand MBRs along the path.
-        let leaf = *path.last().expect("path contains the leaf");
-        match &mut self.nodes[leaf as usize].kind {
-            NodeKind::Leaf(entries) => entries.push((aabb, value)),
-            NodeKind::Inner(_) => unreachable!("descent must end at a leaf"),
-        }
-        for &id in &path {
-            self.nodes[id as usize].mbr.expand(&aabb);
-        }
-
-        // Split overflowing nodes bottom-up, recomputing ancestor MBRs: a
-        // split shrinks the original node, so the simple expansion above is
-        // no longer tight on the path.
-        let mut overflow: Option<u32> = None; // node created by the last split
-        let mut split_below = false;
-        for depth in (0..path.len()).rev() {
-            let id = path[depth];
-            if let Some(new_child) = overflow.take() {
-                match &mut self.nodes[id as usize].kind {
-                    NodeKind::Inner(children) => children.push(new_child),
-                    NodeKind::Leaf(_) => unreachable!("split child under a leaf"),
-                }
-            }
-            if split_below {
-                self.recompute_mbr(id);
-            }
-            if self.nodes[id as usize].len() > self.params.max_entries {
-                overflow = Some(self.split_node(id));
-                split_below = true;
-            } else if overflow.is_none() && !split_below {
-                break;
-            }
-        }
-
-        // A pending overflow at the top means the root itself split.
-        if let Some(sibling) = overflow {
-            let old_root = self.root;
-            let mbr = self.nodes[old_root as usize].mbr.union(&self.nodes[sibling as usize].mbr);
-            let new_root =
-                self.push_node(Node { mbr, kind: NodeKind::Inner(vec![old_root, sibling]) });
-            self.root = new_root;
-        }
+    /// Number of nodes in the arena.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.mbrs.len()
     }
 
-    /// Recomputes a node's MBR tightly from its contents.
-    fn recompute_mbr(&mut self, id: u32) {
-        let mbr = match &self.nodes[id as usize].kind {
-            NodeKind::Leaf(entries) => Aabb::mbr_of(entries.iter().map(|(b, _)| *b)),
-            NodeKind::Inner(children) => {
-                Aabb::mbr_of(children.iter().map(|&c| self.nodes[c as usize].mbr))
-            }
-        };
-        self.nodes[id as usize].mbr = mbr.unwrap_or_else(Aabb::empty);
+    /// Number of inner (non-leaf) nodes; node ids `0..num_inner_nodes()`
+    /// are inner, the rest are leaves.
+    #[inline]
+    pub fn num_inner_nodes(&self) -> usize {
+        self.num_inner
     }
 
-    /// Splits node `id` in place, returning the id of the new sibling.
-    fn split_node(&mut self, id: u32) -> u32 {
-        let min = self.params.min_entries;
-        match std::mem::replace(
-            &mut self.nodes[id as usize].kind,
-            NodeKind::Leaf(Vec::new()),
-        ) {
-            NodeKind::Leaf(entries) => {
-                let (a, b) = quadratic_split(entries, min);
-                let mbr_a = Aabb::mbr_of(a.iter().map(|(m, _)| *m)).expect("non-empty");
-                let mbr_b = Aabb::mbr_of(b.iter().map(|(m, _)| *m)).expect("non-empty");
-                self.nodes[id as usize].kind = NodeKind::Leaf(a);
-                self.nodes[id as usize].mbr = mbr_a;
-                self.push_node(Node { mbr: mbr_b, kind: NodeKind::Leaf(b) })
-            }
-            NodeKind::Inner(children) => {
-                let with_mbrs: Vec<(Aabb<N>, u32)> =
-                    children.iter().map(|&c| (self.nodes[c as usize].mbr, c)).collect();
-                let (a, b) = quadratic_split(with_mbrs, min);
-                let mbr_a = Aabb::mbr_of(a.iter().map(|(m, _)| *m)).expect("non-empty");
-                let mbr_b = Aabb::mbr_of(b.iter().map(|(m, _)| *m)).expect("non-empty");
-                self.nodes[id as usize].kind =
-                    NodeKind::Inner(a.into_iter().map(|(_, c)| c).collect());
-                self.nodes[id as usize].mbr = mbr_a;
-                self.push_node(Node {
-                    mbr: mbr_b,
-                    kind: NodeKind::Inner(b.into_iter().map(|(_, c)| c).collect()),
-                })
-            }
-        }
+    /// Child ids of inner node `id`.
+    #[inline]
+    fn node_children(&self, id: usize) -> &[u32] {
+        &self.children[self.child_start[id] as usize..self.child_start[id + 1] as usize]
     }
 
-    /// Removes one entry whose box equals `aabb` and whose value satisfies
-    /// `matches`, returning it. Underfull nodes are condensed (Guttman's
-    /// CondenseTree): their surviving entries are reinserted and the root
-    /// is shrunk when it degenerates to a single inner child.
-    pub fn remove_one(&mut self, aabb: &Aabb<N>, matches: impl Fn(&T) -> bool) -> Option<T> {
-        // Find a path (root -> leaf) to a leaf holding a matching entry.
-        let mut path: Vec<u32> = Vec::new();
-        let mut removed: Option<T> = None;
-        self.find_and_remove(self.root, aabb, &matches, &mut path, &mut removed);
-        let value = removed?;
-        self.len -= 1;
-
-        // Condense bottom-up: drop underfull non-root nodes, collecting
-        // their remaining entries for reinsertion.
-        let min = self.params.min_entries;
-        let mut orphans: Vec<(Aabb<N>, T)> = Vec::new();
-        for depth in (1..path.len()).rev() {
-            let id = path[depth];
-            let parent = path[depth - 1];
-            if self.nodes[id as usize].len() < min {
-                match &mut self.nodes[parent as usize].kind {
-                    NodeKind::Inner(children) => children.retain(|&c| c != id),
-                    NodeKind::Leaf(_) => unreachable!("parents are inner nodes"),
-                }
-                self.collect_entries(id, &mut orphans);
-            } else {
-                self.recompute_mbr(id);
-            }
-        }
-        self.recompute_mbr(self.root);
-
-        // Shrink a degenerate root.
-        loop {
-            let next = match &self.nodes[self.root as usize].kind {
-                NodeKind::Inner(children) if children.len() == 1 => children[0],
-                NodeKind::Inner(children) if children.is_empty() => {
-                    self.nodes[self.root as usize] =
-                        Node { mbr: Aabb::empty(), kind: NodeKind::Leaf(Vec::new()) };
-                    break;
-                }
-                _ => break,
-            };
-            self.root = next;
-        }
-
-        // Reinsert orphans (insert() bumps len, so compensate first).
-        self.len -= orphans.len();
-        for (b, t) in orphans {
-            self.insert(b, t);
-        }
-        Some(value)
-    }
-
-    /// Removes one entry equal to `(aabb, value)`; see [`RTree::remove_one`].
-    pub fn remove(&mut self, aabb: &Aabb<N>, value: &T) -> bool
-    where
-        T: PartialEq,
-    {
-        self.remove_one(aabb, |t| t == value).is_some()
-    }
-
-    /// Depth-first search for a matching entry; fills `path` with the node
-    /// chain to the leaf it was removed from.
-    fn find_and_remove(
-        &mut self,
-        id: u32,
-        aabb: &Aabb<N>,
-        matches: &impl Fn(&T) -> bool,
-        path: &mut Vec<u32>,
-        removed: &mut Option<T>,
-    ) {
-        if removed.is_some() || !self.nodes[id as usize].mbr.contains(aabb) {
-            return;
-        }
-        path.push(id);
-        match &mut self.nodes[id as usize].kind {
-            NodeKind::Leaf(entries) => {
-                if let Some(pos) = entries.iter().position(|(b, t)| b == aabb && matches(t)) {
-                    *removed = Some(entries.swap_remove(pos).1);
-                    return;
-                }
-            }
-            NodeKind::Inner(children) => {
-                for c in children.clone() {
-                    self.find_and_remove(c, aabb, matches, path, removed);
-                    if removed.is_some() {
-                        return;
-                    }
-                }
-            }
-        }
-        path.pop();
-    }
-
-    /// Drains every data entry under `id` into `out` (used by condensing).
-    fn collect_entries(&mut self, id: u32, out: &mut Vec<(Aabb<N>, T)>) {
-        match std::mem::replace(&mut self.nodes[id as usize].kind, NodeKind::Inner(Vec::new())) {
-            NodeKind::Leaf(entries) => out.extend(entries),
-            NodeKind::Inner(children) => {
-                for c in children {
-                    self.collect_entries(c, out);
-                }
-            }
-        }
+    /// Entry index range of leaf node `id` (`id >= num_inner`).
+    #[inline]
+    fn leaf_range(&self, id: usize) -> (usize, usize) {
+        let l = id - self.num_inner;
+        (self.entry_start[l] as usize, self.entry_start[l + 1] as usize)
     }
 
     /// The entry nearest to `point` (minimum Euclidean distance from the
     /// point to the entry's box), or `None` for an empty tree. Best-first
     /// branch-and-bound over node MBRs.
-    pub fn nearest_neighbor(&self, point: &[f64; N]) -> Option<(&Aabb<N>, &T)> {
+    pub fn nearest_neighbor(&self, point: &[f64; N]) -> Option<(Aabb<N>, &T)> {
         self.nearest_where(point, |_, _| true)
     }
 
@@ -468,7 +415,7 @@ impl<const N: usize, T> RTree<N, T> {
         &self,
         point: &[f64; N],
         accept: impl FnMut(&Aabb<N>, &T) -> bool,
-    ) -> Option<(&Aabb<N>, &T)> {
+    ) -> Option<(Aabb<N>, &T)> {
         self.nearest_k_where(point, 1, accept).into_iter().next()
     }
 
@@ -480,7 +427,7 @@ impl<const N: usize, T> RTree<N, T> {
         point: &[f64; N],
         k: usize,
         mut accept: impl FnMut(&Aabb<N>, &T) -> bool,
-    ) -> Vec<(&Aabb<N>, &T)> {
+    ) -> Vec<(Aabb<N>, &T)> {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -489,35 +436,34 @@ impl<const N: usize, T> RTree<N, T> {
         }
         // Heap over (distance, node id); OrderedF64 wraps the comparison.
         let mut heap: BinaryHeap<(Reverse<OrderedF64>, u32)> = BinaryHeap::new();
-        heap.push((Reverse(OrderedF64(min_dist_sq(&self.nodes[self.root as usize].mbr, point))), self.root));
+        heap.push((Reverse(OrderedF64(min_dist_sq(&self.mbrs[0], point))), 0));
         // The k best accepted entries so far, sorted ascending by distance.
-        let mut best: Vec<(f64, (&Aabb<N>, &T))> = Vec::with_capacity(k + 1);
+        let mut best: Vec<(f64, (Aabb<N>, &T))> = Vec::with_capacity(k + 1);
 
         while let Some((Reverse(OrderedF64(dist)), id)) = heap.pop() {
             if best.len() == k && dist > best[k - 1].0 {
                 break; // every remaining node is farther than the k-th best
             }
-            match &self.nodes[id as usize].kind {
-                NodeKind::Leaf(entries) => {
-                    for (b, t) in entries {
-                        let d = min_dist_sq(b, point);
-                        let qualifies = best.len() < k || d < best[k - 1].0;
-                        if qualifies && accept(b, t) {
-                            let pos = best
-                                .iter()
-                                .position(|(bd, _)| d < *bd)
-                                .unwrap_or(best.len());
-                            best.insert(pos, (d, (b, t)));
-                            best.truncate(k);
-                        }
-                    }
+            let id = id as usize;
+            if id < self.num_inner {
+                for &c in self.node_children(id) {
+                    heap.push((
+                        Reverse(OrderedF64(min_dist_sq(&self.mbrs[c as usize], point))),
+                        c,
+                    ));
                 }
-                NodeKind::Inner(children) => {
-                    for &c in children {
-                        heap.push((
-                            Reverse(OrderedF64(min_dist_sq(&self.nodes[c as usize].mbr, point))),
-                            c,
-                        ));
+            } else {
+                let (start, end) = self.leaf_range(id);
+                for i in start..end {
+                    let b = self.entries.get(i);
+                    let t = &self.values[i];
+                    let d = min_dist_sq(&b, point);
+                    let qualifies = best.len() < k || d < best[k - 1].0;
+                    if qualifies && accept(&b, t) {
+                        let pos =
+                            best.iter().position(|(bd, _)| d < *bd).unwrap_or(best.len());
+                        best.insert(pos, (d, (b, t)));
+                        best.truncate(k);
                     }
                 }
             }
@@ -528,8 +474,8 @@ impl<const N: usize, T> RTree<N, T> {
     /// Iterator over all entries whose box intersects `region`.
     pub fn query<'a>(&'a self, region: &Aabb<N>) -> Query<'a, N, T> {
         let mut stack = Vec::new();
-        if self.nodes[self.root as usize].mbr.intersects(region) {
-            stack.push(self.root);
+        if self.mbrs[0].intersects(region) {
+            stack.push(0u32);
         }
         Query { tree: self, region: *region, stack, leaf: None }
     }
@@ -553,8 +499,8 @@ impl<const N: usize, T> RTree<N, T> {
         stack: &'s mut Vec<u32>,
     ) -> QueryWith<'t, 's, N, T> {
         stack.clear();
-        if self.nodes[self.root as usize].mbr.intersects(region) {
-            stack.push(self.root);
+        if self.mbrs[0].intersects(region) {
+            stack.push(0u32);
         }
         QueryWith { tree: self, region: *region, stack, leaf: None }
     }
@@ -569,45 +515,34 @@ impl<const N: usize, T> RTree<N, T> {
         self.query(region).count()
     }
 
-    /// Iterator over all entries in storage order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Aabb<N>, &T)> {
-        self.nodes.iter().flat_map(|n| match &n.kind {
-            NodeKind::Leaf(entries) => entries.iter(),
-            NodeKind::Inner(_) => [].iter(),
-        })
-        .map(|(b, t)| (b, t))
+    /// Iterator over all entries in storage (breadth-first leaf) order.
+    pub fn iter(&self) -> impl Iterator<Item = (Aabb<N>, &T)> {
+        (0..self.len).map(|i| (self.entries.get(i), &self.values[i]))
     }
 
-    /// Height of the tree (1 for a single leaf root).
+    /// Height of the tree (1 for a single leaf root). Derived by walking
+    /// the first-child chain — children always have larger ids, so the
+    /// walk terminates.
     pub fn height(&self) -> usize {
         let mut h = 1;
-        let mut id = self.root;
-        loop {
-            match &self.nodes[id as usize].kind {
-                NodeKind::Leaf(_) => return h,
-                NodeKind::Inner(children) => {
-                    h += 1;
-                    id = children[0];
-                }
-            }
+        let mut id = 0usize;
+        while id < self.num_inner {
+            h += 1;
+            id = self.node_children(id)[0] as usize;
         }
+        h
     }
 
-    /// Approximate heap footprint in bytes: node headers plus entry storage.
-    /// Used for the index-size accounting of Table 4.
+    /// Approximate heap footprint in bytes: MBR, adjacency and entry-column
+    /// arrays plus payload storage. Used for the index-size accounting of
+    /// Table 4 and the `repro memory` experiment.
     pub fn heap_bytes(&self) -> usize {
-        let node_header = std::mem::size_of::<Node<N, T>>();
-        let entry = std::mem::size_of::<(Aabb<N>, T)>();
-        self.nodes
-            .iter()
-            .map(|n| {
-                node_header
-                    + match &n.kind {
-                        NodeKind::Leaf(e) => e.len() * entry,
-                        NodeKind::Inner(c) => c.len() * 4,
-                    }
-            })
-            .sum()
+        self.mbrs.heap_bytes()
+            + self.child_start.heap_bytes()
+            + self.children.heap_bytes()
+            + self.entry_start.heap_bytes()
+            + self.entries.heap_bytes()
+            + self.values.heap_bytes()
     }
 
     /// The fan-out parameters the tree was built with.
@@ -616,147 +551,199 @@ impl<const N: usize, T> RTree<N, T> {
         self.params
     }
 
-    /// The arena id of the root node (for [`RTree::snapshot_nodes`]).
-    #[inline]
-    pub fn root_id(&self) -> u32 {
-        self.root
-    }
-
-    /// The node arena in storage order, as public [`RTreeNode`] values, for
-    /// snapshot encoding. [`RTree::from_snapshot`] inverts it exactly, so a
-    /// saved tree reloads bit-identical (same arena layout, same traversal
-    /// order, same query costs).
-    pub fn snapshot_nodes(&self) -> Vec<RTreeNode<N, T>>
+    /// Clones the arena into an [`RTreeSnapshot`] for encoding.
+    /// [`RTree::from_snapshot`] inverts it exactly, so a saved tree reloads
+    /// bit-identical (same arena layout, same traversal order, same query
+    /// costs).
+    pub fn to_snapshot(&self) -> RTreeSnapshot<N, T>
     where
         T: Clone,
     {
-        self.nodes
-            .iter()
-            .map(|n| match &n.kind {
-                NodeKind::Leaf(entries) => {
-                    RTreeNode::Leaf { mbr: n.mbr, entries: entries.clone() }
-                }
-                NodeKind::Inner(children) => {
-                    RTreeNode::Inner { mbr: n.mbr, children: children.clone() }
-                }
-            })
-            .collect()
+        RTreeSnapshot {
+            params: self.params,
+            mbrs: self.mbrs.clone(),
+            child_start: self.child_start.clone(),
+            children: self.children.clone(),
+            entry_start: self.entry_start.clone(),
+            entry_lo: self.entries.lo.clone(),
+            entry_hi: self.entries.hi.clone(),
+            values: self.values.clone(),
+        }
     }
 
-    /// Rebuilds a tree from `(params, root, len, nodes)` as produced by
-    /// [`RTree::params`] / [`RTree::root_id`] / [`RTree::len`] /
-    /// [`RTree::snapshot_nodes`].
+    /// Rebuilds a tree from an [`RTreeSnapshot`].
     ///
-    /// The input is untrusted: the arena reachable from `root` must be a
-    /// proper tree (in-range ids, no node visited twice, non-empty inner
-    /// nodes) and its leaves must hold exactly `len` entries, so that no
-    /// traversal can panic or loop. Violations are reported as
-    /// `Err(String)`.
-    pub fn from_snapshot(
-        params: RTreeParams,
-        root: u32,
-        len: usize,
-        nodes: Vec<RTreeNode<N, T>>,
-    ) -> Result<Self, String> {
-        if root as usize >= nodes.len() {
-            return Err(format!("rtree: root id {root} out of range ({} nodes)", nodes.len()));
+    /// The input is untrusted: the arrays must describe a proper
+    /// breadth-first tree — monotone CSR offsets, child ids strictly
+    /// greater than their parent's (which rules out cycles), every
+    /// non-root node referenced exactly once, coordinate columns parallel
+    /// to the payloads — so that no traversal can panic or loop.
+    /// Violations are reported as `Err(String)`.
+    pub fn from_snapshot(snap: RTreeSnapshot<N, T>) -> Result<Self, String> {
+        let RTreeSnapshot {
+            params,
+            mbrs,
+            child_start,
+            children,
+            entry_start,
+            entry_lo,
+            entry_hi,
+            values,
+        } = snap;
+        if child_start.is_empty() || entry_start.is_empty() {
+            return Err("rtree: empty CSR offset array".into());
         }
-        let mut seen = vec![false; nodes.len()];
-        let mut stack = vec![root];
-        let mut entry_count = 0usize;
-        while let Some(id) = stack.pop() {
-            let i = id as usize;
-            if seen[i] {
-                return Err(format!("rtree: node {id} reachable twice (not a tree)"));
-            }
-            seen[i] = true;
-            match &nodes[i] {
-                RTreeNode::Leaf { entries, .. } => entry_count += entries.len(),
-                RTreeNode::Inner { children, .. } => {
-                    if children.is_empty() {
-                        return Err(format!("rtree: inner node {id} has no children"));
-                    }
-                    for &c in children {
-                        if c as usize >= nodes.len() {
-                            return Err(format!(
-                                "rtree: node {id} references child {c} out of range"
-                            ));
-                        }
-                        stack.push(c);
-                    }
-                }
-            }
+        let num_inner = child_start.len() - 1;
+        let num_leaves = entry_start.len() - 1;
+        if num_leaves == 0 {
+            return Err("rtree: no leaf nodes".into());
         }
-        if entry_count != len {
+        let num_nodes = num_inner + num_leaves;
+        if mbrs.len() != num_nodes {
             return Err(format!(
-                "rtree: {entry_count} entries reachable from root but len = {len}"
+                "rtree: {} mbrs for {num_inner} inner + {num_leaves} leaf nodes",
+                mbrs.len()
             ));
         }
-        let nodes = nodes
-            .into_iter()
-            .map(|n| match n {
-                RTreeNode::Leaf { mbr, entries } => Node { mbr, kind: NodeKind::Leaf(entries) },
-                RTreeNode::Inner { mbr, children } => {
-                    Node { mbr, kind: NodeKind::Inner(children) }
+        for (name, offsets, total) in [
+            ("child", &child_start, children.len()),
+            ("entry", &entry_start, values.len()),
+        ] {
+            if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("rtree: {name} offsets not monotone from 0"));
+            }
+            if offsets[offsets.len() - 1] as usize != total {
+                return Err(format!(
+                    "rtree: {name} offsets claim {} items but {total} present",
+                    offsets[offsets.len() - 1]
+                ));
+            }
+        }
+        if num_inner == 0 && num_leaves != 1 {
+            return Err(format!("rtree: {num_leaves} leaves but no inner root"));
+        }
+        let mut referenced = vec![false; num_nodes];
+        for i in 0..num_inner {
+            let list = &children[child_start[i] as usize..child_start[i + 1] as usize];
+            if list.is_empty() {
+                return Err(format!("rtree: inner node {i} has no children"));
+            }
+            for &c in list {
+                let c = c as usize;
+                if c >= num_nodes {
+                    return Err(format!("rtree: node {i} references child {c} out of range"));
                 }
-            })
-            .collect();
-        Ok(RTree { params, nodes, root, len })
+                if c <= i {
+                    return Err(format!(
+                        "rtree: node {i} references child {c}; ids must be breadth-first \
+                         (child > parent)"
+                    ));
+                }
+                if referenced[c] {
+                    return Err(format!("rtree: node {c} referenced twice (not a tree)"));
+                }
+                referenced[c] = true;
+            }
+        }
+        if let Some(orphan) = (1..num_nodes).find(|&i| !referenced[i]) {
+            return Err(format!("rtree: node {orphan} unreachable from the root"));
+        }
+        let n_entries = values.len();
+        for (d, col) in entry_lo.iter().enumerate() {
+            if col.len() != n_entries {
+                return Err(format!(
+                    "rtree: lo column {d} has {} coords for {n_entries} entries",
+                    col.len()
+                ));
+            }
+        }
+        for (d, col) in entry_hi.iter().enumerate() {
+            if let Some(col) = col {
+                if col.len() != n_entries {
+                    return Err(format!(
+                        "rtree: hi column {d} has {} coords for {n_entries} entries",
+                        col.len()
+                    ));
+                }
+            }
+        }
+        Ok(RTree {
+            params,
+            len: n_entries,
+            num_inner,
+            mbrs,
+            child_start,
+            children,
+            entry_start,
+            entries: EntryStore { lo: entry_lo, hi: entry_hi },
+            values,
+        })
     }
 
     /// Checks structural invariants (entry count, MBR containment, fan-out
     /// bounds). Intended for tests; panics with a description on violation.
     pub fn check_invariants(&self) {
-        fn walk<const N: usize, T>(
-            tree: &RTree<N, T>,
-            id: u32,
-            is_root: bool,
-            count: &mut usize,
-        ) -> Aabb<N> {
-            let node = &tree.nodes[id as usize];
+        assert_eq!(self.values.len(), self.len, "value count mismatch");
+        assert_eq!(self.entries.len(), self.len, "entry column length mismatch");
+        let num_nodes = self.mbrs.len();
+        for id in 0..num_nodes {
+            let count = if id < self.num_inner {
+                self.node_children(id).len()
+            } else {
+                let (s, e) = self.leaf_range(id);
+                e - s
+            };
             assert!(
-                node.len() <= tree.params.max_entries,
-                "node {id} overflows: {} > {}",
-                node.len(),
-                tree.params.max_entries
+                count <= self.params.max_entries,
+                "node {id} overflows: {count} > {}",
+                self.params.max_entries
             );
-            if !is_root && tree.len > tree.params.max_entries {
-                // Bulk-loaded trees pack nodes; underfull nodes can only be
-                // the last of a level, which is still >= 1 entry.
-                assert!(node.len() >= 1, "empty non-root node {id}");
+            if id > 0 {
+                assert!(count >= 1, "empty non-root node {id}");
             }
-            match &node.kind {
-                NodeKind::Leaf(entries) => {
-                    *count += entries.len();
-                    for (b, _) in entries {
-                        assert!(node.mbr.contains(b), "leaf {id} mbr misses an entry");
-                    }
-                    node.mbr
+            if id < self.num_inner {
+                let mut acc = Aabb::empty();
+                for &c in self.node_children(id) {
+                    assert!(
+                        (c as usize) > id,
+                        "node {id} has child {c} with a smaller id (not breadth-first)"
+                    );
+                    assert!(
+                        self.mbrs[id].contains(&self.mbrs[c as usize]),
+                        "node {id} mbr misses child {c}"
+                    );
+                    acc.expand(&self.mbrs[c as usize]);
                 }
-                NodeKind::Inner(children) => {
-                    assert!(!children.is_empty(), "inner node {id} has no children");
-                    let mut acc = Aabb::empty();
-                    for &c in children {
-                        let child_mbr = walk(tree, c, false, count);
-                        assert!(node.mbr.contains(&child_mbr), "node {id} mbr misses child {c}");
-                        acc.expand(&child_mbr);
-                    }
-                    assert_eq!(acc, node.mbr, "node {id} mbr is not tight");
-                    node.mbr
+                assert_eq!(acc, self.mbrs[id], "node {id} mbr is not tight");
+            } else {
+                let (s, e) = self.leaf_range(id);
+                for i in s..e {
+                    assert!(
+                        self.mbrs[id].contains(&self.entries.get(i)),
+                        "leaf {id} mbr misses entry {i}"
+                    );
                 }
             }
         }
-        let mut count = 0;
-        if self.len > 0 {
-            walk(self, self.root, true, &mut count);
-        }
-        assert_eq!(count, self.len, "entry count mismatch");
+        let total: usize = (self.num_inner..num_nodes)
+            .map(|id| {
+                let (s, e) = self.leaf_range(id);
+                e - s
+            })
+            .sum();
+        assert_eq!(total, self.len, "entry count mismatch");
+    }
+}
+
+impl<const N: usize, T> HeapBytes for RTree<N, T> {
+    fn heap_bytes(&self) -> usize {
+        RTree::heap_bytes(self)
     }
 }
 
 /// Squared distance from `point` to the closest point of `aabb` (zero when
 /// the point lies inside).
-fn min_dist_sq<const N: usize>(aabb: &Aabb<N>, point: &[f64; N]) -> f64 {
+pub(crate) fn min_dist_sq<const N: usize>(aabb: &Aabb<N>, point: &[f64; N]) -> f64 {
     let mut d = 0.0;
     for (i, &p) in point.iter().enumerate() {
         let delta = if p < aabb.min[i] {
@@ -789,95 +776,10 @@ impl Ord for OrderedF64 {
     }
 }
 
-/// Picks the child needing the least MBR enlargement (ties: smaller volume).
-fn choose_child<const N: usize, T>(nodes: &[Node<N, T>], children: &[u32], aabb: &Aabb<N>) -> u32 {
-    debug_assert!(!children.is_empty());
-    let mut best = children[0];
-    let mut best_enl = f64::INFINITY;
-    let mut best_vol = f64::INFINITY;
-    for &c in children {
-        let mbr = nodes[c as usize].mbr;
-        let enl = mbr.enlargement(aabb);
-        let vol = mbr.volume();
-        if enl < best_enl || (enl == best_enl && vol < best_vol) {
-            best = c;
-            best_enl = enl;
-            best_vol = vol;
-        }
-    }
-    best
-}
-
-/// Guttman's quadratic split: seeds are the pair wasting the most area; the
-/// remaining entries go to the group whose MBR grows the least, with the
-/// `min` lower bound enforced.
-type SplitGroups<const N: usize, E> = (Vec<(Aabb<N>, E)>, Vec<(Aabb<N>, E)>);
-
-fn quadratic_split<const N: usize, E>(
-    mut entries: Vec<(Aabb<N>, E)>,
-    min: usize,
-) -> SplitGroups<N, E> {
-    debug_assert!(entries.len() >= 2);
-
-    // Pick seeds.
-    let (mut seed_a, mut seed_b, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
-    for i in 0..entries.len() {
-        for j in (i + 1)..entries.len() {
-            let d = entries[i].0.union(&entries[j].0).volume()
-                - entries[i].0.volume()
-                - entries[j].0.volume();
-            if d > worst {
-                worst = d;
-                seed_a = i;
-                seed_b = j;
-            }
-        }
-    }
-
-    // Move the seeds out (larger index first so removal is stable).
-    let (hi, lo) = (seed_a.max(seed_b), seed_a.min(seed_b));
-    let b0 = entries.swap_remove(hi);
-    let a0 = entries.swap_remove(lo);
-    let mut group_a = vec![a0];
-    let mut group_b = vec![b0];
-    let mut mbr_a = group_a[0].0;
-    let mut mbr_b = group_b[0].0;
-
-    while let Some((aabb, e)) = entries.pop() {
-        let remaining = entries.len();
-        // Force-assign when a group must absorb everything left to reach min.
-        if group_a.len() + remaining < min {
-            mbr_a.expand(&aabb);
-            group_a.push((aabb, e));
-            continue;
-        }
-        if group_b.len() + remaining < min {
-            mbr_b.expand(&aabb);
-            group_b.push((aabb, e));
-            continue;
-        }
-        let enl_a = mbr_a.enlargement(&aabb);
-        let enl_b = mbr_b.enlargement(&aabb);
-        let to_a = match enl_a.partial_cmp(&enl_b) {
-            Some(std::cmp::Ordering::Less) => true,
-            Some(std::cmp::Ordering::Greater) => false,
-            _ => group_a.len() <= group_b.len(),
-        };
-        if to_a {
-            mbr_a.expand(&aabb);
-            group_a.push((aabb, e));
-        } else {
-            mbr_b.expand(&aabb);
-            group_b.push((aabb, e));
-        }
-    }
-    (group_a, group_b)
-}
-
 /// Recursive Sort-Tile-Recursive partitioning: sorts by the centre of
 /// dimension `dim`, cuts into vertical slabs, and recurses on the remaining
 /// dimensions; at the last dimension it emits groups of up to `cap` entries.
-fn str_tile<const N: usize, E>(
+pub(crate) fn str_tile<const N: usize, E>(
     mut entries: Vec<(Aabb<N>, E)>,
     cap: usize,
     dim: usize,
@@ -954,36 +856,33 @@ pub struct Query<'a, const N: usize, T> {
     tree: &'a RTree<N, T>,
     region: Aabb<N>,
     stack: Vec<u32>,
-    leaf: Option<(&'a [(Aabb<N>, T)], usize)>,
+    leaf: Option<(usize, usize)>,
 }
 
 impl<'a, const N: usize, T> Iterator for Query<'a, N, T> {
-    type Item = (&'a Aabb<N>, &'a T);
+    type Item = (Aabb<N>, &'a T);
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            if let Some((entries, pos)) = &mut self.leaf {
-                while *pos < entries.len() {
-                    let (b, t) = &entries[*pos];
+            if let Some((pos, end)) = &mut self.leaf {
+                while *pos < *end {
+                    let i = *pos;
                     *pos += 1;
-                    if b.intersects(&self.region) {
-                        return Some((b, t));
+                    if self.tree.entries.intersects(i, &self.region) {
+                        return Some((self.tree.entries.get(i), &self.tree.values[i]));
                     }
                 }
                 self.leaf = None;
             }
-            let id = self.stack.pop()?;
-            match &self.tree.nodes[id as usize].kind {
-                NodeKind::Leaf(entries) => {
-                    self.leaf = Some((entries.as_slice(), 0));
-                }
-                NodeKind::Inner(children) => {
-                    for &c in children {
-                        if self.tree.nodes[c as usize].mbr.intersects(&self.region) {
-                            self.stack.push(c);
-                        }
+            let id = self.stack.pop()? as usize;
+            if id < self.tree.num_inner {
+                for &c in self.tree.node_children(id) {
+                    if self.tree.mbrs[c as usize].intersects(&self.region) {
+                        self.stack.push(c);
                     }
                 }
+            } else {
+                self.leaf = Some(self.tree.leaf_range(id));
             }
         }
     }
@@ -995,36 +894,33 @@ pub struct QueryWith<'t, 's, const N: usize, T> {
     tree: &'t RTree<N, T>,
     region: Aabb<N>,
     stack: &'s mut Vec<u32>,
-    leaf: Option<(&'t [(Aabb<N>, T)], usize)>,
+    leaf: Option<(usize, usize)>,
 }
 
 impl<'t, const N: usize, T> Iterator for QueryWith<'t, '_, N, T> {
-    type Item = (&'t Aabb<N>, &'t T);
+    type Item = (Aabb<N>, &'t T);
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            if let Some((entries, pos)) = &mut self.leaf {
-                while *pos < entries.len() {
-                    let (b, t) = &entries[*pos];
+            if let Some((pos, end)) = &mut self.leaf {
+                while *pos < *end {
+                    let i = *pos;
                     *pos += 1;
-                    if b.intersects(&self.region) {
-                        return Some((b, t));
+                    if self.tree.entries.intersects(i, &self.region) {
+                        return Some((self.tree.entries.get(i), &self.tree.values[i]));
                     }
                 }
                 self.leaf = None;
             }
-            let id = self.stack.pop()?;
-            match &self.tree.nodes[id as usize].kind {
-                NodeKind::Leaf(entries) => {
-                    self.leaf = Some((entries.as_slice(), 0));
-                }
-                NodeKind::Inner(children) => {
-                    for &c in children {
-                        if self.tree.nodes[c as usize].mbr.intersects(&self.region) {
-                            self.stack.push(c);
-                        }
+            let id = self.stack.pop()? as usize;
+            if id < self.tree.num_inner {
+                for &c in self.tree.node_children(id) {
+                    if self.tree.mbrs[c as usize].intersects(&self.region) {
+                        self.stack.push(c);
                     }
                 }
+            } else {
+                self.leaf = Some(self.tree.leaf_range(id));
             }
         }
     }
@@ -1053,23 +949,6 @@ mod tests {
     }
 
     #[test]
-    fn insertion_finds_everything() {
-        let mut t: RTree<2, usize> = RTree::new();
-        for (b, i) in grid_points(1000) {
-            t.insert(b, i);
-        }
-        assert_eq!(t.len(), 1000);
-        t.check_invariants();
-        let all = Aabb::new([-1.0, -1.0], [1000.0, 1000.0]);
-        assert_eq!(t.query(&all).count(), 1000);
-        // A tight region.
-        let region = Aabb::new([0.0, 0.0], [3.0, 0.0]);
-        let mut hits: Vec<usize> = t.query(&region).map(|(_, &i)| i).collect();
-        hits.sort_unstable();
-        assert_eq!(hits, vec![0, 1, 2, 3]);
-    }
-
-    #[test]
     fn bulk_load_finds_everything() {
         let t = RTree::bulk_load(grid_points(1000));
         assert_eq!(t.len(), 1000);
@@ -1082,18 +961,53 @@ mod tests {
     }
 
     #[test]
-    fn bulk_load_is_shallower_than_insertion() {
-        let pts = grid_points(4096);
-        let ins = {
-            let mut t = RTree::new();
-            for (b, i) in pts.clone() {
-                t.insert(b, i);
+    fn arena_is_breadth_first() {
+        let t = RTree::bulk_load(grid_points(4096));
+        assert!(t.height() >= 2);
+        // Root is node 0; every child id exceeds its parent's; leaves
+        // occupy the id range after the inner nodes.
+        for id in 0..t.num_inner_nodes() {
+            for &c in t.node_children(id) {
+                assert!(c as usize > id);
             }
-            t
-        };
-        let bulk = RTree::bulk_load(pts);
-        assert!(bulk.height() <= ins.height());
-        assert!(bulk.height() >= 2);
+        }
+        assert_eq!(t.num_nodes() - t.num_inner_nodes(), t.entry_start.len() - 1);
+    }
+
+    #[test]
+    fn degenerate_dimensions_are_compressed() {
+        // Points: both dimensions flat — no hi columns at all.
+        let t = RTree::bulk_load(grid_points(500));
+        assert!(t.entries.hi.iter().all(Option::is_none));
+        // Vertical 3-D segments: x/y flat, z extended.
+        let segs: Vec<(Aabb<3>, u32)> = (0..200u32)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                (Aabb::new([x, y, 0.0], [x, y, 1.0 + i as f64]), i)
+            })
+            .collect();
+        let t3 = RTree::bulk_load(segs.clone());
+        assert!(t3.entries.hi[0].is_none());
+        assert!(t3.entries.hi[1].is_none());
+        assert!(t3.entries.hi[2].is_some());
+        // Reconstruction is bit-exact.
+        let mut boxes: Vec<(Aabb<3>, u32)> = t3.iter().map(|(b, &v)| (b, v)).collect();
+        boxes.sort_by_key(|&(_, v)| v);
+        assert_eq!(boxes, segs);
+    }
+
+    #[test]
+    fn negative_zero_is_not_conflated_with_zero() {
+        // -0.0 == 0.0 numerically but differs bit-wise; a dimension mixing
+        // them must keep its hi column so reconstruction is bit-faithful.
+        let entries = vec![(Aabb::new([-0.0, 1.0], [0.0, 1.0]), 1u32)];
+        let t = RTree::bulk_load(entries);
+        assert!(t.entries.hi[0].is_some(), "[-0.0, 0.0] is not degenerate");
+        assert!(t.entries.hi[1].is_none());
+        let (b, _) = t.iter().next().unwrap();
+        assert_eq!(b.min[0].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(b.max[0].to_bits(), 0.0f64.to_bits());
     }
 
     #[test]
@@ -1131,9 +1045,10 @@ mod tests {
 
     #[test]
     fn boxes_not_only_points() {
-        let mut t: RTree<2, &str> = RTree::new();
-        t.insert(Aabb::new([0.0, 0.0], [10.0, 10.0]), "big");
-        t.insert(Aabb::new([20.0, 20.0], [21.0, 21.0]), "small");
+        let t = RTree::bulk_load(vec![
+            (Aabb::new([0.0, 0.0], [10.0, 10.0]), "big"),
+            (Aabb::new([20.0, 20.0], [21.0, 21.0]), "small"),
+        ]);
         let probe = Aabb::new([5.0, 5.0], [6.0, 6.0]);
         let hits: Vec<&str> = t.query(&probe).map(|(_, &s)| s).collect();
         assert_eq!(hits, vec!["big"]);
@@ -1142,12 +1057,14 @@ mod tests {
     #[test]
     fn three_dimensional_segments() {
         // Vertical segments as in 3DReach-REV: degenerate in x/y.
-        let mut t: RTree<3, u32> = RTree::new();
-        for i in 0..100u32 {
-            let x = (i % 10) as f64;
-            let y = (i / 10) as f64;
-            t.insert(Aabb::new([x, y, 0.0], [x, y, i as f64]), i);
-        }
+        let entries: Vec<(Aabb<3>, u32)> = (0..100u32)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                (Aabb::new([x, y, 0.0], [x, y, i as f64]), i)
+            })
+            .collect();
+        let t = RTree::bulk_load(entries);
         t.check_invariants();
         // A plane at z = 50 over the whole xy extent cuts segments with
         // i >= 50.
@@ -1157,10 +1074,7 @@ mod tests {
 
     #[test]
     fn duplicate_geometry_is_allowed() {
-        let mut t: RTree<2, u32> = RTree::new();
-        for i in 0..50 {
-            t.insert(pt(1.0, 1.0), i);
-        }
+        let t = RTree::bulk_load((0..50u32).map(|i| (pt(1.0, 1.0), i)).collect());
         t.check_invariants();
         assert_eq!(t.count_in(&Aabb::from_point([1.0, 1.0])), 50);
     }
@@ -1176,61 +1090,10 @@ mod tests {
     #[test]
     fn custom_params_respected() {
         let params = RTreeParams::new(8, 3);
-        let mut t: RTree<2, usize> = RTree::with_params(params);
-        for (b, i) in grid_points(200) {
-            t.insert(b, i);
-        }
+        let t = RTree::bulk_load_with_params(grid_points(200), params);
         t.check_invariants();
         assert_eq!(t.len(), 200);
-    }
-
-    #[test]
-    fn remove_keeps_queries_consistent() {
-        let mut t: RTree<2, usize> = RTree::new();
-        for (b, i) in grid_points(400) {
-            t.insert(b, i);
-        }
-        // Remove every third entry.
-        for i in (0..400).step_by(3) {
-            let b = pt((i % 32) as f64, (i / 32) as f64);
-            assert!(t.remove(&b, &i), "entry {i} must be removable");
-        }
-        assert_eq!(t.len(), 400 - 134);
-        t.check_invariants();
-        let all = Aabb::new([-1.0, -1.0], [1000.0, 1000.0]);
-        let mut left: Vec<usize> = t.query(&all).map(|(_, &i)| i).collect();
-        left.sort_unstable();
-        let expected: Vec<usize> = (0..400).filter(|i| i % 3 != 0).collect();
-        assert_eq!(left, expected);
-        // Removing a non-existent entry is a no-op.
-        assert!(!t.remove(&pt(0.0, 0.0), &0));
-    }
-
-    #[test]
-    fn remove_down_to_empty_and_reuse() {
-        let mut t: RTree<2, u32> = RTree::new();
-        for i in 0..100u32 {
-            t.insert(pt(i as f64, 0.0), i);
-        }
-        for i in 0..100u32 {
-            assert!(t.remove(&pt(i as f64, 0.0), &i));
-        }
-        assert!(t.is_empty());
-        t.check_invariants();
-        // The tree is reusable after total removal.
-        t.insert(pt(1.0, 1.0), 7);
-        assert_eq!(t.count_in(&Aabb::from_point([1.0, 1.0])), 1);
-    }
-
-    #[test]
-    fn remove_one_with_predicate() {
-        let mut t: RTree<2, (u32, &str)> = RTree::new();
-        t.insert(pt(1.0, 1.0), (1, "keep"));
-        t.insert(pt(1.0, 1.0), (2, "drop"));
-        let removed = t.remove_one(&pt(1.0, 1.0), |(_, tag)| *tag == "drop");
-        assert_eq!(removed, Some((2, "drop")));
-        assert_eq!(t.len(), 1);
-        assert!(t.query_exists(&pt(1.0, 1.0)));
+        assert_eq!(t.params(), params);
     }
 
     #[test]
@@ -1323,50 +1186,60 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_nodes_round_trip_exactly() {
+    fn snapshot_round_trip_exactly() {
         for n in [0usize, 1, 50, 2000] {
             let t = RTree::bulk_load(grid_points(n));
-            let back = RTree::from_snapshot(t.params(), t.root_id(), t.len(), t.snapshot_nodes())
-                .expect("valid snapshot must rebuild");
+            let back = RTree::from_snapshot(t.to_snapshot()).expect("valid snapshot rebuilds");
             assert_eq!(t, back, "n = {n}");
             back.check_invariants();
         }
-        // Insertion-built trees (quadratic splits) round-trip too.
-        let mut t: RTree<2, usize> = RTree::new();
-        for (b, i) in grid_points(300) {
-            t.insert(b, i);
-        }
-        let back = RTree::from_snapshot(t.params(), t.root_id(), t.len(), t.snapshot_nodes())
-            .expect("valid snapshot must rebuild");
+        // Segment trees (with live hi columns) round-trip too.
+        let segs: Vec<(Aabb<3>, u32)> = (0..300u32)
+            .map(|i| (Aabb::new([i as f64, 0.0, 0.0], [i as f64, 0.0, i as f64]), i))
+            .collect();
+        let t = RTree::bulk_load(segs);
+        let back = RTree::from_snapshot(t.to_snapshot()).expect("valid snapshot rebuilds");
         assert_eq!(t, back);
     }
 
     #[test]
     fn from_snapshot_rejects_malformed_arenas() {
-        let params = RTreeParams::default();
-        let leaf = |entries: Vec<(Aabb<2>, u32)>| RTreeNode::Leaf {
-            mbr: Aabb::mbr_of(entries.iter().map(|(b, _)| *b)).unwrap_or_else(Aabb::empty),
-            entries,
-        };
-        // Root out of range.
-        assert!(RTree::<2, u32>::from_snapshot(params, 3, 0, vec![leaf(vec![])]).is_err());
+        let good = RTree::bulk_load(grid_points(100)).to_snapshot();
+        assert!(RTree::from_snapshot(good.clone()).is_ok());
+
         // Child id out of range.
-        let bad_child = vec![RTreeNode::Inner { mbr: Aabb::empty(), children: vec![9] }];
-        assert!(RTree::<2, u32>::from_snapshot(params, 0, 0, bad_child).is_err());
-        // A cycle (node reachable twice).
-        let cyclic = vec![
-            RTreeNode::Inner { mbr: Aabb::empty(), children: vec![1, 1] },
-            leaf(vec![(pt(0.0, 0.0), 7)]),
-        ];
-        assert!(RTree::<2, u32>::from_snapshot(params, 0, 2, cyclic).is_err());
-        // Inner node with no children.
-        let hollow = vec![RTreeNode::Inner::<2, u32> { mbr: Aabb::empty(), children: vec![] }];
-        assert!(RTree::from_snapshot(params, 0, 0, hollow).is_err());
-        // Entry count mismatch.
-        assert!(
-            RTree::<2, u32>::from_snapshot(params, 0, 5, vec![leaf(vec![(pt(1.0, 1.0), 1)])])
-                .is_err()
-        );
+        let mut bad = good.clone();
+        bad.children[0] = 10_000;
+        assert!(RTree::from_snapshot(bad).is_err());
+        // Child id not greater than its parent (cycle-shaped).
+        let mut bad = good.clone();
+        bad.children[0] = 0;
+        assert!(RTree::from_snapshot(bad).is_err());
+        // A node referenced twice.
+        let mut bad = good.clone();
+        bad.children[1] = bad.children[0];
+        assert!(RTree::from_snapshot(bad).is_err());
+        // Non-monotone child offsets.
+        let mut bad = good.clone();
+        bad.child_start[1] = u32::MAX;
+        assert!(RTree::from_snapshot(bad).is_err());
+        // Entry offsets disagreeing with the payload count.
+        let mut bad = good.clone();
+        bad.values.pop();
+        assert!(RTree::from_snapshot(bad).is_err());
+        // A coordinate column of the wrong length.
+        let mut bad = good.clone();
+        bad.entry_lo[0].pop();
+        assert!(RTree::from_snapshot(bad).is_err());
+        // Wrong mbr count.
+        let mut bad = good.clone();
+        bad.mbrs.pop();
+        assert!(RTree::from_snapshot(bad).is_err());
+        // Multiple leaves without an inner root.
+        let mut bad = good;
+        bad.child_start = vec![0];
+        bad.children = Vec::new();
+        assert!(RTree::from_snapshot(bad).is_err());
     }
 
     #[test]
@@ -1374,5 +1247,22 @@ mod tests {
         let small = RTree::bulk_load(grid_points(10));
         let large = RTree::bulk_load(grid_points(10_000));
         assert!(large.heap_bytes() > small.heap_bytes());
+    }
+
+    #[test]
+    fn soa_arena_is_smaller_than_pointer_nodes() {
+        // The reconstruction formula of the old pointer-node layout (node
+        // headers + per-entry (Aabb, T) tuples + child id lists) — the
+        // baseline `repro memory` compares against.
+        let t = RTree::bulk_load(grid_points(10_000));
+        let node_header = std::mem::size_of::<Aabb<2>>() + 32;
+        let legacy = t.num_nodes() * node_header
+            + t.len() * std::mem::size_of::<(Aabb<2>, usize)>()
+            + (t.num_nodes() - 1) * 4;
+        assert!(
+            t.heap_bytes() < legacy,
+            "arena {} must undercut pointer layout {legacy}",
+            t.heap_bytes()
+        );
     }
 }

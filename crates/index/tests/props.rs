@@ -3,7 +3,7 @@
 
 use gsr_geo::{Aabb, Point, Rect};
 use gsr_index::grid::HierarchicalGrid;
-use gsr_index::{KdTree, QuadTree, RTree, RTreeParams, UniformGrid};
+use gsr_index::{DynRTree, KdTree, QuadTree, RTree, RTreeParams, UniformGrid};
 use proptest::prelude::*;
 
 fn arb_box2() -> impl Strategy<Value = Aabb<2>> {
@@ -34,7 +34,7 @@ proptest! {
     ) {
         let entries: Vec<(Aabb<2>, usize)> =
             boxes.into_iter().enumerate().map(|(i, b)| (b, i)).collect();
-        let mut tree = RTree::new();
+        let mut tree = DynRTree::new();
         for (b, i) in entries.iter() {
             tree.insert(*b, *i);
         }
@@ -71,7 +71,7 @@ proptest! {
             [region_lo.0 + extent.0, region_lo.1 + extent.1, region_lo.2 + extent.2],
         );
         let bulk = RTree::bulk_load(entries.clone());
-        let mut ins = RTree::with_params(RTreeParams::new(8, 3));
+        let mut ins = DynRTree::with_params(RTreeParams::new(8, 3));
         for (b, i) in entries.iter() {
             ins.insert(*b, *i);
         }
@@ -91,7 +91,7 @@ proptest! {
     ) {
         let entries: Vec<(Aabb<2>, usize)> =
             boxes.into_iter().enumerate().map(|(i, b)| (b, i)).collect();
-        let mut tree = RTree::with_params(RTreeParams::new(8, 3));
+        let mut tree = DynRTree::with_params(RTreeParams::new(8, 3));
         for (b, i) in entries.iter() {
             tree.insert(*b, *i);
         }
@@ -210,7 +210,7 @@ proptest! {
             let dy = b.min[1] - probe_pt[1];
             dx * dx + dy * dy
         };
-        let got_d = d(got_box);
+        let got_d = d(&got_box);
         for (b, _) in &entries {
             prop_assert!(got_d <= d(b) + 1e-9, "a closer point exists");
         }

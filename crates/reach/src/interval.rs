@@ -196,15 +196,18 @@ impl IntervalLabeling {
     }
 
     /// Whether some label of `v` contains post-order number `p`
-    /// (binary search over the disjoint sorted label set).
+    /// (galloping search over the disjoint sorted label set).
     #[inline]
     pub fn covers_post(&self, v: VertexId, p: u32) -> bool {
-        let labels = self.intervals(v);
-        match labels.binary_search_by(|iv| iv.lo.cmp(&p)) {
-            Ok(_) => true,
-            Err(0) => false,
-            Err(i) => labels[i - 1].contains(p),
-        }
+        gallop_covers(self.intervals(v), p)
+    }
+
+    /// [`IntervalLabeling::covers_post`] via plain binary search. Kept as
+    /// the reference implementation the galloping search is property-tested
+    /// against.
+    #[inline]
+    pub fn covers_post_binary(&self, v: VertexId, p: u32) -> bool {
+        binary_covers(self.intervals(v), p)
     }
 
     /// Iterator over the descendants of `v` (including `v` itself), i.e.
@@ -314,6 +317,52 @@ impl Reachability for IntervalLabeling {
 
     fn name(&self) -> &'static str {
         "INT"
+    }
+}
+
+/// Whether some interval of the sorted, pairwise-disjoint set `labels`
+/// contains `p`, by galloping (exponential) search: double the probe stride
+/// until an interval with `lo > p` is overshot, then binary-search the last
+/// bracket. Labels skew heavily toward small sets where the answer sits in
+/// the first few entries (Table 6 of the paper: the vast majority of
+/// vertices carry one or two intervals after compression), so galloping
+/// touches fewer cache lines than a full-width binary search while keeping
+/// the `O(log |L|)` worst case.
+#[inline]
+pub fn gallop_covers(labels: &[Interval], p: u32) -> bool {
+    let n = labels.len();
+    if n == 0 || labels[0].lo > p {
+        return false;
+    }
+    // Find an exponential bracket: labels[bound >> 1].lo <= p and either
+    // bound >= n or labels[bound].lo > p.
+    let mut bound = 1usize;
+    while bound < n && labels[bound].lo <= p {
+        bound <<= 1;
+    }
+    // Binary search in (lo, hi) for the last interval with .lo <= p;
+    // invariant: labels[lo].lo <= p, and labels[hi] (if any) has .lo > p.
+    let mut lo = bound >> 1;
+    let mut hi = bound.min(n);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if labels[mid].lo <= p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    labels[lo].contains(p)
+}
+
+/// Reference implementation of [`gallop_covers`]: plain binary search for
+/// the last interval with `lo <= p`.
+#[inline]
+pub fn binary_covers(labels: &[Interval], p: u32) -> bool {
+    match labels.binary_search_by(|iv| iv.lo.cmp(&p)) {
+        Ok(_) => true,
+        Err(0) => false,
+        Err(i) => labels[i - 1].contains(p),
     }
 }
 
@@ -774,6 +823,34 @@ mod tests {
         let p = l.post(leaf);
         assert!(l.covers_post(leaf, p));
         assert!(!l.covers_post(leaf, l.post(0)));
+    }
+
+    #[test]
+    fn gallop_agrees_with_binary_on_edges() {
+        // Hand-picked adversarial shapes; the exhaustive comparison lives in
+        // the proptest suite (tests/props_memory.rs).
+        let sets: &[&[Interval]] = &[
+            &[],
+            &[Interval::new(5, 5)],
+            &[Interval::new(1, 3), Interval::new(5, 5), Interval::new(9, 20)],
+            &[
+                Interval::new(2, 2),
+                Interval::new(4, 4),
+                Interval::new(6, 6),
+                Interval::new(8, 8),
+                Interval::new(10, 10),
+            ],
+            &[Interval::new(1, u32::MAX)],
+            &[Interval::new(u32::MAX, u32::MAX)],
+        ];
+        for labels in sets {
+            for p in 0..=25u32 {
+                assert_eq!(gallop_covers(labels, p), binary_covers(labels, p), "{labels:?} @ {p}");
+            }
+            for p in [u32::MAX - 1, u32::MAX] {
+                assert_eq!(gallop_covers(labels, p), binary_covers(labels, p), "{labels:?} @ {p}");
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod bfl;
 pub mod bfs;
+pub mod compact;
 pub mod dynamic;
 pub mod feline;
 pub mod grail;

@@ -277,6 +277,7 @@ impl QueryServer {
                     match other {
                         Ok(Some(Request::Stats)) => {
                             let mut snap = self.stats.snapshot();
+                            snap.index_bytes = self.index.index_bytes() as u64;
                             if let Some(cache) = &self.cache {
                                 snap.cache = cache.stats();
                             }
@@ -406,6 +407,11 @@ mod tests {
         assert_eq!(lines[0], "TRUE");
         assert_eq!(lines[1], "FALSE");
         assert!(lines[2].starts_with("STATS queries=2 errors=0"), "{}", lines[2]);
+        assert!(
+            lines[2].contains("index_bytes=") && !lines[2].contains("index_bytes=0 "),
+            "STATS must report the served index's heap footprint: {}",
+            lines[2]
+        );
         assert!(!shutdown);
     }
 

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! REACH <v> <min_x> <min_y> <max_x> <max_y>   ->  TRUE | FALSE | ERR <code> <msg>
-//! STATS                                       ->  STATS queries=N errors=N p50_us=N p99_us=N
+//! STATS                                       ->  STATS queries=N errors=N p50_us=N p99_us=N index_bytes=N ...
 //! SHUTDOWN                                    ->  OK shutdown   (server stops accepting)
 //! ```
 //!

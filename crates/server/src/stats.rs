@@ -84,6 +84,7 @@ impl ServerStats {
             errors: self.errors.load(Ordering::Relaxed),
             p50_us: self.hist.quantile_us(0.50),
             p99_us: self.hist.quantile_us(0.99),
+            index_bytes: 0,
             cache: crate::cache::CacheStats::default(),
         }
     }
@@ -100,6 +101,10 @@ pub struct StatsSnapshot {
     pub p50_us: u64,
     /// 99th-percentile request latency, microseconds (bucket upper bound).
     pub p99_us: u64,
+    /// Heap footprint of the served index in bytes
+    /// ([`gsr_core::RangeReachIndex::index_bytes`]). Filled in by the
+    /// server, which owns the index.
+    pub index_bytes: u64,
     /// Result-cache counters; all zero when the cache is disabled. Filled
     /// in by the server, which owns the cache.
     pub cache: crate::cache::CacheStats,
@@ -109,11 +114,13 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "queries={} errors={} p50_us={} p99_us={} cache_hits={} cache_misses={} cache_evictions={}",
+            "queries={} errors={} p50_us={} p99_us={} index_bytes={} \
+             cache_hits={} cache_misses={} cache_evictions={}",
             self.queries,
             self.errors,
             self.p50_us,
             self.p99_us,
+            self.index_bytes,
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
@@ -163,7 +170,7 @@ mod tests {
         assert_eq!(snap.errors, 2);
         assert_eq!(
             snap.to_string(),
-            "queries=2 errors=2 p50_us=15 p99_us=15 \
+            "queries=2 errors=2 p50_us=15 p99_us=15 index_bytes=0 \
              cache_hits=0 cache_misses=0 cache_evictions=0"
         );
     }

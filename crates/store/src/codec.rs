@@ -12,8 +12,9 @@ use crate::wire::{Dec, Enc};
 use gsr_geo::{Aabb, Point, Rect};
 use gsr_graph::DiGraph;
 use gsr_index::grid::CellId;
-use gsr_index::{RTree, RTreeNode, RTreeParams};
+use gsr_index::{RTree, RTreeParams, RTreeSnapshot};
 use gsr_reach::bfl::BflIndex;
+use gsr_reach::compact::CompactLabels;
 use gsr_reach::interval::{Interval, IntervalLabeling};
 
 /// Encodes a point list (count + x/y pairs).
@@ -142,38 +143,34 @@ pub fn dec_bfl(d: &mut Dec, what: &str) -> Result<BflIndex, String> {
     BflIndex::from_parts(g, post, tree_min, out_filters, in_filters, words)
 }
 
-/// Encodes an R-tree arena verbatim (parameters, root id, entry count,
-/// nodes in storage order), so a reload reproduces the exact traversal
-/// order and query costs of the saved tree.
+/// Encodes an R-tree arena verbatim — parameters, breadth-first node MBRs,
+/// the child CSR and the columnar entry store (with degenerate dimensions
+/// marked absent, not re-materialized) — so a reload reproduces the exact
+/// traversal order and query costs of the saved tree.
 pub fn enc_rtree<const N: usize>(e: &mut Enc, t: &RTree<N, u32>) {
-    let params = t.params();
-    e.u64(params.max_entries as u64);
-    e.u64(params.min_entries as u64);
-    e.u32(t.root_id());
-    e.u64(t.len() as u64);
-    let nodes = t.snapshot_nodes();
-    e.u64(nodes.len() as u64);
-    for node in &nodes {
-        match node {
-            RTreeNode::Leaf { mbr, entries } => {
-                e.u8(0);
-                enc_aabb(e, mbr);
-                e.u64(entries.len() as u64);
-                for (b, payload) in entries {
-                    enc_aabb(e, b);
-                    e.u32(*payload);
-                }
-            }
-            RTreeNode::Inner { mbr, children } => {
+    let snap = t.to_snapshot();
+    e.u64(snap.params.max_entries as u64);
+    e.u64(snap.params.min_entries as u64);
+    e.u64(snap.mbrs.len() as u64);
+    for b in &snap.mbrs {
+        enc_aabb(e, b);
+    }
+    e.vec_u32(&snap.child_start);
+    e.vec_u32(&snap.children);
+    e.vec_u32(&snap.entry_start);
+    for col in &snap.entry_lo {
+        e.vec_f64(col);
+    }
+    for col in &snap.entry_hi {
+        match col {
+            None => e.u8(0),
+            Some(hi) => {
                 e.u8(1);
-                enc_aabb(e, mbr);
-                e.u64(children.len() as u64);
-                for &c in children {
-                    e.u32(c);
-                }
+                e.vec_f64(hi);
             }
         }
     }
+    e.vec_u32(&snap.values);
 }
 
 /// Decodes and revalidates an R-tree arena.
@@ -186,37 +183,56 @@ pub fn dec_rtree<const N: usize>(d: &mut Dec, what: &str) -> Result<RTree<N, u32
         min_entries: usize::try_from(min_entries)
             .map_err(|_| format!("{what}: min_entries overflows"))?,
     };
-    let root = d.u32(what)?;
-    let len = d.u64(what)?;
-    let len = usize::try_from(len).map_err(|_| format!("{what}: entry count overflows"))?;
-    let node_count = d.count(1, what)?;
-    let mut nodes = Vec::with_capacity(node_count);
+    let node_count = d.count(N * 16, what)?;
+    let mut mbrs = Vec::with_capacity(node_count);
     for _ in 0..node_count {
-        let kind = d.u8(what)?;
-        let mbr = dec_aabb::<N>(d, what)?;
-        match kind {
-            0 => {
-                let n = d.count(N * 16 + 4, what)?;
-                let mut entries = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let b = dec_aabb::<N>(d, what)?;
-                    let payload = d.u32(what)?;
-                    entries.push((b, payload));
-                }
-                nodes.push(RTreeNode::Leaf { mbr, entries });
-            }
-            1 => {
-                let n = d.count(4, what)?;
-                let mut children = Vec::with_capacity(n);
-                for _ in 0..n {
-                    children.push(d.u32(what)?);
-                }
-                nodes.push(RTreeNode::Inner { mbr, children });
-            }
-            k => return Err(format!("{what}: unknown r-tree node kind {k}")),
+        mbrs.push(dec_aabb::<N>(d, what)?);
+    }
+    let child_start = d.vec_u32(what)?;
+    let children = d.vec_u32(what)?;
+    let entry_start = d.vec_u32(what)?;
+    let mut entry_lo: [Vec<f64>; N] = std::array::from_fn(|_| Vec::new());
+    for col in entry_lo.iter_mut() {
+        *col = d.vec_f64(what)?;
+    }
+    let mut entry_hi: [Option<Vec<f64>>; N] = std::array::from_fn(|_| None);
+    for col in entry_hi.iter_mut() {
+        match d.u8(what)? {
+            0 => {}
+            1 => *col = Some(d.vec_f64(what)?),
+            k => return Err(format!("{what}: unknown hi-column flag {k}")),
         }
     }
-    RTree::from_snapshot(params, root, len, nodes)
+    let values = d.vec_u32(what)?;
+    RTree::from_snapshot(RTreeSnapshot {
+        params,
+        mbrs,
+        child_start,
+        children,
+        entry_start,
+        entry_lo,
+        entry_hi,
+        values,
+    })
+}
+
+/// Encodes delta-compressed interval labels (post bound, stream CSR, raw
+/// varint streams).
+pub fn enc_compact_labels(e: &mut Enc, l: &CompactLabels) {
+    let (max_post, offsets, bytes) = l.parts();
+    e.u32(max_post);
+    e.vec_u32(offsets);
+    e.vec_u8(bytes);
+}
+
+/// Decodes and revalidates delta-compressed interval labels: every
+/// per-vertex varint stream must decode to sorted, disjoint intervals
+/// inside the declared post range.
+pub fn dec_compact_labels(d: &mut Dec, what: &str) -> Result<CompactLabels, String> {
+    let max_post = d.u32(what)?;
+    let offsets = d.vec_u32(what)?;
+    let bytes = d.vec_u8(what)?;
+    CompactLabels::from_parts(max_post, offsets, bytes).map_err(|e| format!("{what}: {e}"))
 }
 
 /// Encodes a grid cell id.
@@ -275,6 +291,42 @@ mod tests {
         let back: RTree<2, u32> = dec_rtree(&mut d, "t").unwrap();
         d.finish("t").unwrap();
         assert_eq!(back, t, "arena layout must survive the round trip exactly");
+    }
+
+    #[test]
+    fn rtree_3d_with_degenerate_columns_round_trips() {
+        // Point entries: every dimension is degenerate, so all three hi
+        // columns are absent on the wire and must come back absent.
+        let entries: Vec<(Aabb<3>, u32)> = (0..300)
+            .map(|i| (Aabb::from_point([i as f64, (i % 13) as f64, (i % 7) as f64]), i))
+            .collect();
+        let t = RTree::bulk_load(entries);
+        let mut e = Enc::new();
+        enc_rtree(&mut e, &t);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back: RTree<3, u32> = dec_rtree(&mut d, "t").unwrap();
+        d.finish("t").unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn compact_labels_round_trip_and_reject_corruption() {
+        let g = sample_graph();
+        let c = CompactLabels::from_labeling(&IntervalLabeling::build(&g));
+        let mut e = Enc::new();
+        enc_compact_labels(&mut e, &c);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = dec_compact_labels(&mut d, "labels").unwrap();
+        d.finish("labels").unwrap();
+        assert_eq!(back, c);
+        // Flipping a stream byte must fail validation, not panic.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x80;
+        let mut d = Dec::new(&bad);
+        assert!(dec_compact_labels(&mut d, "labels").is_err());
     }
 
     #[test]

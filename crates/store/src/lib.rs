@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! magic    8  bytes  b"GSRSNAP\0"
-//! version  u32 LE    format version (currently 1)
+//! version  u32 LE    format version (currently 2)
 //! sections           framed + CRC-32-checksummed, see `wire`
 //! ```
 //!
@@ -54,7 +54,7 @@ mod wire;
 
 use gsr_core::methods::{
     GeoReach, GeoReachParts, ScanMode, SocReach, SpaInfoParts, SpaReachBfl, SpaReachFilterParts,
-    SpaReachInt, SpaReachParts, ThreeDParts, ThreeDReach, ThreeDReachRev,
+    SpaReachInt, SpaReachParts, ThreeDParts, ThreeDReach, ThreeDReachRev, ThreeDRevParts,
 };
 use gsr_core::{GsrError, QueryCost, RangeReachIndex, SccSpatialPolicy};
 use gsr_geo::Rect;
@@ -72,7 +72,14 @@ pub const MAGIC: [u8; 8] = *b"GSRSNAP\0";
 /// Current snapshot format version. Bump on any incompatible layout
 /// change; loaders reject other versions with a typed error instead of
 /// misinterpreting bytes.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * **1** — pointer-node R-tree arenas, interval labels as plain arrays
+///   everywhere.
+/// * **2** — columnar breadth-first R-tree arenas (degenerate dimensions
+///   elided), delta-compressed labels for SocReach/3DReach, and raw
+///   reversed post-order heights for 3DReach-REV.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Section tags (see `DESIGN.md` for the per-method section sequences).
 mod section {
@@ -80,12 +87,14 @@ mod section {
     pub const COMP_OF: u8 = 0x02;
     pub const MEMBERS: u8 = 0x03;
     pub const LABELING: u8 = 0x04;
+    pub const COMPACT_LABELS: u8 = 0x05;
     pub const FILTER2D: u8 = 0x10;
     pub const BFL: u8 = 0x11;
     pub const DAG: u8 = 0x20;
     pub const GRID: u8 = 0x21;
     pub const SPA_INFO: u8 = 0x22;
     pub const POST_TABLE: u8 = 0x30;
+    pub const REV_POST: u8 = 0x31;
     pub const TREE3D: u8 = 0x40;
 }
 
@@ -207,17 +216,25 @@ fn read_comp_of(r: &mut impl Read) -> Result<Vec<u32>, GsrError> {
     Ok(comp_of)
 }
 
-fn labeling_payload(l: &gsr_reach::interval::IntervalLabeling) -> Vec<u8> {
-    let mut e = Enc::new();
-    enc_labeling(&mut e, l);
-    e.into_bytes()
-}
-
 fn read_labeling(r: &mut impl Read) -> Result<gsr_reach::interval::IntervalLabeling, GsrError> {
     let payload = read_section(r, section::LABELING, "labeling").map_err(load_err)?;
     let mut d = Dec::new(&payload);
     let l = dec_labeling(&mut d, "labeling").map_err(load_err)?;
     d.finish("labeling").map_err(load_err)?;
+    Ok(l)
+}
+
+fn compact_labels_payload(l: &gsr_reach::compact::CompactLabels) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_compact_labels(&mut e, l);
+    e.into_bytes()
+}
+
+fn read_compact_labels(r: &mut impl Read) -> Result<gsr_reach::compact::CompactLabels, GsrError> {
+    let payload = read_section(r, section::COMPACT_LABELS, "compact-labels").map_err(load_err)?;
+    let mut d = Dec::new(&payload);
+    let l = dec_compact_labels(&mut d, "compact-labels").map_err(load_err)?;
+    d.finish("compact-labels").map_err(load_err)?;
     Ok(l)
 }
 
@@ -244,7 +261,9 @@ pub fn save(w: &mut impl Write, index: &SnapshotIndex) -> Result<(), GsrError> {
         SnapshotIndex::GeoReach(i) => (method_tag::GEOREACH, georeach_sections(i.to_parts())),
         SnapshotIndex::SocReach(i) => (method_tag::SOCREACH, socreach_sections(i)),
         SnapshotIndex::ThreeDReach(i) => (method_tag::THREED, threed_sections(i.to_parts())),
-        SnapshotIndex::ThreeDReachRev(i) => (method_tag::THREED_REV, threed_sections(i.to_parts())),
+        SnapshotIndex::ThreeDReachRev(i) => {
+            (method_tag::THREED_REV, threed_rev_sections(i.to_parts()))
+        }
     };
 
     write_section(w, section::META, &[tag]).map_err(io_save)?;
@@ -321,9 +340,11 @@ fn georeach_sections(parts: GeoReachParts) -> Vec<(u8, Vec<u8>)> {
 }
 
 fn socreach_sections(i: &SocReach) -> Vec<(u8, Vec<u8>)> {
-    let (comp_of, labeling, post_offsets, points, mode) = i.parts();
+    let (comp_of, labels, post_offsets, points, mode) = i.parts();
     let mut table = Enc::new();
-    table.vec_u32(post_offsets);
+    // The post offsets travel as the plain sorted values; the loader
+    // re-derives (and thereby revalidates) the delta compression.
+    table.vec_u32(&post_offsets.to_vec());
     enc_points(&mut table, points);
     table.u8(match mode {
         ScanMode::PerPost => 0,
@@ -331,22 +352,37 @@ fn socreach_sections(i: &SocReach) -> Vec<(u8, Vec<u8>)> {
     });
     vec![
         (section::COMP_OF, comp_of_payload(comp_of)),
-        (section::LABELING, labeling_payload(labeling)),
+        (section::COMPACT_LABELS, compact_labels_payload(labels)),
         (section::POST_TABLE, table.into_bytes()),
     ]
 }
 
-fn threed_sections(parts: ThreeDParts) -> Vec<(u8, Vec<u8>)> {
-    let mut tree = Enc::new();
-    tree.u8(match parts.policy {
+fn tree3d_payload(policy: SccSpatialPolicy, tree: &gsr_index::RTree<3, u32>) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(match policy {
         SccSpatialPolicy::Replicate => 0,
         SccSpatialPolicy::Mbr => 1,
     });
-    enc_rtree(&mut tree, &parts.tree);
+    enc_rtree(&mut e, tree);
+    e.into_bytes()
+}
+
+fn threed_sections(parts: ThreeDParts) -> Vec<(u8, Vec<u8>)> {
     vec![
         (section::COMP_OF, comp_of_payload(&parts.comp_of)),
-        (section::LABELING, labeling_payload(&parts.labeling)),
-        (section::TREE3D, tree.into_bytes()),
+        (section::COMPACT_LABELS, compact_labels_payload(&parts.labels)),
+        (section::TREE3D, tree3d_payload(parts.policy, &parts.tree)),
+        (section::MEMBERS, members_payload(&parts.member_offsets, &parts.member_points)),
+    ]
+}
+
+fn threed_rev_sections(parts: ThreeDRevParts) -> Vec<(u8, Vec<u8>)> {
+    let mut rev = Enc::new();
+    rev.vec_u32(&parts.rev_post);
+    vec![
+        (section::COMP_OF, comp_of_payload(&parts.comp_of)),
+        (section::REV_POST, rev.into_bytes()),
+        (section::TREE3D, tree3d_payload(parts.policy, &parts.tree)),
         (section::MEMBERS, members_payload(&parts.member_offsets, &parts.member_points)),
     ]
 }
@@ -390,7 +426,7 @@ pub fn load(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
             ThreeDReach::from_parts(load_threed_parts(r)?).map_err(load_err)?,
         ),
         method_tag::THREED_REV => SnapshotIndex::ThreeDReachRev(
-            ThreeDReachRev::from_parts(load_threed_parts(r)?).map_err(load_err)?,
+            ThreeDReachRev::from_parts(load_threed_rev_parts(r)?).map_err(load_err)?,
         ),
         t => return Err(load_err(format!("unknown method tag {t}"))),
     };
@@ -506,7 +542,7 @@ fn load_georeach(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
 
 fn load_socreach(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
     let comp_of = read_comp_of(r)?;
-    let labeling = read_labeling(r)?;
+    let labels = read_compact_labels(r)?;
 
     let payload = read_section(r, section::POST_TABLE, "post-table").map_err(load_err)?;
     let mut d = Dec::new(&payload);
@@ -520,14 +556,13 @@ fn load_socreach(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
     d.finish("post-table").map_err(load_err)?;
 
     Ok(SnapshotIndex::SocReach(
-        SocReach::from_parts(comp_of, labeling, post_offsets, points, mode).map_err(load_err)?,
+        SocReach::from_parts(comp_of, labels, post_offsets, points, mode).map_err(load_err)?,
     ))
 }
 
-fn load_threed_parts(r: &mut impl Read) -> Result<ThreeDParts, GsrError> {
-    let comp_of = read_comp_of(r)?;
-    let labeling = read_labeling(r)?;
-
+fn read_tree3d(
+    r: &mut impl Read,
+) -> Result<(SccSpatialPolicy, gsr_index::RTree<3, u32>), GsrError> {
     let payload = read_section(r, section::TREE3D, "tree-3d").map_err(load_err)?;
     let mut d = Dec::new(&payload);
     let policy = match d.u8("tree-3d").map_err(load_err)? {
@@ -537,9 +572,28 @@ fn load_threed_parts(r: &mut impl Read) -> Result<ThreeDParts, GsrError> {
     };
     let tree = dec_rtree::<3>(&mut d, "tree-3d").map_err(load_err)?;
     d.finish("tree-3d").map_err(load_err)?;
+    Ok((policy, tree))
+}
 
+fn load_threed_parts(r: &mut impl Read) -> Result<ThreeDParts, GsrError> {
+    let comp_of = read_comp_of(r)?;
+    let labels = read_compact_labels(r)?;
+    let (policy, tree) = read_tree3d(r)?;
     let (member_offsets, member_points) = read_members(r)?;
-    Ok(ThreeDParts { comp_of, labeling, tree, policy, member_offsets, member_points })
+    Ok(ThreeDParts { comp_of, labels, tree, policy, member_offsets, member_points })
+}
+
+fn load_threed_rev_parts(r: &mut impl Read) -> Result<ThreeDRevParts, GsrError> {
+    let comp_of = read_comp_of(r)?;
+
+    let payload = read_section(r, section::REV_POST, "rev-post").map_err(load_err)?;
+    let mut d = Dec::new(&payload);
+    let rev_post = d.vec_u32("rev-post").map_err(load_err)?;
+    d.finish("rev-post").map_err(load_err)?;
+
+    let (policy, tree) = read_tree3d(r)?;
+    let (member_offsets, member_points) = read_members(r)?;
+    Ok(ThreeDRevParts { comp_of, rev_post, tree, policy, member_offsets, member_points })
 }
 
 // ---------------------------------------------------------------------------

@@ -102,6 +102,20 @@ impl Enc {
             self.u64(x);
         }
     }
+
+    /// Appends a length-prefixed raw byte string.
+    pub fn vec_u8(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn vec_f64(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
 }
 
 /// Bounds-checked little-endian payload decoder. Every read validates the
@@ -190,6 +204,22 @@ impl<'a> Dec<'a> {
         let mut v = Vec::with_capacity(n);
         for _ in 0..n {
             v.push(self.u64(what)?);
+        }
+        Ok(v)
+    }
+
+    /// Reads a length-prefixed raw byte string.
+    pub fn vec_u8(&mut self, what: &str) -> Result<Vec<u8>, String> {
+        let n = self.count(1, what)?;
+        Ok(self.take(n, what)?.to_vec())
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn vec_f64(&mut self, what: &str) -> Result<Vec<f64>, String> {
+        let n = self.count(8, what)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f64(what)?);
         }
         Ok(v)
     }

@@ -44,8 +44,8 @@ fn main() {
         let comp = prep.comp(id);
         println!(
             "  L({v}) = {:?} ({} descendants)",
-            soc.labeling().intervals(comp),
-            soc.labeling().num_descendants(comp),
+            soc.labels().intervals(comp).collect::<Vec<_>>(),
+            soc.labels().num_descendants(comp),
         );
     }
 }

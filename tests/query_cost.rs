@@ -82,7 +82,7 @@ fn threedreach_issues_one_query_per_label_on_negatives() {
     let w = gen.extent_degree(5.0, DegreeBucket::PAPER_BUCKETS[0], 60, 7);
     for (v, region) in &w.queries {
         let (answer, cost) = idx.query_with_cost(*v, region);
-        let labels = idx.labeling().intervals(prep.comp(*v)).len();
+        let labels = idx.labels().num_intervals(prep.comp(*v));
         assert!(cost.range_queries >= 1);
         assert!(cost.range_queries <= labels);
         if !answer {

@@ -165,6 +165,53 @@ fn io_faults_mid_stream_are_typed_load_errors() {
     }
 }
 
+/// Saving a loaded index must reproduce the exact v2 byte stream: the
+/// compact layouts (columnar R-tree arenas, delta-compressed labels) are
+/// canonical, so save → load → save is the identity on bytes for every
+/// method.
+#[test]
+fn resaving_a_loaded_snapshot_is_byte_identical() {
+    let prep = PreparedNetwork::new(NetworkSpec::yelp(0.02).generate());
+    for original in snapshots(&prep) {
+        let mut bytes = Vec::new();
+        gsr_store::save(&mut bytes, &original).expect("save");
+        let loaded = gsr_store::load(&mut bytes.as_slice()).expect("load");
+        let mut again = Vec::new();
+        gsr_store::save(&mut again, &loaded).expect("re-save");
+        assert_eq!(bytes, again, "{}: v2 snapshot is not canonical", original.name());
+    }
+}
+
+/// A v1 snapshot (pointer-node R-trees, uncompressed labels) carries
+/// format version 1 in its header; the v2 loader must reject it with a
+/// typed version error, not misparse the payload or panic.
+#[test]
+fn v1_snapshots_are_rejected_with_a_typed_version_error() {
+    let prep = PreparedNetwork::new(NetworkSpec::yelp(0.02).generate());
+    for original in snapshots(&prep) {
+        let mut bytes = Vec::new();
+        gsr_store::save(&mut bytes, &original).expect("save");
+        assert_eq!(&bytes[8..12], &2u32.to_le_bytes(), "header must carry version 2");
+
+        // Craft a v1-tagged stream: same magic, version field = 1. The
+        // loader must stop at the header — v1 payloads are not parseable
+        // as v2 sections, so anything past the version check would be
+        // garbage-in.
+        let mut v1 = bytes.clone();
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        match gsr_store::load(&mut v1.as_slice()) {
+            Err(GsrError::Load(msg)) => {
+                assert!(
+                    msg.contains("version") && msg.contains('1'),
+                    "{}: diagnostic must name the unsupported version: {msg}",
+                    original.name()
+                );
+            }
+            other => panic!("{}: v1 snapshot gave {other:?}", original.name()),
+        }
+    }
+}
+
 #[test]
 fn version_and_method_tag_mismatches_are_diagnosed() {
     let prep = PreparedNetwork::new(NetworkSpec::yelp(0.02).generate());
