@@ -10,6 +10,15 @@
 //! --seed     workload RNG seed
 //! --threads  workers for index construction (0 = machine parallelism)
 //! --csv      additionally print each table as CSV
+//!
+//! The `loadtest` experiment (not part of `all`: it spins up a real TCP
+//! server) adds:
+//!
+//! --rate         offered rate in queries/second (default 1000)
+//! --clients      concurrent pipelined TCP clients (default 4)
+//! --duration-ms  per-rate-step duration (default 1000)
+//! --sweep        sweep the rate geometrically until p99 saturates
+//! --cache-entries  server result-cache capacity (default 4096; 0 = off)
 //! ```
 
 use gsr_bench::experiments;
@@ -20,14 +29,16 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|hotpath|memory|parbuild|snapshot|all]... \
-         [--scale S] [--queries N] [--seed K] [--threads T] [--csv]"
+        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|hotpath|memory|parbuild|snapshot|loadtest|all]... \
+         [--scale S] [--queries N] [--seed K] [--threads T] [--csv] \
+         [--rate QPS] [--clients K] [--duration-ms MS] [--sweep] [--cache-entries N]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut cfg = Config::default();
+    let mut lt_opts = gsr_bench::loadtest::LoadtestOptions::default();
     let mut experiments_wanted: BTreeSet<String> = BTreeSet::new();
     let mut csv = false;
 
@@ -46,11 +57,28 @@ fn main() {
             "--threads" => {
                 cfg.threads = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--rate" => {
+                lt_opts.rate_qps =
+                    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--clients" => {
+                lt_opts.clients =
+                    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--duration-ms" => {
+                lt_opts.duration_ms =
+                    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--cache-entries" => {
+                lt_opts.cache_entries =
+                    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--sweep" => lt_opts.sweep = true,
             "--csv" => csv = true,
             "all" | "table3" | "table4" | "table5" | "table6" | "fig5" | "fig6" | "fig7"
             | "backends" | "ablations" | "analysis" | "latency" | "throughput" | "hotpath"
             | "memory" | "parbuild" | "forests" | "georeach" | "reduction" | "spatial"
-            | "polarity" | "snapshot" => {
+            | "polarity" | "snapshot" | "loadtest" => {
                 experiments_wanted.insert(arg);
             }
             _ => usage(),
@@ -85,9 +113,17 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    eprintln!("generating datasets (scale {}) ...", cfg.scale);
-    let datasets = Dataset::load_all(&cfg);
-    eprintln!("datasets ready in {:.1?}\n", t0.elapsed());
+    // `loadtest` generates its own dataset and spins up a live server; when
+    // it is the only experiment wanted, skip the four-dataset generation.
+    let needs_datasets = experiments_wanted.iter().any(|e| e != "loadtest");
+    let datasets = if needs_datasets {
+        eprintln!("generating datasets (scale {}) ...", cfg.scale);
+        let datasets = Dataset::load_all(&cfg);
+        eprintln!("datasets ready in {:.1?}\n", t0.elapsed());
+        datasets
+    } else {
+        Vec::new()
+    };
 
     if wanted("table3") {
         emit("Table 3: dataset characteristics (synthetic analogs)", &experiments::table3(&datasets));
@@ -216,6 +252,42 @@ fn main() {
             "Extension: parallel index construction, measured wall-clock at 1/2/4 threads",
             &experiments::parallel_build(&datasets),
         );
+    }
+    if wanted("loadtest") {
+        eprintln!(
+            "loadtest: rate={} qps, clients={}, duration={} ms, sweep={}, cache_entries={}",
+            lt_opts.rate_qps, lt_opts.clients, lt_opts.duration_ms, lt_opts.sweep,
+            lt_opts.cache_entries
+        );
+        match gsr_bench::loadtest::run_experiment(&cfg, &lt_opts) {
+            Ok((table, steps)) => {
+                emit("Extension: open-loop latency-under-throughput sweep", &table);
+                let json = gsr_bench::loadtest::loadtest_json(&cfg, &lt_opts, &steps);
+                match std::fs::write("BENCH_loadtest.json", &json) {
+                    Ok(()) => eprintln!("wrote BENCH_loadtest.json ({} steps)", steps.len()),
+                    Err(e) => eprintln!("cannot write BENCH_loadtest.json: {e}"),
+                }
+                let cache_enabled = lt_opts.cache_entries > 0;
+                let mut failed = false;
+                for (i, step) in steps.iter().enumerate() {
+                    if let Err(e) = step.reconcile(cache_enabled) {
+                        eprintln!(
+                            "loadtest: step {} ({} qps) failed reconciliation: {e}",
+                            i + 1,
+                            step.offered_qps
+                        );
+                        failed = true;
+                    }
+                }
+                if failed {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("loadtest failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     eprintln!("total: {:.1?}", t0.elapsed());

@@ -19,6 +19,7 @@
 pub mod alloc_track;
 pub mod experiments;
 pub mod harness;
+pub mod loadtest;
 pub mod table;
 
 pub use alloc_track::allocation_count;

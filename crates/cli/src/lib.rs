@@ -131,8 +131,8 @@ usage:
   gsr build FILE --method <3dreach|3dreach-rev|spareach-bfl|spareach-int|georeach|socreach>
                  --save PATH [--threads T]          (persist a built index as a snapshot)
   gsr serve --load PATH [--port P] [--threads T] [--budget-ms B] [--cache-entries N]
-                 (serve REACH/STATS/SHUTDOWN lines over TCP from a snapshot;
-                  N > 0 enables the sharded result cache)
+                 (serve REACH/STATS/RESET/SHUTDOWN lines over TCP from a
+                  snapshot; N > 0 enables the sharded result cache)
 ";
 
 /// Validates four raw coordinates as a query rectangle: all finite, minima

@@ -57,6 +57,7 @@ mod batch;
 mod error;
 pub mod extensions;
 mod fallback;
+pub mod hist;
 pub mod methods;
 mod network;
 pub mod paper_example;

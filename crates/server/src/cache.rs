@@ -276,6 +276,16 @@ impl ResultCache {
         self.len() == 0
     }
 
+    /// Zeroes the hit/miss/eviction counters for a `RESET` request. Cached
+    /// entries are untouched — the cache's contents are exact answers over
+    /// an immutable index, so there is nothing stale to drop; only the
+    /// tallies restart.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
     /// The hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -356,6 +366,19 @@ mod tests {
         assert_eq!(cache.get(a, &rect(0.0)), Some(true), "recently used survives");
         assert_eq!(cache.get(b, &rect(0.0)), None, "LRU entry was evicted");
         assert_eq!(cache.get(c, &rect(0.0)), Some(true));
+    }
+
+    #[test]
+    fn reset_stats_keeps_entries() {
+        let cache = ResultCache::new(64);
+        cache.insert(1, &rect(0.0), true);
+        assert_eq!(cache.get(1, &rect(0.0)), Some(true));
+        assert_eq!(cache.get(2, &rect(0.0)), None);
+        cache.reset_stats();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.len(), 1, "entries survive a counter reset");
+        assert_eq!(cache.get(1, &rect(0.0)), Some(true));
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

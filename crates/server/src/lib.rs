@@ -26,9 +26,12 @@
 //!   [`ServerConfig::cache_entries`]) memoizes `(vertex, rectangle)`
 //!   answers across connections; batches probe it first and only the
 //!   misses reach the index.
-//! * `STATS` reports queries served, error replies, p50/p99 request
-//!   latency from a fixed-bucket histogram ([`ServerStats`]), and the
-//!   cache's hit/miss/eviction counters.
+//! * `STATS` reports queries served, error replies, p50/p99/p999 request
+//!   latency from a fixed-bucket histogram ([`ServerStats`], built on the
+//!   workspace-shared [`gsr_core::hist`] module), and the cache's
+//!   hit/miss/eviction counters. `RESET` zeroes those counters — and
+//!   nothing else — so an external load driver can make each measurement
+//!   step stand alone.
 //!
 //! Every failure a query can hit maps onto one `ERR <code> <msg>` line
 //! mirroring the [`GsrError`] taxonomy; a malformed line never kills the
@@ -283,6 +286,13 @@ impl QueryServer {
                             }
                             replies.push_str(&format!("STATS {snap}\n"));
                         }
+                        Ok(Some(Request::Reset)) => {
+                            self.stats.reset();
+                            if let Some(cache) = &self.cache {
+                                cache.reset_stats();
+                            }
+                            replies.push_str("OK reset\n");
+                        }
                         Ok(Some(Request::Shutdown)) => {
                             replies.push_str("OK shutdown\n");
                             self.cancel.cancel();
@@ -477,6 +487,29 @@ mod tests {
         let (stats, _) = server.serve_lines(b"STATS\n");
         assert!(stats.contains("cache_hits=2"), "{stats}");
         assert!(stats.contains("cache_misses=4"), "{stats}");
+    }
+
+    #[test]
+    fn reset_zeroes_counters_but_not_the_cache_entries() {
+        let server =
+            test_server(ServerConfig { cache_entries: 64, ..ServerConfig::default() });
+        let r = paper_example::query_region();
+        let line = format!(
+            "REACH {} {} {} {} {}\n",
+            paper_example::A, r.min_x, r.min_y, r.max_x, r.max_y,
+        );
+        let (_, _) = server.serve_lines(line.as_bytes());
+        let (reply, shutdown) = server.serve_lines(b"RESET\n");
+        assert_eq!(reply, "OK reset\n");
+        assert!(!shutdown);
+        let (stats, _) = server.serve_lines(b"STATS\n");
+        assert!(stats.contains("queries=0 errors=0 p50_us=0 p99_us=0 p999_us=0"), "{stats}");
+        // Cached entries survive the reset: replaying the query is a hit.
+        let (again, _) = server.serve_lines(line.as_bytes());
+        assert_eq!(again, "TRUE\n");
+        let (stats, _) = server.serve_lines(b"STATS\n");
+        assert!(stats.contains("cache_hits=1"), "{stats}");
+        assert!(stats.contains("cache_misses=0"), "{stats}");
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! REACH <v> <min_x> <min_y> <max_x> <max_y>   ->  TRUE | FALSE | ERR <code> <msg>
-//! STATS                                       ->  STATS queries=N errors=N p50_us=N p99_us=N index_bytes=N ...
+//! STATS                                       ->  STATS queries=N errors=N p50_us=N p99_us=N p999_us=N index_bytes=N ...
+//! RESET                                       ->  OK reset      (zeroes counters, keeps the index)
 //! SHUTDOWN                                    ->  OK shutdown   (server stops accepting)
 //! ```
 //!
@@ -28,6 +29,11 @@ pub enum Request {
     Reach(VertexId, Rect),
     /// `STATS` — report service counters.
     Stats,
+    /// `RESET` — zero the service counters (queries, errors, latency
+    /// histogram, cache hit/miss/eviction tallies). The loaded index and
+    /// cached entries are untouched; a load driver resets between sweep
+    /// steps so each step's `STATS` stands alone.
+    Reset,
     /// `SHUTDOWN` — stop the server gracefully.
     Shutdown,
 }
@@ -88,13 +94,18 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, String> {
             return Err("STATS takes no arguments".into());
         }
         Ok(Some(Request::Stats))
+    } else if cmd.eq_ignore_ascii_case("RESET") {
+        if tokens.next().is_some() {
+            return Err("RESET takes no arguments".into());
+        }
+        Ok(Some(Request::Reset))
     } else if cmd.eq_ignore_ascii_case("SHUTDOWN") {
         if tokens.next().is_some() {
             return Err("SHUTDOWN takes no arguments".into());
         }
         Ok(Some(Request::Shutdown))
     } else {
-        Err(format!("unknown command {cmd:?} (expected REACH, STATS or SHUTDOWN)"))
+        Err(format!("unknown command {cmd:?} (expected REACH, STATS, RESET or SHUTDOWN)"))
     }
 }
 
@@ -109,6 +120,7 @@ mod tests {
             Ok(Some(Request::Reach(7, Rect { min_x: 0.5, min_y: 1.0, max_x: 2.5, max_y: 3.0 })))
         );
         assert_eq!(parse_line("stats"), Ok(Some(Request::Stats)));
+        assert_eq!(parse_line("reset"), Ok(Some(Request::Reset)));
         assert_eq!(parse_line("SHUTDOWN\r"), Ok(Some(Request::Shutdown)));
         assert_eq!(parse_line(""), Ok(None));
         assert_eq!(parse_line("   "), Ok(None));
@@ -123,6 +135,7 @@ mod tests {
         assert!(parse_line("REACH 3 0 0 1 1 9").unwrap_err().contains("trailing"));
         assert!(parse_line("FETCH 3").unwrap_err().contains("unknown command"));
         assert!(parse_line("STATS now").unwrap_err().contains("no arguments"));
+        assert!(parse_line("RESET hard").unwrap_err().contains("no arguments"));
     }
 
     #[test]

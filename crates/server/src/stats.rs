@@ -1,54 +1,13 @@
-//! Lock-free service counters and a fixed-bucket latency histogram.
+//! Lock-free service counters over the workspace-shared latency histogram.
+//!
+//! The histogram implementation lives in [`gsr_core::hist`] so the bench
+//! crate's open-loop load recorder and this server quantize latency
+//! identically; this module re-exports it and layers the `STATS` counters
+//! on top.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of power-of-two latency buckets. Bucket `i` counts requests with
-/// latency in `[2^i, 2^(i+1))` microseconds (bucket 0 also absorbs
-/// sub-microsecond samples); 40 buckets cover up to ~12.7 days, far past
-/// any realistic request.
-const BUCKETS: usize = 40;
-
-/// A fixed-bucket, power-of-two latency histogram. Recording is a single
-/// relaxed atomic increment, so the hot path never contends on a lock; the
-/// price is quantiles quantized to bucket upper bounds, which is plenty
-/// for service monitoring.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one sample, in microseconds.
-    pub fn record_us(&self, us: u64) {
-        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
-    /// holding it, in microseconds; 0 when no samples were recorded.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return (2u64 << i) - 1; // upper bound of bucket i
-            }
-        }
-        (2u64 << (BUCKETS - 1)) - 1
-    }
-}
+pub use gsr_core::hist::LatencyHistogram;
 
 /// Counters shared by all worker threads of a query server.
 #[derive(Debug, Default)]
@@ -75,6 +34,16 @@ impl ServerStats {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Zeroes the query/error counters and the latency histogram, for a
+    /// `RESET` request. Counter wipes are not a transaction; requests in
+    /// flight may straddle the reset, which a load driver avoids by
+    /// resetting between steps on an otherwise idle server.
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+        self.hist.reset();
+    }
+
     /// A consistent-enough snapshot of the counters (each counter is read
     /// atomically; the set is not a transaction, which monitoring does not
     /// need).
@@ -84,6 +53,7 @@ impl ServerStats {
             errors: self.errors.load(Ordering::Relaxed),
             p50_us: self.hist.quantile_us(0.50),
             p99_us: self.hist.quantile_us(0.99),
+            p999_us: self.hist.quantile_us(0.999),
             index_bytes: 0,
             cache: crate::cache::CacheStats::default(),
         }
@@ -101,6 +71,9 @@ pub struct StatsSnapshot {
     pub p50_us: u64,
     /// 99th-percentile request latency, microseconds (bucket upper bound).
     pub p99_us: u64,
+    /// 99.9th-percentile request latency, microseconds (bucket upper
+    /// bound). The open-loop load sweep keys off this tail.
+    pub p999_us: u64,
     /// Heap footprint of the served index in bytes
     /// ([`gsr_core::RangeReachIndex::index_bytes`]). Filled in by the
     /// server, which owns the index.
@@ -114,12 +87,13 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "queries={} errors={} p50_us={} p99_us={} index_bytes={} \
+            "queries={} errors={} p50_us={} p99_us={} p999_us={} index_bytes={} \
              cache_hits={} cache_misses={} cache_evictions={}",
             self.queries,
             self.errors,
             self.p50_us,
             self.p99_us,
+            self.p999_us,
             self.index_bytes,
             self.cache.hits,
             self.cache.misses,
@@ -131,13 +105,6 @@ impl std::fmt::Display for StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.5), 0);
-        assert_eq!(h.quantile_us(0.99), 0);
-    }
 
     #[test]
     fn quantiles_land_in_the_right_buckets() {
@@ -170,8 +137,22 @@ mod tests {
         assert_eq!(snap.errors, 2);
         assert_eq!(
             snap.to_string(),
-            "queries=2 errors=2 p50_us=15 p99_us=15 index_bytes=0 \
+            "queries=2 errors=2 p50_us=15 p99_us=15 p999_us=15 index_bytes=0 \
              cache_hits=0 cache_misses=0 cache_evictions=0"
         );
+    }
+
+    #[test]
+    fn reset_zeroes_counters_and_histogram() {
+        let s = ServerStats::default();
+        s.record_query(10, false);
+        s.record_query(1000, true);
+        s.record_protocol_error();
+        s.reset();
+        let snap = s.snapshot();
+        assert_eq!(snap.queries, 0);
+        assert_eq!(snap.errors, 0);
+        assert_eq!(snap.p50_us, 0);
+        assert_eq!(snap.p999_us, 0);
     }
 }

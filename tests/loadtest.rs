@@ -1,0 +1,320 @@
+//! Integration tests of the open-loop load generator
+//! (`gsr_bench::loadtest`): the coordinated-omission regression against a
+//! deliberately stalling fixture server, replay-vs-oracle agreement
+//! through the real `gsr serve` code path with the result cache on, the
+//! full sweep driver end to end, and thread-count invariance of the shared
+//! latency histogram.
+
+use gsr_bench::loadtest::{
+    run_closed_loop, run_experiment, run_open_loop, run_sweep, LoadtestOptions, LoopSpec,
+    ReplayPlan, SweepOptions,
+};
+use gsr_cli::{parse_args, run};
+use gsr_core::hist::LatencyHistogram;
+use gsr_core::methods::ThreeDReach;
+use gsr_core::SccSpatialPolicy;
+use gsr_datagen::workload::WorkloadGen;
+use gsr_graph::stats::DegreeBucket;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A fixture server that replies `TRUE` to every request line, but — once,
+/// globally, after `stall_after` replies — sleeps for `stall` before
+/// answering. Open-loop accounting must charge that stall to every request
+/// the schedule owed during it; closed-loop accounting records it once.
+fn slow_fixture(stall_after: u64, stall: Duration) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("fixture bind");
+    let addr = listener.local_addr().expect("fixture addr");
+    let served = Arc::new(AtomicU64::new(0));
+    let stalled = Arc::new(AtomicBool::new(false));
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { break };
+            let served = Arc::clone(&served);
+            let stalled = Arc::clone(&stalled);
+            std::thread::spawn(move || {
+                let Ok(read_half) = stream.try_clone() else { return };
+                let mut reader = BufReader::new(read_half);
+                let mut stream = stream;
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) => {}
+                    }
+                    let n = served.fetch_add(1, Ordering::SeqCst) + 1;
+                    if n > stall_after && !stalled.swap(true, Ordering::SeqCst) {
+                        std::thread::sleep(stall);
+                    }
+                    if stream.write_all(b"TRUE\n").is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+fn trivial_plan() -> ReplayPlan {
+    ReplayPlan { lines: vec!["REACH 0 0 0 1 1\n".to_string()], expected: vec![true] }
+}
+
+/// The coordinated-omission regression at one client count: the same trace
+/// (200 requests at 200 qps, one 400 ms server stall) measured both ways.
+/// The open-loop recorder's p99 must exceed the closed-loop p99, because
+/// intended-start accounting charges the stall to the ~80 requests that
+/// were scheduled during it, while the closed loop simply stops sending
+/// and records the stall exactly once.
+fn coordinated_omission_gap_at(clients: usize) {
+    let stall = Duration::from_millis(400);
+    let plan = trivial_plan();
+    let rate_qps = 200.0;
+    let total = 200;
+
+    let open_addr = slow_fixture(5, stall);
+    let open = run_open_loop(&LoopSpec { addr: open_addr, plan: &plan, clients, rate_qps, total })
+        .expect("open loop");
+    let closed_addr = slow_fixture(5, stall);
+    let closed =
+        run_closed_loop(&LoopSpec { addr: closed_addr, plan: &plan, clients, rate_qps, total })
+            .expect("closed loop");
+
+    for (label, m) in [("open", &open), ("closed", &closed)] {
+        assert_eq!(m.sent, total, "{label} clients={clients}");
+        assert_eq!(m.recorder.completed(), total, "{label} clients={clients}");
+        assert_eq!(m.recorder.errors(), 0, "{label} clients={clients}");
+        assert_eq!(m.recorder.mismatches(), 0, "{label} clients={clients}");
+    }
+    let open_p99 = open.recorder.quantile_us(0.99);
+    let closed_p99 = closed.recorder.quantile_us(0.99);
+    assert!(
+        open_p99 > closed_p99,
+        "clients={clients}: open-loop p99 ({open_p99} us) must exceed closed-loop p99 \
+         ({closed_p99} us) — a closed loop coordinates with the server's stall and omits it"
+    );
+    // The stall is 40% of the run: open-loop p99 must sit deep inside it.
+    assert!(
+        u128::from(open_p99) >= stall.as_micros() / 4,
+        "clients={clients}: open-loop p99 ({open_p99} us) must reflect the {} us stall",
+        stall.as_micros()
+    );
+}
+
+#[test]
+fn coordinated_omission_gap_one_client() {
+    coordinated_omission_gap_at(1);
+}
+
+#[test]
+fn coordinated_omission_gap_two_clients() {
+    coordinated_omission_gap_at(2);
+}
+
+#[test]
+fn coordinated_omission_gap_four_clients() {
+    coordinated_omission_gap_at(4);
+}
+
+/// Recording into the shared histogram from 1/2/4 worker threads produces
+/// bit-identical bucket counts (and hence quantiles) to sequential
+/// recording of the same samples — merge is exact, not approximate.
+#[test]
+fn histogram_is_thread_count_invariant() {
+    // Deterministic LCG sample stream, heavy-tailed like real latencies.
+    let samples: Vec<u64> = {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) % 5_000_000
+            })
+            .collect()
+    };
+    let reference = LatencyHistogram::default();
+    for &s in &samples {
+        reference.record_us(s);
+    }
+    for threads in [1usize, 2, 4] {
+        let hist = LatencyHistogram::default();
+        std::thread::scope(|scope| {
+            for chunk in samples.chunks(samples.len().div_ceil(threads)) {
+                let hist = &hist;
+                scope.spawn(move || {
+                    let local = LatencyHistogram::default();
+                    for &s in chunk {
+                        local.record_us(s);
+                    }
+                    hist.merge_from(&local);
+                });
+            }
+        });
+        assert_eq!(hist.bucket_counts(), reference.bucket_counts(), "threads={threads}");
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(hist.quantile_us(q), reference.quantile_us(q), "threads={threads} q={q}");
+        }
+    }
+}
+
+/// A `Write` sink the serve thread and the test share, to learn the
+/// OS-assigned port from the `listening on ADDR` line.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("buf lock")).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buf lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn args(s: &[&str]) -> Vec<String> {
+    s.iter().map(|x| x.to_string()).collect()
+}
+
+/// Replay-vs-oracle agreement through the REAL `gsr serve` code path (CLI
+/// included), result cache enabled: drive the sweep, then check that every
+/// reply matched `BatchExecutor` ground truth and that the server's
+/// `STATS` counters reconcile exactly with the driver's tallies.
+#[test]
+fn replay_vs_oracle_agreement_through_gsr_serve() {
+    let dir = std::env::temp_dir().join("gsr_loadtest_agreement");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let net_path = dir.join("net.gsr").to_string_lossy().to_string();
+    let snap_path = dir.join("idx.snap").to_string_lossy().to_string();
+    run(
+        parse_args(&args(&[
+            "generate", "--preset", "yelp", "--scale", "0.02", "--out", &net_path,
+        ]))
+        .expect("parse generate"),
+        &mut Vec::new(),
+    )
+    .expect("generate");
+    run(
+        parse_args(&args(&["build", &net_path, "--method", "3dreach", "--save", &snap_path]))
+            .expect("parse build"),
+        &mut Vec::new(),
+    )
+    .expect("build");
+
+    // 4 pipelined clients + 1 worker for the sequential control
+    // connections (each server worker owns one connection until EOF).
+    let clients = 4;
+    let threads = (clients + 1).to_string();
+    let cmd = parse_args(&args(&[
+        "serve", "--load", &snap_path, "--port", "0", "--threads", &threads,
+        "--cache-entries", "1024",
+    ]))
+    .expect("parse serve");
+    let out = SharedBuf::default();
+    let serve_thread = {
+        let mut out = out.clone();
+        std::thread::spawn(move || {
+            run(cmd, &mut out).expect("serve must exit cleanly");
+        })
+    };
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr: SocketAddr = loop {
+        let text = out.contents();
+        if let Some(line) = text.lines().find(|l| l.starts_with("listening on ")) {
+            break line["listening on ".len()..].parse().expect("addr");
+        }
+        assert!(Instant::now() < deadline, "server never announced an address:\n{text}");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    // The oracle: a fresh, independent build from the same network file.
+    let net = gsr_datagen::io::load_network(std::path::Path::new(&net_path)).expect("load net");
+    let prep = gsr_core::PreparedNetwork::new(net);
+    let oracle = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+    let gen = WorkloadGen::new(&prep);
+    let workload = gen.extent_degree(5.0, DegreeBucket::PAPER_BUCKETS[0], 40, 7);
+    let plan = ReplayPlan::from_workload(&workload, &oracle);
+
+    let opts = SweepOptions {
+        clients,
+        duration_ms: 250,
+        base_rate_qps: 400.0,
+        growth: 2.0,
+        max_steps: 2,
+        min_steps: 1,
+        p99_stop_us: u64::MAX,
+        cache_enabled: true,
+    };
+    let steps = run_sweep(addr, &plan, &opts).expect("sweep");
+    assert_eq!(steps.len(), 2);
+    for (i, step) in steps.iter().enumerate() {
+        assert_eq!(step.mismatches, 0, "step {i}: replies must match the oracle");
+        assert_eq!(step.errors, 0, "step {i}");
+        step.reconcile(true).unwrap_or_else(|e| panic!("step {i} does not reconcile: {e}"));
+        assert_eq!(
+            step.per_client_completed.iter().sum::<u64>(),
+            step.completed,
+            "step {i}: per-client tallies must partition the total"
+        );
+    }
+    // 100 requests cycling 40 distinct queries: repeats must hit the cache,
+    // and step 2 starts with a warm cache from step 1 (RESET zeroes only
+    // the counters, never the entries).
+    assert!(steps[0].cache_hits > 0, "repeats within a step must hit: {:?}", steps[0]);
+    assert!(
+        steps[1].cache_hit_rate > steps[0].cache_hit_rate,
+        "a warm cache must hit more: {} vs {}",
+        steps[1].cache_hit_rate,
+        steps[0].cache_hit_rate
+    );
+
+    // Shut the server down and let the serve thread exit cleanly.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"SHUTDOWN\n").expect("shutdown");
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).expect("read");
+    assert_eq!(reply.trim_end(), "OK shutdown");
+    serve_thread.join().expect("serve thread");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The full experiment driver end to end at scale 0: a sweep must produce
+/// at least `min_steps` reconciling steps with zero oracle mismatches, and
+/// the JSON artifact must carry the per-step fields the plots need.
+#[test]
+fn sweep_experiment_end_to_end_at_scale_zero() {
+    let cfg = gsr_bench::Config { scale: 0.0, queries: 30, seed: 11, threads: 1 };
+    let opts = LoadtestOptions {
+        clients: 2,
+        duration_ms: 150,
+        rate_qps: 300.0,
+        sweep: true,
+        cache_entries: 512,
+    };
+    let (table, steps) = run_experiment(&cfg, &opts).expect("loadtest experiment");
+    assert!(steps.len() >= 4, "a sweep maps at least 4 rate steps, got {}", steps.len());
+    assert_eq!(table.len(), steps.len());
+    for (i, step) in steps.iter().enumerate() {
+        step.reconcile(true).unwrap_or_else(|e| panic!("step {i} does not reconcile: {e}"));
+        assert!(
+            (step.offered_qps - 300.0 * 2f64.powi(i as i32)).abs() < 1e-9,
+            "geometric rate schedule, step {i}: {}",
+            step.offered_qps
+        );
+    }
+    let json = gsr_bench::loadtest::loadtest_json(&cfg, &opts, &steps);
+    for field in ["\"offered_qps\"", "\"achieved_qps\"", "\"p50_us\"", "\"p99_us\"",
+        "\"p999_us\"", "\"cache_hit_rate\"", "\"per_client_completed\"", "\"mismatches\""]
+    {
+        assert!(json.contains(field), "JSON missing {field}:\n{json}");
+    }
+}

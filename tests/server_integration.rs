@@ -263,6 +263,66 @@ fn malformed_and_out_of_range_requests_get_protocol_errors() {
     shutdown_and_join(fx);
 }
 
+/// `STATS` must report the full percentile set including `p999_us`, and
+/// `RESET` must zero the counters (including the cache tallies) while
+/// leaving the loaded index and the cached entries untouched. Argument
+/// validation matches the other no-argument commands.
+#[test]
+fn stats_reports_p999_and_reset_zeroes_counters_but_not_the_index() {
+    let fx = start_serve("reset", &["--cache-entries", "64"]);
+    let (mut reader, mut stream) = connect(fx.addr);
+
+    // Two separate flushes: the second probe of the same query must be
+    // served from the cache populated by the first.
+    stream.write_all(b"REACH 0 0 0 1 1\n").unwrap();
+    let first = read_line(&mut reader);
+    assert!(first == "TRUE" || first == "FALSE", "{first}");
+    stream.write_all(b"REACH 0 0 0 1 1\nFETCH\nSTATS\n").unwrap();
+    assert_eq!(read_line(&mut reader), first, "second probe is the cached answer");
+    assert!(read_line(&mut reader).starts_with("ERR 2 unknown command"));
+    let stats = read_line(&mut reader);
+    assert!(stats.contains("queries=2"), "{stats}");
+    assert!(stats.contains("errors=1"), "{stats}");
+    assert!(stats.contains(" p999_us="), "STATS must report p999: {stats}");
+    assert!(stats.contains("cache_hits=1"), "{stats}");
+    assert!(stats.contains("cache_misses=1"), "{stats}");
+    let index_bytes = stats
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("index_bytes="))
+        .unwrap()
+        .parse::<u64>()
+        .unwrap();
+    assert!(index_bytes > 0, "{stats}");
+
+    // RESET takes no arguments, like STATS and SHUTDOWN.
+    stream.write_all(b"RESET now\n").unwrap();
+    assert!(read_line(&mut reader).starts_with("ERR 2 RESET takes no arguments"));
+
+    stream.write_all(b"RESET\nSTATS\n").unwrap();
+    assert_eq!(read_line(&mut reader), "OK reset");
+    let stats = read_line(&mut reader);
+    assert!(
+        stats.contains("queries=0 errors=0 p50_us=0 p99_us=0 p999_us=0"),
+        "RESET must zero counters and the histogram: {stats}"
+    );
+    assert!(stats.contains("cache_hits=0"), "{stats}");
+    assert!(stats.contains("cache_misses=0"), "{stats}");
+    assert!(
+        stats.contains(&format!("index_bytes={index_bytes}")),
+        "RESET must not touch the loaded index: {stats}"
+    );
+
+    // The index still answers, and the cached entry survived the reset.
+    stream.write_all(b"REACH 0 0 0 1 1\nSTATS\n").unwrap();
+    assert_eq!(read_line(&mut reader), first, "index must answer as before the RESET");
+    let stats = read_line(&mut reader);
+    assert!(stats.contains("queries=1"), "{stats}");
+    assert!(stats.contains("cache_hits=1"), "cached entries survive RESET: {stats}");
+    assert!(stats.contains("cache_misses=0"), "{stats}");
+
+    shutdown_and_join(fx);
+}
+
 #[test]
 fn zero_budget_times_out_every_query() {
     let fx = start_serve("budget", &["--budget-ms", "0"]);
