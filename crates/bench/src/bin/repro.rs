@@ -12,7 +12,8 @@
 //! --csv      additionally print each table as CSV
 //!
 //! The `loadtest` experiment (not part of `all`: it spins up a real TCP
-//! server) adds:
+//! server, sweeps the offered rate, then floods past `--max-conns` to
+//! prove admission control sheds cleanly) adds:
 //!
 //! --rate         offered rate in queries/second (default 1000)
 //! --clients      concurrent pipelined TCP clients (default 4)
@@ -29,7 +30,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|hotpath|memory|parbuild|snapshot|loadtest|all]... \
+        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|hotpath|memory|parbuild|snapshot|loadtest|chaos|all]... \
          [--scale S] [--queries N] [--seed K] [--threads T] [--csv] \
          [--rate QPS] [--clients K] [--duration-ms MS] [--sweep] [--cache-entries N]"
     );
@@ -78,7 +79,7 @@ fn main() {
             "all" | "table3" | "table4" | "table5" | "table6" | "fig5" | "fig6" | "fig7"
             | "backends" | "ablations" | "analysis" | "latency" | "throughput" | "hotpath"
             | "memory" | "parbuild" | "forests" | "georeach" | "reduction" | "spatial"
-            | "polarity" | "snapshot" | "loadtest" => {
+            | "polarity" | "snapshot" | "loadtest" | "chaos" => {
                 experiments_wanted.insert(arg);
             }
             _ => usage(),
@@ -113,9 +114,9 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    // `loadtest` generates its own dataset and spins up a live server; when
-    // it is the only experiment wanted, skip the four-dataset generation.
-    let needs_datasets = experiments_wanted.iter().any(|e| e != "loadtest");
+    // `loadtest` and `chaos` generate their own dataset and spin up live
+    // servers; when only they are wanted, skip the four-dataset generation.
+    let needs_datasets = experiments_wanted.iter().any(|e| e != "loadtest" && e != "chaos");
     let datasets = if needs_datasets {
         eprintln!("generating datasets (scale {}) ...", cfg.scale);
         let datasets = Dataset::load_all(&cfg);
@@ -260,9 +261,22 @@ fn main() {
             lt_opts.cache_entries
         );
         match gsr_bench::loadtest::run_experiment(&cfg, &lt_opts) {
-            Ok((table, steps)) => {
+            Ok((table, steps, overload)) => {
                 emit("Extension: open-loop latency-under-throughput sweep", &table);
-                let json = gsr_bench::loadtest::loadtest_json(&cfg, &lt_opts, &steps);
+                eprintln!(
+                    "overload: {} flooders vs {} holders -> busy={} served={} \
+                     (shed_rate={:.2}, server shed={} rejected={}) served_p99_us={}",
+                    overload.flooders,
+                    overload.holders,
+                    overload.busy,
+                    overload.flooder_served,
+                    overload.shed_rate(),
+                    overload.server_shed,
+                    overload.server_rejected,
+                    overload.served_p99_us,
+                );
+                let json =
+                    gsr_bench::loadtest::loadtest_json(&cfg, &lt_opts, &steps, Some(&overload));
                 match std::fs::write("BENCH_loadtest.json", &json) {
                     Ok(()) => eprintln!("wrote BENCH_loadtest.json ({} steps)", steps.len()),
                     Err(e) => eprintln!("cannot write BENCH_loadtest.json: {e}"),
@@ -279,12 +293,53 @@ fn main() {
                         failed = true;
                     }
                 }
+                if let Err(e) = overload.reconcile() {
+                    eprintln!("loadtest: overload step failed reconciliation: {e}");
+                    failed = true;
+                }
                 if failed {
                     std::process::exit(1);
                 }
             }
             Err(e) => {
                 eprintln!("loadtest failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if wanted("chaos") {
+        let ch_opts = gsr_bench::chaos::ChaosOptions::default();
+        eprintln!(
+            "chaos: attackers={} kill_points={} reloads={} clients={}",
+            ch_opts.attackers, ch_opts.kill_points, ch_opts.reloads, ch_opts.clients
+        );
+        match gsr_bench::chaos::run_experiment(&cfg, &ch_opts) {
+            Ok((table, scenarios)) => {
+                emit("Extension: chaos harness — overload and failure drill", &table);
+                let json = gsr_bench::chaos::chaos_json(&cfg, &ch_opts, &scenarios);
+                match std::fs::write("BENCH_chaos.json", &json) {
+                    Ok(()) => {
+                        eprintln!("wrote BENCH_chaos.json ({} scenarios)", scenarios.len());
+                    }
+                    Err(e) => eprintln!("cannot write BENCH_chaos.json: {e}"),
+                }
+                let mut failed = false;
+                for s in &scenarios {
+                    if !s.passed() {
+                        eprintln!(
+                            "chaos: scenario {} handled only {}/{}: {}",
+                            s.name, s.handled, s.attempts, s.detail
+                        );
+                        failed = true;
+                    }
+                }
+                if failed {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("chaos failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -27,6 +27,15 @@
 //! p99 blows past a threshold, `RESET`-ing the server's counters between
 //! steps and reconciling its `STATS` tallies (queries, errors, cache
 //! hits/misses) against the driver's own counts after each step.
+//!
+//! After the sweep, an **overload step** ([`run_overload`]) drives the
+//! server past its `--max-conns` admission limit: while persistent
+//! "holder" clients replay the trace at the base rate, a burst of one-shot
+//! "flooder" connections arrives all at once. Admission control must turn
+//! the excess away with `ERR 7 busy` at the door — and the driver proves
+//! it did, reconciling its own count of busy replies against the server's
+//! `shed=`/`rejected=` counters and checking that the held connections'
+//! p99 stayed under the bound while the flood raged.
 
 use crate::harness::{Config, Dataset, MethodKind};
 use crate::table::TextTable;
@@ -197,7 +206,7 @@ pub struct LoopSpec<'a> {
     pub total: u64,
 }
 
-fn classify(reply: &str, expected: bool) -> ReplyOutcome {
+pub(crate) fn classify(reply: &str, expected: bool) -> ReplyOutcome {
     match reply {
         "TRUE" if expected => ReplyOutcome::Ok,
         "FALSE" if !expected => ReplyOutcome::Ok,
@@ -414,7 +423,7 @@ pub fn run_closed_loop(spec: &LoopSpec<'_>) -> Result<LoopMeasurement, String> {
 /// connection and returns the single reply line. Control connections are
 /// strictly sequential with the load clients, so they never compete for
 /// the server's one-worker-per-connection pool.
-fn control_roundtrip(addr: SocketAddr, command: &str) -> Result<String, String> {
+pub(crate) fn control_roundtrip(addr: SocketAddr, command: &str) -> Result<String, String> {
     let mut stream =
         TcpStream::connect(addr).map_err(|e| format!("control connect: {e}"))?;
     let _ = stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT));
@@ -426,7 +435,7 @@ fn control_roundtrip(addr: SocketAddr, command: &str) -> Result<String, String> 
 }
 
 /// Extracts `key=value` from a `STATS` reply line.
-fn stat_u64(reply: &str, key: &str) -> Result<u64, String> {
+pub(crate) fn stat_u64(reply: &str, key: &str) -> Result<u64, String> {
     reply
         .split_whitespace()
         .find_map(|tok| tok.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
@@ -612,6 +621,247 @@ pub fn run_sweep(
     Ok(steps)
 }
 
+/// How one flooder connection ended: turned away at the door, or admitted
+/// and eventually answered.
+#[derive(Debug, Clone, Copy)]
+enum FloodOutcome {
+    /// First reply line was `ERR 7 busy ...` — admission control shed it.
+    Busy,
+    /// The server answered the query; how it compared to the oracle.
+    Served(ReplyOutcome),
+}
+
+/// One flooder: connect, send a single query, half-close, and read the one
+/// reply line that decides its fate. A generous read timeout lets a
+/// flooder that was admitted-but-queued wait for a worker to free up, so
+/// every flooder ends in exactly one tallied outcome and the request/reply
+/// ledger still balances.
+fn flood_once(
+    addr: SocketAddr,
+    f: usize,
+    line: &str,
+    expected: bool,
+) -> Result<FloodOutcome, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("flooder {f}: connect: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT));
+    stream.write_all(line.as_bytes()).map_err(|e| format!("flooder {f}: write: {e}"))?;
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    let n =
+        reader.read_line(&mut reply).map_err(|e| format!("flooder {f}: read: {e}"))?;
+    if n == 0 {
+        return Err(format!("flooder {f}: connection closed with no reply at all"));
+    }
+    let reply = reply.trim_end();
+    if reply.starts_with(&format!("ERR {} busy", gsr_server::proto::BUSY_ERR)) {
+        Ok(FloodOutcome::Busy)
+    } else {
+        Ok(FloodOutcome::Served(classify(reply, expected)))
+    }
+}
+
+/// The overload step's ledger: what the flood offered, what the server
+/// turned away, and what happened to the traffic it kept serving.
+#[derive(Debug, Clone)]
+pub struct OverloadResult {
+    /// Offered rate of the held (served) clients, queries per second.
+    pub offered_qps: f64,
+    /// Persistent connections replaying the trace through the flood.
+    pub holders: usize,
+    /// One-shot connections hurled at the server all at once.
+    pub flooders: usize,
+    /// Flooders answered `ERR 7 busy` and turned away at the door.
+    pub busy: u64,
+    /// Flooders admitted and answered (possibly after queueing).
+    pub flooder_served: u64,
+    /// Requests the holders sent.
+    pub holder_sent: u64,
+    /// Replies the holders received.
+    pub holder_completed: u64,
+    /// `ERR` replies that were not busy-shedding, across both populations.
+    pub errors: u64,
+    /// Oracle disagreements, across both populations.
+    pub mismatches: u64,
+    /// Holder median latency under flood (µs, intended-start accounting).
+    pub served_p50_us: u64,
+    /// Holder p99 under flood (µs).
+    pub served_p99_us: u64,
+    /// Holder p99.9 under flood (µs).
+    pub served_p999_us: u64,
+    /// Bound `served_p99_us` must stay under for the step to pass.
+    pub served_p99_bound_us: u64,
+    /// The server's `queries=` counter for the step.
+    pub server_queries: u64,
+    /// The server's `shed=` counter (pending queue full).
+    pub server_shed: u64,
+    /// The server's `rejected=` counter (`--max-conns` reached).
+    pub server_rejected: u64,
+    /// Wall clock of the step, milliseconds.
+    pub elapsed_ms: f64,
+}
+
+impl OverloadResult {
+    /// Fraction of flooders turned away at the door.
+    pub fn shed_rate(&self) -> f64 {
+        if self.flooders == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.flooders as f64
+        }
+    }
+
+    /// Cross-checks the overload ledger: every connection ended in exactly
+    /// one outcome, the driver's busy tally equals the server's
+    /// `shed + rejected`, the flood actually got shed (an absorbed flood
+    /// means admission control never engaged), answers stayed
+    /// oracle-correct, and the held clients' p99 stayed under the bound.
+    pub fn reconcile(&self) -> Result<(), String> {
+        if self.mismatches > 0 {
+            return Err(format!("{} replies disagree with the oracle", self.mismatches));
+        }
+        if self.errors > 0 {
+            return Err(format!("{} non-busy ERR replies under flood", self.errors));
+        }
+        if self.holder_sent != self.holder_completed {
+            return Err(format!(
+                "holders sent {} requests but got {} replies",
+                self.holder_sent, self.holder_completed
+            ));
+        }
+        if self.busy + self.flooder_served != self.flooders as u64 {
+            return Err(format!(
+                "{} flooders, but {} busy + {} served",
+                self.flooders, self.busy, self.flooder_served
+            ));
+        }
+        if self.busy != self.server_shed + self.server_rejected {
+            return Err(format!(
+                "driver saw {} busy replies, server counted shed={} + rejected={}",
+                self.busy, self.server_shed, self.server_rejected
+            ));
+        }
+        if self.busy == 0 {
+            return Err("the flood was never shed — admission control did not engage".into());
+        }
+        if self.server_queries != self.holder_completed + self.flooder_served {
+            return Err(format!(
+                "server counted {} queries, driver received {} + {} replies",
+                self.server_queries, self.holder_completed, self.flooder_served
+            ));
+        }
+        if self.served_p99_us > self.served_p99_bound_us {
+            return Err(format!(
+                "served p99 {} µs exceeded the {} µs bound under flood",
+                self.served_p99_us, self.served_p99_bound_us
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs the overload step against a server whose `--max-conns` admits the
+/// holder clients with only a couple of slots to spare: `RESET`s the
+/// counters, starts an open-loop holder run at the base rate, waits until
+/// every holder connection is live (observed through the `STATS live=`
+/// gauge — while the polling control connection is being served, `live`
+/// counts the holders plus itself), then launches `4 * (clients + 2)`
+/// concurrent flooders and reconciles the combined ledger against the
+/// server's counters.
+pub fn run_overload(
+    addr: SocketAddr,
+    plan: &ReplayPlan,
+    opts: &SweepOptions,
+) -> Result<OverloadResult, String> {
+    if plan.is_empty() {
+        return Err("overload: empty replay plan".into());
+    }
+    let reset = control_roundtrip(addr, "RESET\n")?;
+    if reset != "OK reset" {
+        return Err(format!("RESET failed: {reset:?}"));
+    }
+    let rate_qps = opts.base_rate_qps;
+    let total = ((rate_qps * opts.duration_ms as f64 / 1000.0).round() as u64).max(1);
+    let spec = LoopSpec { addr, plan, clients: opts.clients, rate_qps, total };
+    let flooders = (opts.clients + 2) * 4;
+
+    let t0 = Instant::now();
+    let (m, flood) = std::thread::scope(
+        |s| -> Result<(LoopMeasurement, Vec<FloodOutcome>), String> {
+            let holders = s.spawn(|| run_open_loop(&spec));
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let stats = control_roundtrip(addr, "STATS\n")?;
+                if stat_u64(&stats, "live")? > spec.clients as u64 {
+                    break;
+                }
+                if Instant::now() > deadline {
+                    return Err("overload: holder connections never became live".into());
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let mut handles = Vec::with_capacity(flooders);
+            for f in 0..flooders {
+                let q = f % plan.len();
+                let line = &plan.lines[q];
+                let expected = plan.expected[q];
+                handles.push(s.spawn(move || flood_once(addr, f, line, expected)));
+            }
+            let mut flood = Vec::with_capacity(flooders);
+            for h in handles {
+                flood.push(
+                    h.join().map_err(|_| "overload: flooder thread panicked".to_string())??,
+                );
+            }
+            let m = holders
+                .join()
+                .map_err(|_| "overload: holder loop panicked".to_string())??;
+            Ok((m, flood))
+        },
+    )?;
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    let stats = control_roundtrip(addr, "STATS\n")?;
+    let mut busy = 0u64;
+    let mut flooder_served = 0u64;
+    let mut errors = m.recorder.errors();
+    let mut mismatches = m.recorder.mismatches();
+    for outcome in &flood {
+        match outcome {
+            FloodOutcome::Busy => busy += 1,
+            FloodOutcome::Served(ReplyOutcome::Ok) => flooder_served += 1,
+            FloodOutcome::Served(ReplyOutcome::Err) => {
+                flooder_served += 1;
+                errors += 1;
+            }
+            FloodOutcome::Served(ReplyOutcome::Mismatch) => {
+                flooder_served += 1;
+                mismatches += 1;
+            }
+        }
+    }
+    Ok(OverloadResult {
+        offered_qps: rate_qps,
+        holders: opts.clients,
+        flooders,
+        busy,
+        flooder_served,
+        holder_sent: m.sent,
+        holder_completed: m.recorder.completed(),
+        errors,
+        mismatches,
+        served_p50_us: m.recorder.quantile_us(0.50),
+        served_p99_us: m.recorder.quantile_us(0.99),
+        served_p999_us: m.recorder.quantile_us(0.999),
+        served_p99_bound_us: opts.p99_stop_us,
+        server_queries: stat_u64(&stats, "queries")?,
+        server_shed: stat_u64(&stats, "shed")?,
+        server_rejected: stat_u64(&stats, "rejected")?,
+        elapsed_ms,
+    })
+}
+
 /// CLI-settable options of the `repro loadtest` experiment.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadtestOptions {
@@ -644,13 +894,16 @@ impl Default for LoadtestOptions {
 /// Generates the Yelp-analog dataset at `cfg.scale`, builds one 3DReach
 /// index for serving and a *second, independent* 3DReach build as the
 /// oracle, starts a real TCP [`QueryServer`] on a loopback port (worker
-/// pool sized `clients + 1` so every pipelined client owns a worker), and
-/// drives the sweep. Every step must reconcile; the caller decides how
-/// loudly to fail on mismatches via [`StepResult::reconcile`].
+/// pool sized `clients + 1` so every pipelined client owns a worker, with
+/// `max_conns` two past the client count so admission control is real but
+/// the sweep itself never sheds), and drives the sweep followed by the
+/// overload step. Every step must reconcile; the caller decides how loudly
+/// to fail on mismatches via [`StepResult::reconcile`] and
+/// [`OverloadResult::reconcile`].
 pub fn run_experiment(
     cfg: &Config,
     opts: &LoadtestOptions,
-) -> Result<(TextTable, Vec<StepResult>), String> {
+) -> Result<(TextTable, Vec<StepResult>, OverloadResult), String> {
     let ds = Dataset::from_spec(&NetworkSpec::yelp(cfg.scale));
     let gen = WorkloadGen::new(&ds.prep);
     let workload = gen.extent_degree(
@@ -675,6 +928,12 @@ pub fn run_experiment(
             threads: opts.clients + 1,
             budget: None,
             cache_entries: opts.cache_entries,
+            // Real admission headroom: the pipelined clients, one slot for
+            // the sequential control connections, and one spare so a
+            // just-closed connection's server-side teardown can straddle
+            // the next step's connects without a spurious rejection.
+            max_conns: opts.clients + 2,
+            ..ServerConfig::default()
         },
     )
     .map_err(|e| format!("loadtest: bind: {e}"))?;
@@ -691,11 +950,12 @@ pub fn run_experiment(
         cache_enabled: opts.cache_entries > 0,
         ..SweepOptions::default()
     };
-    let steps = run_sweep(addr, &plan, &sweep_opts);
+    let outcome = run_sweep(addr, &plan, &sweep_opts)
+        .and_then(|steps| run_overload(addr, &plan, &sweep_opts).map(|o| (steps, o)));
 
     token.cancel();
     let _ = handle.join();
-    let steps = steps?;
+    let (steps, overload) = outcome?;
 
     let mut table = TextTable::new([
         "offered_qps",
@@ -723,11 +983,17 @@ pub fn run_experiment(
             format!("{min}/{max}"),
         ]);
     }
-    Ok((table, steps))
+    Ok((table, steps, overload))
 }
 
-/// Renders the sweep as the `BENCH_loadtest.json` artifact.
-pub fn loadtest_json(cfg: &Config, opts: &LoadtestOptions, steps: &[StepResult]) -> String {
+/// Renders the sweep (and, when present, the overload step) as the
+/// `BENCH_loadtest.json` artifact.
+pub fn loadtest_json(
+    cfg: &Config,
+    opts: &LoadtestOptions,
+    steps: &[StepResult],
+    overload: Option<&OverloadResult>,
+) -> String {
     let mut s = String::from("{\n  \"experiment\": \"loadtest\",\n");
     s.push_str(&format!(
         "  \"scale\": {}, \"queries\": {}, \"seed\": {}, \"clients\": {}, \
@@ -766,7 +1032,34 @@ pub fn loadtest_json(cfg: &Config, opts: &LoadtestOptions, steps: &[StepResult])
             if i + 1 == steps.len() { "" } else { "," }
         ));
     }
-    s.push_str("  ]\n}\n");
+    if let Some(o) = overload {
+        s.push_str(&format!(
+            "  ],\n  \"overload\": {{\"offered_qps\": {:.1}, \"holders\": {}, \
+             \"flooders\": {}, \"busy\": {}, \"flooder_served\": {}, \
+             \"shed_rate\": {:.4}, \"holder_completed\": {}, \"errors\": {}, \
+             \"mismatches\": {}, \"served_p50_us\": {}, \"served_p99_us\": {}, \
+             \"served_p999_us\": {}, \"server_shed\": {}, \"server_rejected\": {}, \
+             \"server_queries\": {}, \"elapsed_ms\": {:.1}}}\n}}\n",
+            o.offered_qps,
+            o.holders,
+            o.flooders,
+            o.busy,
+            o.flooder_served,
+            o.shed_rate(),
+            o.holder_completed,
+            o.errors,
+            o.mismatches,
+            o.served_p50_us,
+            o.served_p99_us,
+            o.served_p999_us,
+            o.server_shed,
+            o.server_rejected,
+            o.server_queries,
+            o.elapsed_ms,
+        ));
+    } else {
+        s.push_str("  ]\n}\n");
+    }
     s
 }
 
@@ -921,10 +1214,71 @@ mod tests {
             cache_hit_rate: 0.9,
             elapsed_ms: 1001.5,
         };
-        let json = loadtest_json(&cfg, &opts, &[step]);
+        let json = loadtest_json(&cfg, &opts, std::slice::from_ref(&step), None);
         assert!(json.contains("\"experiment\": \"loadtest\""));
         assert!(json.contains("\"p999_us\": 2047"));
         assert!(json.contains("\"per_client_completed\": [250, 250, 250, 250]"));
         assert!(json.ends_with("  ]\n}\n"));
+
+        let json = loadtest_json(&cfg, &opts, &[step], Some(&balanced_overload()));
+        assert!(json.contains("\"overload\": {\"offered_qps\": 500.0"));
+        assert!(json.contains("\"shed_rate\": 0.8750"));
+        assert!(json.contains("\"server_rejected\": 14"));
+        assert!(json.ends_with("}\n}\n"));
+    }
+
+    /// An overload ledger in which every cross-check balances.
+    fn balanced_overload() -> OverloadResult {
+        OverloadResult {
+            offered_qps: 500.0,
+            holders: 2,
+            flooders: 16,
+            busy: 14,
+            flooder_served: 2,
+            holder_sent: 100,
+            holder_completed: 100,
+            errors: 0,
+            mismatches: 0,
+            served_p50_us: 300,
+            served_p99_us: 2000,
+            served_p999_us: 4000,
+            served_p99_bound_us: 100_000,
+            server_queries: 102,
+            server_shed: 0,
+            server_rejected: 14,
+            elapsed_ms: 250.0,
+        }
+    }
+
+    #[test]
+    fn overload_reconcile_rejects_daylight() {
+        let ok = balanced_overload();
+        assert_eq!(ok.reconcile(), Ok(()));
+        assert!((ok.shed_rate() - 0.875).abs() < 1e-12);
+
+        let mut bad = ok.clone();
+        bad.mismatches = 1;
+        assert!(bad.reconcile().is_err(), "oracle disagreement must fail");
+        let mut bad = ok.clone();
+        bad.errors = 1;
+        assert!(bad.reconcile().is_err(), "non-busy ERR must fail");
+        let mut bad = ok.clone();
+        bad.flooder_served = 3;
+        assert!(bad.reconcile().is_err(), "outcomes must partition the flooders");
+        let mut bad = ok.clone();
+        bad.server_rejected = 13;
+        assert!(bad.reconcile().is_err(), "busy tally must match shed+rejected");
+        let mut bad = ok.clone();
+        bad.busy = 0;
+        bad.flooder_served = 16;
+        bad.server_rejected = 0;
+        bad.server_queries = 116;
+        assert!(bad.reconcile().is_err(), "an absorbed flood means no admission control");
+        let mut bad = ok.clone();
+        bad.server_queries = 103;
+        assert!(bad.reconcile().is_err(), "server query count must match served replies");
+        let mut bad = ok.clone();
+        bad.served_p99_us = bad.served_p99_bound_us + 1;
+        assert!(bad.reconcile().is_err(), "served p99 must stay under the bound");
     }
 }

@@ -86,7 +86,7 @@ pub enum Command {
         save: PathBuf,
     },
     /// `gsr serve --load PATH [--port P] [--threads T] [--budget-ms B]
-    /// [--cache-entries N]`
+    /// [--cache-entries N] [overload limit flags]`
     Serve {
         /// Snapshot to load (built with `gsr build --save`).
         load: PathBuf,
@@ -99,7 +99,42 @@ pub enum Command {
         budget_ms: Option<u64>,
         /// Result-cache capacity in entries (`0` = caching disabled).
         cache_entries: usize,
+        /// Overload and connection-lifecycle limits.
+        limits: ServeLimits,
     },
+}
+
+/// Overload and connection-lifecycle limits of `gsr serve`, mapped 1:1
+/// onto [`gsr_server::ServerConfig`]. For every limit, `0` means
+/// unlimited/disabled; defaults match the server's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeLimits {
+    /// `--max-pending`: accept→worker queue bound (`0` = unbounded).
+    pub max_pending: usize,
+    /// `--max-conns`: admitted-connection bound (`0` = unlimited).
+    pub max_conns: usize,
+    /// `--max-line`: request-line byte cap (`0` = unlimited).
+    pub max_line: usize,
+    /// `--max-batch`: pipelined-batch split point (`0` = unlimited).
+    pub max_batch: usize,
+    /// `--idle-timeout-ms`: reap silent connections (`None` = never).
+    pub idle_timeout_ms: Option<u64>,
+    /// `--write-timeout-ms`: reply write deadline (`None` = unlimited).
+    pub write_timeout_ms: Option<u64>,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        let d = gsr_server::ServerConfig::default();
+        ServeLimits {
+            max_pending: d.max_pending,
+            max_conns: d.max_conns,
+            max_line: d.max_line,
+            max_batch: d.max_batch,
+            idle_timeout_ms: d.idle_timeout.map(|t| t.as_millis() as u64),
+            write_timeout_ms: d.write_timeout.map(|t| t.as_millis() as u64),
+        }
+    }
 }
 
 /// CLI errors with user-facing messages.
@@ -131,8 +166,14 @@ usage:
   gsr build FILE --method <3dreach|3dreach-rev|spareach-bfl|spareach-int|georeach|socreach>
                  --save PATH [--threads T]          (persist a built index as a snapshot)
   gsr serve --load PATH [--port P] [--threads T] [--budget-ms B] [--cache-entries N]
-                 (serve REACH/STATS/RESET/SHUTDOWN lines over TCP from a
-                  snapshot; N > 0 enables the sharded result cache)
+                 [--max-pending N] [--max-conns N]  (admission control; over-limit
+                                                     connections get ERR 7 busy)
+                 [--max-line BYTES] [--max-batch N] (request-line / pipeline caps)
+                 [--idle-timeout-ms MS]             (reap silent connections)
+                 [--write-timeout-ms MS]            (reply write deadline)
+                 (serve REACH/STATS/RESET/RELOAD/SHUTDOWN lines over TCP from
+                  a snapshot; N > 0 enables the sharded result cache; 0 for
+                  any limit means unlimited/disabled)
 ";
 
 /// Validates four raw coordinates as a query rectangle: all finite, minima
@@ -284,7 +325,48 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .transpose()
                 .map_err(|_| err("--cache-entries must be a non-negative integer"))?
                 .unwrap_or(0);
-            Ok(Command::Serve { load: PathBuf::from(load), port, threads, budget_ms, cache_entries })
+            let defaults = ServeLimits::default();
+            let limit = |name: &str, default: usize| -> Result<usize, CliError> {
+                flag(name)
+                    .map(|v| v.parse())
+                    .transpose()
+                    .map_err(|_| err(format!("--{name} must be a non-negative integer")))
+                    .map(|v| v.unwrap_or(default))
+            };
+            let max_pending = limit("max-pending", defaults.max_pending)?;
+            let max_conns = limit("max-conns", defaults.max_conns)?;
+            let max_line = limit("max-line", defaults.max_line)?;
+            let max_batch = limit("max-batch", defaults.max_batch)?;
+            // `0` for a timeout flag disables it, matching the other
+            // limits' 0-means-unlimited convention.
+            let timeout = |name: &str, default: Option<u64>| -> Result<Option<u64>, CliError> {
+                flag(name)
+                    .map(|v| v.parse::<u64>())
+                    .transpose()
+                    .map_err(|_| err(format!("--{name} must be a non-negative integer")))
+                    .map(|v| match v {
+                        None => default,
+                        Some(0) => None,
+                        Some(ms) => Some(ms),
+                    })
+            };
+            let idle_timeout_ms = timeout("idle-timeout-ms", defaults.idle_timeout_ms)?;
+            let write_timeout_ms = timeout("write-timeout-ms", defaults.write_timeout_ms)?;
+            Ok(Command::Serve {
+                load: PathBuf::from(load),
+                port,
+                threads,
+                budget_ms,
+                cache_entries,
+                limits: ServeLimits {
+                    max_pending,
+                    max_conns,
+                    max_line,
+                    max_batch,
+                    idle_timeout_ms,
+                    write_timeout_ms,
+                },
+            })
         }
         other => Err(err(format!("unknown subcommand {other:?}\n{USAGE}"))),
     }
@@ -510,12 +592,18 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn st
                 save.display()
             )?;
         }
-        Command::Serve { load, port, threads, budget_ms, cache_entries } => {
+        Command::Serve { load, port, threads, budget_ms, cache_entries, limits } => {
             let index = gsr_store::load_shared(&load)?;
             let config = gsr_server::ServerConfig {
                 threads,
                 budget: budget_ms.map(Duration::from_millis),
                 cache_entries,
+                max_pending: limits.max_pending,
+                max_conns: limits.max_conns,
+                max_line: limits.max_line,
+                max_batch: limits.max_batch,
+                idle_timeout: limits.idle_timeout_ms.map(Duration::from_millis),
+                write_timeout: limits.write_timeout_ms.map(Duration::from_millis),
             };
             let server = gsr_server::QueryServer::bind(("127.0.0.1", port), index, config)
                 .map_err(|e| Box::new(e) as Box<dyn std::error::Error>)?;
@@ -656,6 +744,7 @@ mod tests {
                 threads: 2,
                 budget_ms: Some(50),
                 cache_entries: 1024,
+                limits: ServeLimits::default(),
             }
         );
         let cmd = parse_args(&args(&["serve", "--load", "idx.snap"])).unwrap();
@@ -666,6 +755,47 @@ mod tests {
         assert!(parse_args(&args(&["serve"])).is_err(), "load missing");
         assert!(parse_args(&args(&["serve", "--load", "x", "--port", "high"])).is_err());
         assert!(parse_args(&args(&["serve", "--load", "x", "--cache-entries", "-1"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_overload_limits() {
+        let cmd = parse_args(&args(&[
+            "serve", "--load", "idx.snap", "--max-pending", "8", "--max-conns", "4",
+            "--max-line", "256", "--max-batch", "16", "--idle-timeout-ms", "500",
+            "--write-timeout-ms", "2000",
+        ]))
+        .unwrap();
+        let Command::Serve { limits, .. } = cmd else { panic!("expected serve") };
+        assert_eq!(
+            limits,
+            ServeLimits {
+                max_pending: 8,
+                max_conns: 4,
+                max_line: 256,
+                max_batch: 16,
+                idle_timeout_ms: Some(500),
+                write_timeout_ms: Some(2000),
+            }
+        );
+
+        // Defaults track the server's; 0 disables a timeout.
+        let d = ServeLimits::default();
+        assert_eq!(d.max_pending, 1024);
+        assert_eq!(d.max_conns, 0);
+        assert_eq!(d.max_line, 64 * 1024);
+        assert_eq!(d.max_batch, 4096);
+        assert_eq!(d.idle_timeout_ms, None);
+        assert_eq!(d.write_timeout_ms, Some(10_000));
+        let cmd = parse_args(&args(&[
+            "serve", "--load", "idx.snap", "--write-timeout-ms", "0", "--idle-timeout-ms", "0",
+        ]))
+        .unwrap();
+        let Command::Serve { limits, .. } = cmd else { panic!("expected serve") };
+        assert_eq!(limits.write_timeout_ms, None, "0 disables the write deadline");
+        assert_eq!(limits.idle_timeout_ms, None);
+
+        assert!(parse_args(&args(&["serve", "--load", "x", "--max-pending", "lots"])).is_err());
+        assert!(parse_args(&args(&["serve", "--load", "x", "--idle-timeout-ms", "-5"])).is_err());
     }
 
     #[test]

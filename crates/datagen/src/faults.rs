@@ -1,14 +1,17 @@
-//! Fault injection for the loader: a reader that fails mid-stream and a
-//! corpus of malformed network files.
+//! Fault injection for the loader: a reader that fails mid-stream, a
+//! writer that fails mid-save, and a corpus of malformed network files.
 //!
 //! Robust loading is a testable property: every entry in
 //! [`malformed_corpus`] must come back from [`crate::io::read_network`] as a
 //! typed [`LoadError`](crate::io::LoadError) — never a panic, never a bogus
 //! network — and [`FailingReader`] checks that I/O failures surfacing
 //! mid-parse map to [`LoadError::Io`](crate::io::LoadError) at any cut point.
-//! The corpus is used by the integration suite and by the CI fault job.
+//! [`FailingWriter`] is the mirror image for persistence paths: a snapshot
+//! save interrupted at a byte-exact position must surface a typed error
+//! and leave any previously saved file intact. The corpus is used by the
+//! integration suite and by the CI fault job.
 
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 
 /// Wraps a reader and injects an [`io::Error`] once `budget` bytes have
 /// been served — simulating a connection dropped or a file truncated
@@ -38,6 +41,43 @@ impl<R: Read> Read for FailingReader<R> {
         let got = self.inner.read(&mut buf[..want])?;
         self.remaining -= got;
         Ok(got)
+    }
+}
+
+/// Wraps a writer and injects an [`io::Error`] once `budget` bytes have
+/// been accepted — simulating a disk filling up or a process killed
+/// mid-save at a byte-exact position.
+#[derive(Debug)]
+pub struct FailingWriter<W> {
+    inner: W,
+    remaining: usize,
+}
+
+impl<W: Write> FailingWriter<W> {
+    /// Accepts at most `budget` bytes into `inner`, then fails.
+    pub fn new(inner: W, budget: usize) -> Self {
+        FailingWriter { inner, remaining: budget }
+    }
+
+    /// The wrapped writer (to inspect what made it through).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(io::Error::new(io::ErrorKind::WriteZero, "injected i/o fault"));
+        }
+        let want = buf.len().min(self.remaining);
+        let accepted = self.inner.write(&buf[..want])?;
+        self.remaining -= accepted;
+        Ok(accepted)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -127,6 +167,20 @@ mod tests {
                 ),
             }
         }
+    }
+
+    #[test]
+    fn failing_writer_fails_exactly_past_its_budget() {
+        let mut w = FailingWriter::new(Vec::new(), 5);
+        assert_eq!(w.write(b"abc").unwrap(), 3);
+        assert_eq!(w.write(b"defg").unwrap(), 2, "clipped to the remaining budget");
+        let e = w.write(b"h").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::WriteZero);
+        assert_eq!(w.into_inner(), b"abcde");
+
+        // write_all surfaces the injected fault as an error, never a hang.
+        let mut w = FailingWriter::new(Vec::new(), 4);
+        assert!(w.write_all(b"0123456789").is_err());
     }
 
     #[test]

@@ -27,6 +27,17 @@
 //! Entries are only ever inserted for successful answers — errors,
 //! timeouts and cancellations are not cached, so a transient failure can
 //! never be replayed from the cache.
+//!
+//! ## Epochs and `clear`
+//!
+//! A hot `RELOAD` replaces the served index, which invalidates every
+//! cached answer. [`ResultCache::clear`] drops the entries *and* bumps an
+//! epoch counter that is part of every cache key: a batch that started on
+//! the old index captures the old epoch ([`ResultCache::epoch`]) and
+//! inserts through [`ResultCache::insert_at`], so even if it races the
+//! clear and lands an entry afterwards, that entry carries the stale epoch
+//! and can never be returned for a post-reload lookup. No lock is held
+//! across the swap; staleness is structural, not timing-dependent.
 
 use gsr_geo::Rect;
 use gsr_graph::VertexId;
@@ -52,16 +63,19 @@ fn canon_bits(x: f64) -> u64 {
     }
 }
 
-/// The canonical cache key of a `RangeReach` query.
+/// The canonical cache key of a `RangeReach` query, stamped with the
+/// index epoch it was answered under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct CacheKey {
+    epoch: u64,
     vertex: VertexId,
     rect: [u64; 4],
 }
 
 impl CacheKey {
-    fn new(vertex: VertexId, rect: &Rect) -> Self {
+    fn new(epoch: u64, vertex: VertexId, rect: &Rect) -> Self {
         CacheKey {
+            epoch,
             vertex,
             rect: [
                 canon_bits(rect.min_x),
@@ -82,6 +96,7 @@ impl CacheKey {
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
         };
+        mix(self.epoch);
         mix(u64::from(self.vertex));
         for &w in &self.rect {
             mix(w);
@@ -185,6 +200,7 @@ pub struct CacheStats {
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_cap: usize,
+    epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -198,19 +214,34 @@ impl ResultCache {
         ResultCache {
             shards: (0..NUM_SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
             per_shard_cap: entries.div_ceil(NUM_SHARDS).max(1),
+            epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
+    /// The current index epoch. A batch captures this alongside its index
+    /// handle and passes it to [`ResultCache::get_at`] /
+    /// [`ResultCache::insert_at`], so its cache traffic is pinned to the
+    /// index it is actually querying.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
     fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
         &self.shards[(key.shard_hash() % NUM_SHARDS as u64) as usize]
     }
 
-    /// Looks up a cached answer, refreshing its recency on a hit.
+    /// Looks up a cached answer at the current epoch, refreshing its
+    /// recency on a hit.
     pub fn get(&self, vertex: VertexId, rect: &Rect) -> Option<bool> {
-        let key = CacheKey::new(vertex, rect);
+        self.get_at(self.epoch(), vertex, rect)
+    }
+
+    /// Looks up a cached answer under an explicitly captured epoch.
+    pub fn get_at(&self, epoch: u64, vertex: VertexId, rect: &Rect) -> Option<bool> {
+        let key = CacheKey::new(epoch, vertex, rect);
         // A poisoned shard (a panic while locked) degrades to a miss.
         let Ok(mut shard) = self.shard(&key).lock() else {
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -232,11 +263,18 @@ impl ResultCache {
         }
     }
 
-    /// Stores an answer, evicting the shard's least-recently-used entry
-    /// when the shard is full. Re-inserting an existing key refreshes its
-    /// value and recency.
+    /// Stores an answer at the current epoch, evicting the shard's
+    /// least-recently-used entry when the shard is full. Re-inserting an
+    /// existing key refreshes its value and recency.
     pub fn insert(&self, vertex: VertexId, rect: &Rect, value: bool) {
-        let key = CacheKey::new(vertex, rect);
+        self.insert_at(self.epoch(), vertex, rect, value);
+    }
+
+    /// Stores an answer under an explicitly captured epoch. An insert that
+    /// races a [`ResultCache::clear`] lands with its stale epoch baked
+    /// into the key, where no post-clear lookup can ever match it.
+    pub fn insert_at(&self, epoch: u64, vertex: VertexId, rect: &Rect, value: bool) {
+        let key = CacheKey::new(epoch, vertex, rect);
         let Ok(mut shard) = self.shard(&key).lock() else { return };
         if let Some(i) = shard.map.get(&key).copied() {
             shard.slots[i as usize].value = value;
@@ -274,6 +312,22 @@ impl ResultCache {
     /// Whether the cache currently holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Drops every cached entry and advances the epoch, for a `RELOAD`.
+    /// Counters are kept — a reload is not a measurement boundary. Entries
+    /// inserted concurrently by batches still running on the old index are
+    /// keyed under the old epoch and are unreachable afterwards; they age
+    /// out through normal LRU pressure.
+    pub fn clear(&self) {
+        // Bump the epoch first: once the clear is observable, no reader
+        // can hit an old-epoch entry even if a shard drain is in progress.
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        for shard in &self.shards {
+            if let Ok(mut s) = shard.lock() {
+                *s = Shard::new();
+            }
+        }
     }
 
     /// Zeroes the hit/miss/eviction counters for a `RESET` request. Cached
@@ -346,9 +400,9 @@ mod tests {
         // One shard in isolation: find two keys in the same shard.
         let cache = ResultCache::new(NUM_SHARDS * 2); // 2 per shard
         let mut same_shard: Vec<u32> = Vec::new();
-        let probe = CacheKey::new(0, &rect(0.0)).shard_hash() % NUM_SHARDS as u64;
+        let probe = CacheKey::new(0, 0, &rect(0.0)).shard_hash() % NUM_SHARDS as u64;
         for v in 0..1024u32 {
-            if CacheKey::new(v, &rect(0.0)).shard_hash() % NUM_SHARDS as u64 == probe {
+            if CacheKey::new(0, v, &rect(0.0)).shard_hash() % NUM_SHARDS as u64 == probe {
                 same_shard.push(v);
                 if same_shard.len() == 3 {
                     break;
@@ -379,6 +433,33 @@ mod tests {
         assert_eq!(cache.len(), 1, "entries survive a counter reset");
         assert_eq!(cache.get(1, &rect(0.0)), Some(true));
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn clear_empties_the_cache_and_advances_the_epoch() {
+        let cache = ResultCache::new(64);
+        cache.insert(1, &rect(0.0), true);
+        cache.insert(2, &rect(0.0), false);
+        let before = cache.epoch();
+        cache.clear();
+        assert_eq!(cache.epoch(), before + 1);
+        assert!(cache.is_empty(), "clear drops every entry");
+        assert_eq!(cache.get(1, &rect(0.0)), None);
+        // Counters survive: the miss above is counted on top of the two
+        // insert-time probes the test never made (inserts don't probe).
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn stale_epoch_inserts_are_unreachable_after_clear() {
+        let cache = ResultCache::new(64);
+        let old_epoch = cache.epoch();
+        cache.clear();
+        // A batch that started before the clear races its insert in
+        // afterwards, stamped with the epoch it captured at batch start.
+        cache.insert_at(old_epoch, 1, &rect(0.0), true);
+        assert_eq!(cache.get(1, &rect(0.0)), None, "stale answer never served");
+        assert_eq!(cache.get_at(old_epoch, 1, &rect(0.0)), Some(true), "but it did land");
     }
 
     #[test]

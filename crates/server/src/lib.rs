@@ -28,10 +28,36 @@
 //!   misses reach the index.
 //! * `STATS` reports queries served, error replies, p50/p99/p999 request
 //!   latency from a fixed-bucket histogram ([`ServerStats`], built on the
-//!   workspace-shared [`gsr_core::hist`] module), and the cache's
-//!   hit/miss/eviction counters. `RESET` zeroes those counters — and
-//!   nothing else — so an external load driver can make each measurement
-//!   step stand alone.
+//!   workspace-shared [`gsr_core::hist`] module), the cache's
+//!   hit/miss/eviction counters, and the overload tallies
+//!   (`shed`/`rejected`/`accept_errors`/`reloads`). `RESET` zeroes those
+//!   counters — and nothing else — so an external load driver can make
+//!   each measurement step stand alone.
+//!
+//! ## Overload and failure hardening
+//!
+//! * **Admission control**: the accept→worker queue is bounded
+//!   ([`ServerConfig::max_pending`]) and so is the number of admitted
+//!   connections ([`ServerConfig::max_conns`]). A connection past either
+//!   limit is *shed*: one best-effort `ERR 7 busy retry_ms=<hint>` line,
+//!   then close — never an unbounded queue.
+//! * **Lifecycle limits**: request lines are capped at
+//!   [`ServerConfig::max_line`] bytes (oversize → `ERR 2 line too long` +
+//!   close, which also defeats slow-loris writers), pipelined batches are
+//!   split at [`ServerConfig::max_batch`] queries, silent connections are
+//!   reaped after [`ServerConfig::idle_timeout`], and replies carry a
+//!   write deadline ([`ServerConfig::write_timeout`]) so one stalled
+//!   reader cannot wedge a worker. Every limit surfaces as a typed
+//!   protocol error; none panics or hangs.
+//! * **Hot reload**: `RELOAD <path>` loads and CRC-validates a snapshot on
+//!   a dedicated thread (off the worker pool, panic-fenced), then swaps
+//!   the served index under a write lock. In-flight batches pin the index
+//!   `Arc` (and the cache epoch) at batch start and finish on the old
+//!   index; the result cache is cleared atomically with the swap. Any
+//!   load failure leaves the old index serving and replies a typed `ERR`.
+//! * The accept loop absorbs transient `accept()` failures (EMFILE
+//!   storms) with capped exponential backoff instead of hot-spinning,
+//!   counting them as `accept_errors`.
 //!
 //! Every failure a query can hit maps onto one `ERR <code> <msg>` line
 //! mirroring the [`GsrError`] taxonomy; a malformed line never kills the
@@ -49,19 +75,28 @@ pub use cache::{CacheStats, ResultCache};
 pub use stats::{LatencyHistogram, ServerStats, StatsSnapshot};
 
 use gsr_core::{BatchExecutor, BatchOptions, BatchQuery, CancelToken, GsrError, RangeReachIndex};
-use proto::{error_reply, parse_line, Request, PROTOCOL_ERR};
+use proto::{busy_reply, error_reply, parse_line, Request, BUSY_ERR, PROTOCOL_ERR};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// How often blocked workers and connection reads wake up to poll the
 /// cancellation token. Bounds shutdown latency, not correctness.
 const POLL_TICK: Duration = Duration::from_millis(25);
 
+/// Ceiling of the accept loop's exponential backoff on repeated
+/// `accept()` failures. Also bounds shutdown latency during such a storm.
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_secs(1);
+
+/// The `retry_ms` hint sent with `ERR 7 busy` shed replies. A courtesy
+/// backoff suggestion, not a promise of capacity.
+const BUSY_RETRY_MS: u64 = 100;
+
 /// Configuration of a [`QueryServer`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Connection-handler pool size; `0` means machine parallelism.
     pub threads: usize,
@@ -70,9 +105,74 @@ pub struct ServerConfig {
     /// queries of the batch with `ERR 5`.
     pub budget: Option<Duration>,
     /// Total capacity of the sharded result cache ([`ResultCache`]);
-    /// `0` disables caching. Cached answers are exact — the index is
-    /// immutable — and only successful answers are ever cached.
+    /// `0` disables caching. Cached answers are exact — they are keyed to
+    /// the served index's epoch — and only successful answers are cached.
     pub cache_entries: usize,
+    /// Bound on the accept→worker hand-off queue; a connection arriving
+    /// with the queue full is shed (`ERR 7 busy` + close) and counted as
+    /// `shed`. `0` means unbounded (the pre-hardening behavior).
+    pub max_pending: usize,
+    /// Bound on admitted connections (queued plus being served); beyond
+    /// it new connections are refused (`ERR 7 busy` + close) and counted
+    /// as `rejected`. `0` means unlimited.
+    pub max_conns: usize,
+    /// Maximum request-line length in bytes. An oversize line — complete,
+    /// or still being dribbled in by a slow-loris writer — answers
+    /// `ERR 2 line too long` and closes the connection. `0` = unlimited.
+    pub max_line: usize,
+    /// Maximum pipelined `REACH` queries evaluated as one batch; longer
+    /// pipelines are split at the cap (answers unchanged, not an error),
+    /// bounding per-batch memory and budget-check granularity. `0` =
+    /// unlimited.
+    pub max_batch: usize,
+    /// Reap connections that have been silent this long with
+    /// `ERR 7 idle timeout` + close; `None` = never reap.
+    pub idle_timeout: Option<Duration>,
+    /// Write deadline for reply flushes, so one stalled reader cannot
+    /// wedge a worker forever; `None` = unlimited.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 0,
+            budget: None,
+            cache_entries: 0,
+            max_pending: 1024,
+            max_conns: 0,
+            max_line: 64 * 1024,
+            max_batch: 4096,
+            idle_timeout: None,
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// `0`-means-unlimited limits, normalized for comparisons.
+fn cap_or_max(cap: usize) -> usize {
+    if cap == 0 {
+        usize::MAX
+    } else {
+        cap
+    }
+}
+
+/// The reply for a request line over [`ServerConfig::max_line`].
+fn line_too_long(max: usize) -> String {
+    format!("ERR {PROTOCOL_ERR} line too long (max {max} bytes)\n")
+}
+
+/// What a connection should do after serving a flush of request lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineAction {
+    /// Keep reading requests.
+    Continue,
+    /// Close this connection (a lifecycle limit fired); the server stays
+    /// up.
+    Close,
+    /// `SHUTDOWN` was requested: the whole server stops.
+    Shutdown,
 }
 
 /// A bound TCP query service. Construct with [`QueryServer::bind`], then
@@ -80,11 +180,17 @@ pub struct ServerConfig {
 pub struct QueryServer {
     listener: TcpListener,
     local_addr: SocketAddr,
-    index: Arc<dyn RangeReachIndex>,
+    /// The served index, behind a lock only so `RELOAD` can swap it; the
+    /// read path clones the `Arc` once per batch.
+    index: RwLock<Arc<dyn RangeReachIndex>>,
     config: ServerConfig,
     cancel: CancelToken,
     stats: Arc<ServerStats>,
     cache: Option<ResultCache>,
+    /// Admitted connections: incremented at admission, decremented after
+    /// the connection's stream has been dropped (FIN before the slot
+    /// frees, so `max_conns` never over-admits).
+    live_conns: AtomicUsize,
 }
 
 /// The connection hand-off queue between the accept loop and the workers.
@@ -92,6 +198,17 @@ pub struct QueryServer {
 struct ConnQueue {
     queue: Mutex<VecDeque<TcpStream>>,
     ready: Condvar,
+}
+
+/// Frees one `live_conns` slot on drop — declared so it drops *after* the
+/// connection's stream, keeping the admission count honest even if a
+/// handler returns early.
+struct LiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl QueryServer {
@@ -114,12 +231,36 @@ impl QueryServer {
         Ok(QueryServer {
             listener,
             local_addr,
-            index,
+            index: RwLock::new(index),
             config,
             cancel: CancelToken::new(),
             stats: Arc::new(ServerStats::default()),
             cache,
+            live_conns: AtomicUsize::new(0),
         })
+    }
+
+    /// The currently served index (a cheap `Arc` clone).
+    fn current_index(&self) -> Arc<dyn RangeReachIndex> {
+        match self.index.read() {
+            Ok(g) => Arc::clone(&g),
+            // A poisoned lock means a panic while swapping; the Arc inside
+            // is still a whole index, so keep serving it.
+            Err(e) => Arc::clone(&e.into_inner()),
+        }
+    }
+
+    /// Pins the served index and its cache epoch as one consistent pair.
+    /// `reload` swaps the index and bumps the epoch under the write lock,
+    /// so a batch can never see a new index with an old epoch or vice
+    /// versa.
+    fn pinned(&self) -> (Arc<dyn RangeReachIndex>, u64) {
+        let g = match self.index.read() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        let epoch = self.cache.as_ref().map_or(0, ResultCache::epoch);
+        (Arc::clone(&g), epoch)
     }
 
     /// The bound address (resolves port 0 to the OS-assigned port).
@@ -163,26 +304,61 @@ impl QueryServer {
     }
 
     fn accept_loop(&self, conns: &ConnQueue) {
+        let mut backoff = POLL_TICK;
         while !self.cancel.is_cancelled() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    if let Ok(mut q) = conns.queue.lock() {
-                        q.push_back(stream);
-                        conns.ready.notify_one();
-                    }
+                    backoff = POLL_TICK;
+                    self.admit(stream, conns);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    backoff = POLL_TICK;
                     std::thread::sleep(POLL_TICK);
                 }
                 Err(_) => {
-                    // Transient accept failure (e.g. per-connection resource
-                    // exhaustion): back off and keep serving.
-                    std::thread::sleep(POLL_TICK);
+                    // Transient accept failure (EMFILE storms, aborted
+                    // handshakes): count it and back off with capped
+                    // exponential sleep instead of hot-spinning, so a
+                    // persistent storm costs a bounded trickle of wakeups.
+                    self.stats.record_accept_error();
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(ACCEPT_BACKOFF_CAP);
                 }
             }
         }
         // Wake every idle worker so the pool can drain and exit.
         conns.ready.notify_all();
+    }
+
+    /// Admission control: queue the connection for a worker, or shed it
+    /// with one `ERR 7 busy` line and a close. Shedding at the door keeps
+    /// both the hand-off queue and total connection state bounded no
+    /// matter how fast clients arrive.
+    fn admit(&self, stream: TcpStream, conns: &ConnQueue) {
+        let max_conns = self.config.max_conns;
+        if max_conns != 0 && self.live_conns.load(Ordering::Acquire) >= max_conns {
+            self.stats.record_rejected();
+            Self::shed(stream);
+            return;
+        }
+        let Ok(mut q) = conns.queue.lock() else { return };
+        if self.config.max_pending != 0 && q.len() >= self.config.max_pending {
+            drop(q);
+            self.stats.record_shed();
+            Self::shed(stream);
+            return;
+        }
+        self.live_conns.fetch_add(1, Ordering::AcqRel);
+        q.push_back(stream);
+        conns.ready.notify_one();
+    }
+
+    /// Refuses a connection: one busy line under a short write deadline,
+    /// then close (on drop). Best-effort — the close is the mechanism,
+    /// the hint is a courtesy.
+    fn shed(mut stream: TcpStream) {
+        let _ = stream.set_write_timeout(Some(POLL_TICK));
+        let _ = stream.write_all(busy_reply(BUSY_RETRY_MS).as_bytes());
     }
 
     fn worker_loop(&self, conns: &ConnQueue) {
@@ -203,19 +379,31 @@ impl QueryServer {
                 }
             };
             match next {
-                Some(stream) => self.handle_connection(stream),
+                Some(stream) => {
+                    // Guard first, stream into the handler second: the
+                    // stream (and its FIN) drops before the slot frees.
+                    let _live = LiveGuard(&self.live_conns);
+                    self.handle_connection(stream);
+                }
                 None => return,
             }
         }
     }
 
-    /// Serves one connection until EOF, a fatal socket error, or shutdown.
+    /// Serves one connection until EOF, a fatal socket error, a lifecycle
+    /// limit (oversize line, idle timeout), or shutdown.
     fn handle_connection(&self, mut stream: TcpStream) {
         // A finite read timeout turns the blocking read into a poll loop,
         // so shutdown is noticed within one tick even on idle connections.
         let _ = stream.set_read_timeout(Some(POLL_TICK));
+        // A write deadline keeps one stalled reader from wedging this
+        // worker: a reply flush that cannot make progress errors out and
+        // the connection closes.
+        let _ = stream.set_write_timeout(self.config.write_timeout);
         let _ = stream.set_nodelay(true);
 
+        let line_cap = cap_or_max(self.config.max_line);
+        let mut last_activity = Instant::now();
         let mut pending: Vec<u8> = Vec::new();
         let mut chunk = [0u8; 4096];
         loop {
@@ -228,19 +416,36 @@ impl QueryServer {
                     // peer may have half-closed and be waiting for replies).
                     if !pending.is_empty() {
                         let tail = std::mem::take(&mut pending);
+                        if tail.len() > line_cap {
+                            self.stats.record_protocol_error();
+                            let _ = stream
+                                .write_all(line_too_long(self.config.max_line).as_bytes());
+                            return;
+                        }
                         let (replies, _) = self.serve_lines(&tail);
                         let _ = stream.write_all(replies.as_bytes());
                     }
                     return;
                 }
                 Ok(n) => {
+                    last_activity = Instant::now();
                     pending.extend_from_slice(&chunk[..n]);
-                    let Some(last_nl) = pending.iter().rposition(|&b| b == b'\n') else {
-                        continue;
-                    };
-                    let complete: Vec<u8> = pending.drain(..=last_nl).collect();
-                    let (replies, shutdown) = self.serve_lines(&complete);
-                    if stream.write_all(replies.as_bytes()).is_err() || shutdown {
+                    if let Some(last_nl) = pending.iter().rposition(|&b| b == b'\n') {
+                        let complete: Vec<u8> = pending.drain(..=last_nl).collect();
+                        let (replies, action) = self.serve_lines(&complete);
+                        if stream.write_all(replies.as_bytes()).is_err()
+                            || action != LineAction::Continue
+                        {
+                            return;
+                        }
+                    }
+                    if pending.len() > line_cap {
+                        // The line still being assembled is already over
+                        // the cap — a slow-loris writer never gets to
+                        // finish it, and buffered bytes stay bounded.
+                        self.stats.record_protocol_error();
+                        let _ =
+                            stream.write_all(line_too_long(self.config.max_line).as_bytes());
                         return;
                     }
                 }
@@ -248,6 +453,20 @@ impl QueryServer {
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
+                    if let Some(idle) = self.config.idle_timeout {
+                        if last_activity.elapsed() >= idle {
+                            // Reap the silent connection; the reply names
+                            // the reason so a live-but-lazy client can tell
+                            // this from a crash.
+                            self.stats.record_protocol_error();
+                            let reply = format!(
+                                "ERR {BUSY_ERR} idle timeout after {} ms\n",
+                                idle.as_millis()
+                            );
+                            let _ = stream.write_all(reply.as_bytes());
+                            return;
+                        }
+                    }
                     continue;
                 }
                 Err(_) => return,
@@ -256,31 +475,51 @@ impl QueryServer {
     }
 
     /// Serves a flush of complete request lines, returning the reply text
-    /// (one line per request, in order) and whether `SHUTDOWN` was seen.
+    /// (one line per request, in order) and what the connection should do
+    /// next.
     ///
     /// Consecutive `REACH` lines form one batch through
     /// [`BatchExecutor::run_bounded`] — that is what makes pipelining pay:
     /// a client that writes 1000 queries before reading gets them evaluated
-    /// as one bounded batch, not 1000 round trips.
-    fn serve_lines(&self, bytes: &[u8]) -> (String, bool) {
+    /// as one bounded batch, not 1000 round trips. Batches are split at
+    /// [`ServerConfig::max_batch`] queries so a pathological pipeline
+    /// cannot grow one batch without bound.
+    fn serve_lines(&self, bytes: &[u8]) -> (String, LineAction) {
         let text = String::from_utf8_lossy(bytes);
         let mut replies = String::new();
         let mut batch: Vec<BatchQuery> = Vec::new();
-        let mut shutdown = false;
+        let mut action = LineAction::Continue;
+        let line_cap = cap_or_max(self.config.max_line);
+        let batch_cap = cap_or_max(self.config.max_batch);
 
         for line in text.split('\n') {
-            if shutdown {
+            if action != LineAction::Continue {
+                break;
+            }
+            if line.len() > line_cap {
+                // Flush first so replies stay in request order, then
+                // answer the oversize line and drop the connection.
+                self.flush_batch(&mut batch, &mut replies);
+                self.stats.record_protocol_error();
+                replies.push_str(&line_too_long(self.config.max_line));
+                action = LineAction::Close;
                 break;
             }
             match parse_line(line) {
                 Ok(None) => {}
-                Ok(Some(Request::Reach(v, r))) => batch.push((v, r)),
+                Ok(Some(Request::Reach(v, r))) => {
+                    batch.push((v, r));
+                    if batch.len() >= batch_cap {
+                        self.flush_batch(&mut batch, &mut replies);
+                    }
+                }
                 other => {
                     self.flush_batch(&mut batch, &mut replies);
                     match other {
                         Ok(Some(Request::Stats)) => {
                             let mut snap = self.stats.snapshot();
-                            snap.index_bytes = self.index.index_bytes() as u64;
+                            snap.index_bytes = self.current_index().index_bytes() as u64;
+                            snap.live = self.live_conns.load(Ordering::Acquire) as u64;
                             if let Some(cache) = &self.cache {
                                 snap.cache = cache.stats();
                             }
@@ -293,10 +532,23 @@ impl QueryServer {
                             }
                             replies.push_str("OK reset\n");
                         }
+                        Ok(Some(Request::Reload(path))) => match self.reload(&path) {
+                            Ok(index_bytes) => {
+                                replies
+                                    .push_str(&format!("OK reload index_bytes={index_bytes}\n"));
+                            }
+                            Err(e) => {
+                                // The old index keeps serving; the client
+                                // learns why the swap did not happen.
+                                self.stats.record_protocol_error();
+                                replies.push_str(&error_reply(&e));
+                                replies.push('\n');
+                            }
+                        },
                         Ok(Some(Request::Shutdown)) => {
                             replies.push_str("OK shutdown\n");
                             self.cancel.cancel();
-                            shutdown = true;
+                            action = LineAction::Shutdown;
                         }
                         Err(msg) => {
                             self.stats.record_protocol_error();
@@ -308,7 +560,37 @@ impl QueryServer {
             }
         }
         self.flush_batch(&mut batch, &mut replies);
-        (replies, shutdown)
+        (replies, action)
+    }
+
+    /// Handles `RELOAD <path>`: loads and CRC-validates the snapshot on a
+    /// dedicated thread (off the worker pool, so a deserializer panic is
+    /// fenced), then swaps the served index and clears the result cache
+    /// under the index write lock. In-flight batches pinned the old
+    /// `Arc`/epoch pair and finish on the old index; new batches see the
+    /// new pair. On any failure the old index keeps serving.
+    fn reload(&self, path: &str) -> Result<u64, GsrError> {
+        let owned = path.to_string();
+        let loaded = std::thread::Builder::new()
+            .name("gsr-reload".into())
+            .spawn(move || gsr_store::load_from_path(&owned))
+            .map_err(|e| GsrError::Internal(format!("reload: spawn loader: {e}")))?
+            .join()
+            .map_err(|_| GsrError::Internal("reload: snapshot loader panicked".into()))??;
+        let index_bytes = loaded.index_bytes() as u64;
+        let fresh: Arc<dyn RangeReachIndex> = Arc::new(loaded);
+        {
+            let mut g = match self.index.write() {
+                Ok(g) => g,
+                Err(e) => e.into_inner(),
+            };
+            *g = fresh;
+            if let Some(cache) = &self.cache {
+                cache.clear();
+            }
+        }
+        self.stats.record_reload();
+        Ok(index_bytes)
     }
 
     /// Evaluates the accumulated `REACH` batch and appends one reply line
@@ -325,6 +607,11 @@ impl QueryServer {
             return;
         }
         let queries = std::mem::take(batch);
+        // Pin the index and cache epoch as one pair for the whole batch: a
+        // concurrent RELOAD redirects *new* batches while this one
+        // finishes on the index it started with, and its cache inserts
+        // stay keyed to that index's epoch (unreachable after a swap).
+        let (index, epoch) = self.pinned();
         let mut options = BatchOptions::unlimited().with_cancel(self.cancel.clone());
         if let Some(budget) = self.config.budget {
             options = options.with_budget(budget);
@@ -332,13 +619,12 @@ impl QueryServer {
         let started = Instant::now();
         let (answers, errors, timed_out, cancelled) = match &self.cache {
             None => {
-                let o =
-                    BatchExecutor::new(1).run_bounded(self.index.as_ref(), &queries, &options);
+                let o = BatchExecutor::new(1).run_bounded(index.as_ref(), &queries, &options);
                 (o.answers, o.errors, o.timed_out, o.cancelled)
             }
             Some(cache) => {
                 let mut answers: Vec<Option<bool>> =
-                    queries.iter().map(|(v, r)| cache.get(*v, r)).collect();
+                    queries.iter().map(|(v, r)| cache.get_at(epoch, *v, r)).collect();
                 let misses: Vec<usize> =
                     (0..queries.len()).filter(|&i| answers[i].is_none()).collect();
                 let mut errors = Vec::new();
@@ -346,14 +632,14 @@ impl QueryServer {
                 let mut cancelled = false;
                 if !misses.is_empty() {
                     let sub: Vec<BatchQuery> = misses.iter().map(|&i| queries[i]).collect();
-                    let o = BatchExecutor::new(1).run_bounded(self.index.as_ref(), &sub, &options);
+                    let o = BatchExecutor::new(1).run_bounded(index.as_ref(), &sub, &options);
                     timed_out = o.timed_out;
                     cancelled = o.cancelled;
                     for (j, answer) in o.answers.into_iter().enumerate() {
                         let i = misses[j];
                         if let Some(hit) = answer {
                             let (v, r) = &queries[i];
-                            cache.insert(*v, r, hit);
+                            cache.insert_at(epoch, *v, r, hit);
                         }
                         answers[i] = answer;
                     }
@@ -412,7 +698,7 @@ mod tests {
             paper_example::A, r.min_x, r.min_y, r.max_x, r.max_y,
             paper_example::C, r.min_x, r.min_y, r.max_x, r.max_y,
         );
-        let (replies, shutdown) = server.serve_lines(input.as_bytes());
+        let (replies, action) = server.serve_lines(input.as_bytes());
         let lines: Vec<&str> = replies.lines().collect();
         assert_eq!(lines[0], "TRUE");
         assert_eq!(lines[1], "FALSE");
@@ -422,7 +708,7 @@ mod tests {
             "STATS must report the served index's heap footprint: {}",
             lines[2]
         );
-        assert!(!shutdown);
+        assert_eq!(action, LineAction::Continue);
     }
 
     #[test]
@@ -499,9 +785,9 @@ mod tests {
             paper_example::A, r.min_x, r.min_y, r.max_x, r.max_y,
         );
         let (_, _) = server.serve_lines(line.as_bytes());
-        let (reply, shutdown) = server.serve_lines(b"RESET\n");
+        let (reply, action) = server.serve_lines(b"RESET\n");
         assert_eq!(reply, "OK reset\n");
-        assert!(!shutdown);
+        assert_eq!(action, LineAction::Continue);
         let (stats, _) = server.serve_lines(b"STATS\n");
         assert!(stats.contains("queries=0 errors=0 p50_us=0 p99_us=0 p999_us=0"), "{stats}");
         // Cached entries survive the reset: replaying the query is a hit.
@@ -516,9 +802,102 @@ mod tests {
     fn shutdown_line_cancels_the_server() {
         let server = test_server(ServerConfig::default());
         let token = server.cancel_token();
-        let (replies, shutdown) = server.serve_lines(b"SHUTDOWN\nREACH 0 0 0 1 1\n");
+        let (replies, action) = server.serve_lines(b"SHUTDOWN\nREACH 0 0 0 1 1\n");
         assert_eq!(replies, "OK shutdown\n", "requests after SHUTDOWN are not served");
-        assert!(shutdown);
+        assert_eq!(action, LineAction::Shutdown);
         assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn oversize_line_answers_err_2_and_closes() {
+        let server = test_server(ServerConfig { max_line: 24, ..ServerConfig::default() });
+        let r = paper_example::query_region();
+        let good = format!(
+            "REACH {} {} {} {} {}",
+            paper_example::A, r.min_x, r.min_y, r.max_x, r.max_y,
+        );
+        assert!(good.len() <= 24, "test setup: the good line must fit the cap");
+        let long = format!("REACH 0 0 0 1 1{}", " ".repeat(64));
+        let input = format!("{good}\n{long}\n{good}\n");
+        let (replies, action) = server.serve_lines(input.as_bytes());
+        let lines: Vec<&str> = replies.lines().collect();
+        assert_eq!(lines[0], "TRUE", "queries before the oversize line are served in order");
+        assert_eq!(lines[1], "ERR 2 line too long (max 24 bytes)");
+        assert_eq!(lines.len(), 2, "nothing after the oversize line is served");
+        assert_eq!(action, LineAction::Close);
+    }
+
+    #[test]
+    fn batches_split_at_the_cap_with_identical_answers() {
+        let server = test_server(ServerConfig { max_batch: 2, ..ServerConfig::default() });
+        let r = paper_example::query_region();
+        let reach =
+            |v: u32| format!("REACH {v} {} {} {} {}\n", r.min_x, r.min_y, r.max_x, r.max_y);
+        let input = format!(
+            "{}{}{}{}{}",
+            reach(paper_example::A),
+            reach(paper_example::C),
+            reach(paper_example::A),
+            reach(paper_example::C),
+            reach(paper_example::A),
+        );
+        let (replies, action) = server.serve_lines(input.as_bytes());
+        assert_eq!(replies, "TRUE\nFALSE\nTRUE\nFALSE\nTRUE\n");
+        assert_eq!(action, LineAction::Continue);
+        let (stats, _) = server.serve_lines(b"STATS\n");
+        assert!(stats.contains("queries=5"), "splitting must not drop queries: {stats}");
+    }
+
+    #[test]
+    fn reload_of_a_missing_path_keeps_the_old_index_serving() {
+        let server = test_server(ServerConfig::default());
+        let r = paper_example::query_region();
+        let input = format!(
+            "RELOAD /definitely/not/a/snapshot.gsr\nREACH {} {} {} {} {}\nSTATS\n",
+            paper_example::A, r.min_x, r.min_y, r.max_x, r.max_y,
+        );
+        let (replies, action) = server.serve_lines(input.as_bytes());
+        let lines: Vec<&str> = replies.lines().collect();
+        assert!(lines[0].starts_with("ERR 3 "), "load failures are typed: {}", lines[0]);
+        assert_eq!(lines[1], "TRUE", "the old index answers as before");
+        assert!(lines[2].contains("reloads=0"), "failed swaps are not counted: {}", lines[2]);
+        assert_eq!(action, LineAction::Continue);
+    }
+
+    #[test]
+    fn reload_swaps_the_index_and_clears_the_cache() {
+        let dir = std::env::temp_dir().join("gsr_server_reload_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.gsr");
+        let prep = paper_example::prepared();
+        let snapshot = gsr_store::SnapshotIndex::ThreeDReach(ThreeDReach::build(
+            &prep,
+            SccSpatialPolicy::Replicate,
+        ));
+        gsr_store::save_to_path(&path, &snapshot).unwrap();
+
+        let server = test_server(ServerConfig { cache_entries: 64, ..ServerConfig::default() });
+        let r = paper_example::query_region();
+        let line = format!(
+            "REACH {} {} {} {} {}\n",
+            paper_example::A, r.min_x, r.min_y, r.max_x, r.max_y,
+        );
+        let (first, _) = server.serve_lines(line.as_bytes());
+        assert_eq!(first, "TRUE\n");
+
+        let (reply, action) = server.serve_lines(format!("RELOAD {}\n", path.display()).as_bytes());
+        assert!(reply.starts_with("OK reload index_bytes="), "{reply}");
+        assert_eq!(action, LineAction::Continue);
+
+        // Same answer from the swapped-in index, but recomputed: the
+        // cache was cleared, so this is a second miss, not a hit.
+        let (again, _) = server.serve_lines(line.as_bytes());
+        assert_eq!(again, "TRUE\n");
+        let (stats, _) = server.serve_lines(b"STATS\n");
+        assert!(stats.contains("cache_hits=0"), "{stats}");
+        assert!(stats.contains("cache_misses=2"), "{stats}");
+        assert!(stats.contains("reloads=1"), "{stats}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -8,13 +8,18 @@
 //! REACH <v> <min_x> <min_y> <max_x> <max_y>   ->  TRUE | FALSE | ERR <code> <msg>
 //! STATS                                       ->  STATS queries=N errors=N p50_us=N p99_us=N p999_us=N index_bytes=N ...
 //! RESET                                       ->  OK reset      (zeroes counters, keeps the index)
+//! RELOAD <path>                               ->  OK reload index_bytes=N | ERR <code> <msg> (old index keeps serving)
 //! SHUTDOWN                                    ->  OK shutdown   (server stops accepting)
 //! ```
 //!
 //! `ERR` codes mirror the CLI's exit-code mapping of the [`GsrError`]
 //! taxonomy, so a service client and a shell script read the same numbers:
 //! `1` internal, `2` protocol/malformed, `3` load, `4` invalid query
-//! (vertex or rectangle), `5` budget exceeded, `6` cancelled.
+//! (vertex or rectangle), `5` budget exceeded, `6` cancelled. Code `7`
+//! ([`BUSY_ERR`]) is service-level overload: the server sheds the
+//! connection (`ERR 7 busy retry_ms=<hint>` on admission-control rejection,
+//! `ERR 7 idle timeout ...` when a silent connection is reaped) and closes
+//! it; the client should back off and reconnect.
 
 use gsr_core::GsrError;
 use gsr_geo::Rect;
@@ -34,6 +39,11 @@ pub enum Request {
     /// cached entries are untouched; a load driver resets between sweep
     /// steps so each step's `STATS` stands alone.
     Reset,
+    /// `RELOAD <path>` — load and CRC-validate the snapshot at `path`,
+    /// then atomically swap it in as the served index (result cache
+    /// cleared; in-flight batches finish on the old index). On any load
+    /// failure the old index keeps serving and the reply is a typed `ERR`.
+    Reload(String),
     /// `SHUTDOWN` — stop the server gracefully.
     Shutdown,
 }
@@ -56,6 +66,18 @@ pub fn error_reply(e: &GsrError) -> String {
 
 /// Protocol-level error code for lines that never parse into a request.
 pub const PROTOCOL_ERR: u8 = 2;
+
+/// Service-level overload error code: the server refused or reaped the
+/// connection (admission control, idle timeout). Not part of the
+/// [`GsrError`] taxonomy — overload is a property of the service, not of
+/// any one query.
+pub const BUSY_ERR: u8 = 7;
+
+/// The shed reply sent (best-effort) before closing a refused connection.
+/// `retry_ms` is a backoff hint, not a promise of capacity.
+pub fn busy_reply(retry_ms: u64) -> String {
+    format!("ERR {BUSY_ERR} busy retry_ms={retry_ms}\n")
+}
 
 /// Parses one request line. `Ok(None)` for blank lines (ignored),
 /// `Err(msg)` for malformed input — the message becomes an
@@ -99,13 +121,21 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, String> {
             return Err("RESET takes no arguments".into());
         }
         Ok(Some(Request::Reset))
+    } else if cmd.eq_ignore_ascii_case("RELOAD") {
+        // The path is everything after the verb, so snapshot paths with
+        // spaces survive; whitespace-only means the argument is missing.
+        let path = line.trim_start()[cmd.len()..].trim();
+        if path.is_empty() {
+            return Err("RELOAD: missing <path> (usage: RELOAD <snapshot-path>)".into());
+        }
+        Ok(Some(Request::Reload(path.to_string())))
     } else if cmd.eq_ignore_ascii_case("SHUTDOWN") {
         if tokens.next().is_some() {
             return Err("SHUTDOWN takes no arguments".into());
         }
         Ok(Some(Request::Shutdown))
     } else {
-        Err(format!("unknown command {cmd:?} (expected REACH, STATS, RESET or SHUTDOWN)"))
+        Err(format!("unknown command {cmd:?} (expected REACH, STATS, RESET, RELOAD or SHUTDOWN)"))
     }
 }
 
@@ -121,6 +151,14 @@ mod tests {
         );
         assert_eq!(parse_line("stats"), Ok(Some(Request::Stats)));
         assert_eq!(parse_line("reset"), Ok(Some(Request::Reset)));
+        assert_eq!(
+            parse_line("RELOAD /var/snapshots/weeplaces.gsr"),
+            Ok(Some(Request::Reload("/var/snapshots/weeplaces.gsr".into())))
+        );
+        assert_eq!(
+            parse_line("  reload my snapshots/with spaces.gsr \r"),
+            Ok(Some(Request::Reload("my snapshots/with spaces.gsr".into())))
+        );
         assert_eq!(parse_line("SHUTDOWN\r"), Ok(Some(Request::Shutdown)));
         assert_eq!(parse_line(""), Ok(None));
         assert_eq!(parse_line("   "), Ok(None));
@@ -136,6 +174,14 @@ mod tests {
         assert!(parse_line("FETCH 3").unwrap_err().contains("unknown command"));
         assert!(parse_line("STATS now").unwrap_err().contains("no arguments"));
         assert!(parse_line("RESET hard").unwrap_err().contains("no arguments"));
+        assert!(parse_line("RELOAD").unwrap_err().contains("missing <path>"));
+        assert!(parse_line("RELOAD   \r").unwrap_err().contains("missing <path>"));
+    }
+
+    #[test]
+    fn busy_reply_carries_the_overload_code_and_hint() {
+        assert_eq!(busy_reply(100), "ERR 7 busy retry_ms=100\n");
+        assert_eq!(BUSY_ERR, 7, "code 7 extends the CLI exit-code range, which ends at 6");
     }
 
     #[test]

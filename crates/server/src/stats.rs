@@ -14,6 +14,10 @@ pub use gsr_core::hist::LatencyHistogram;
 pub struct ServerStats {
     queries: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    accept_errors: AtomicU64,
+    reloads: AtomicU64,
     hist: LatencyHistogram,
 }
 
@@ -29,9 +33,34 @@ impl ServerStats {
     }
 
     /// Records a protocol-level error (malformed or unknown line) that
-    /// never became a query.
+    /// never became a query. Also used for failed control verbs (e.g. a
+    /// `RELOAD` whose snapshot would not load): it counts `ERR` reply
+    /// lines that are not per-query answers.
     pub fn record_protocol_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection shed because the pending accept→worker queue
+    /// was at `--max-pending`.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection rejected because `--max-conns` live
+    /// connections were already admitted.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a non-`WouldBlock` `accept()` failure (EMFILE storms and
+    /// kin); the accept loop backs off exponentially while these persist.
+    pub fn record_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful `RELOAD` index swap.
+    pub fn record_reload(&self) {
+        self.reloads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Zeroes the query/error counters and the latency histogram, for a
@@ -41,6 +70,10 @@ impl ServerStats {
     pub fn reset(&self) {
         self.queries.store(0, Ordering::Relaxed);
         self.errors.store(0, Ordering::Relaxed);
+        self.shed.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
+        self.accept_errors.store(0, Ordering::Relaxed);
+        self.reloads.store(0, Ordering::Relaxed);
         self.hist.reset();
     }
 
@@ -56,6 +89,11 @@ impl ServerStats {
             p999_us: self.hist.quantile_us(0.999),
             index_bytes: 0,
             cache: crate::cache::CacheStats::default(),
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            live: 0,
         }
     }
 }
@@ -81,6 +119,18 @@ pub struct StatsSnapshot {
     /// Result-cache counters; all zero when the cache is disabled. Filled
     /// in by the server, which owns the cache.
     pub cache: crate::cache::CacheStats,
+    /// Connections shed because the pending queue was at `--max-pending`.
+    pub shed: u64,
+    /// Connections rejected because `--max-conns` were already live.
+    pub rejected: u64,
+    /// Non-`WouldBlock` `accept()` failures absorbed with backoff.
+    pub accept_errors: u64,
+    /// Successful `RELOAD` index swaps.
+    pub reloads: u64,
+    /// Admitted connections currently open (queued or being served) — a
+    /// gauge, not a counter; `RESET` does not touch it. Filled in by the
+    /// server, which owns the admission count.
+    pub live: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -88,7 +138,8 @@ impl std::fmt::Display for StatsSnapshot {
         write!(
             f,
             "queries={} errors={} p50_us={} p99_us={} p999_us={} index_bytes={} \
-             cache_hits={} cache_misses={} cache_evictions={}",
+             cache_hits={} cache_misses={} cache_evictions={} \
+             shed={} rejected={} accept_errors={} reloads={} live={}",
             self.queries,
             self.errors,
             self.p50_us,
@@ -98,6 +149,11 @@ impl std::fmt::Display for StatsSnapshot {
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
+            self.shed,
+            self.rejected,
+            self.accept_errors,
+            self.reloads,
+            self.live,
         )
     }
 }
@@ -132,13 +188,19 @@ mod tests {
         s.record_query(10, false);
         s.record_query(10, true);
         s.record_protocol_error();
+        s.record_shed();
+        s.record_shed();
+        s.record_rejected();
+        s.record_accept_error();
+        s.record_reload();
         let snap = s.snapshot();
         assert_eq!(snap.queries, 2);
         assert_eq!(snap.errors, 2);
         assert_eq!(
             snap.to_string(),
             "queries=2 errors=2 p50_us=15 p99_us=15 p999_us=15 index_bytes=0 \
-             cache_hits=0 cache_misses=0 cache_evictions=0"
+             cache_hits=0 cache_misses=0 cache_evictions=0 \
+             shed=2 rejected=1 accept_errors=1 reloads=1 live=0"
         );
     }
 
@@ -148,11 +210,19 @@ mod tests {
         s.record_query(10, false);
         s.record_query(1000, true);
         s.record_protocol_error();
+        s.record_shed();
+        s.record_rejected();
+        s.record_accept_error();
+        s.record_reload();
         s.reset();
         let snap = s.snapshot();
         assert_eq!(snap.queries, 0);
         assert_eq!(snap.errors, 0);
         assert_eq!(snap.p50_us, 0);
         assert_eq!(snap.p999_us, 0);
+        assert_eq!(snap.shed, 0);
+        assert_eq!(snap.rejected, 0);
+        assert_eq!(snap.accept_errors, 0);
+        assert_eq!(snap.reloads, 0);
     }
 }

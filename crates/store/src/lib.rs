@@ -599,13 +599,43 @@ fn load_threed_rev_parts(r: &mut impl Read) -> Result<ThreeDRevParts, GsrError> 
 // ---------------------------------------------------------------------------
 // Path helpers.
 
-/// Saves a snapshot to a file path (created or truncated).
+/// The staging path a [`save_to_path`] writes through before the atomic
+/// rename: `<path>.tmp`, always a sibling of the target so the rename
+/// never crosses a filesystem boundary. Public so fault-injection
+/// harnesses can plant the exact debris a killed save would leave.
+pub fn staging_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map_or_else(std::ffi::OsString::new, |n| n.to_os_string());
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Saves a snapshot to a file path, **crash-safely**: the bytes go to the
+/// sibling staging file ([`staging_path`]), are flushed and `sync_all`'d
+/// to disk, and only then atomically renamed over the target. A process
+/// killed at any byte of the save leaves the previous snapshot at `path`
+/// intact (plus, at worst, a stale `.tmp` the next successful save
+/// replaces) — the target is never truncated in place.
 pub fn save_to_path(path: impl AsRef<Path>, index: &SnapshotIndex) -> Result<(), GsrError> {
     let path = path.as_ref();
-    let file = std::fs::File::create(path)
-        .map_err(|e| GsrError::Internal(format!("snapshot save {}: {e}", path.display())))?;
-    let mut w = std::io::BufWriter::new(file);
-    save(&mut w, index)
+    let tmp = staging_path(path);
+    let save_err =
+        |stage: &str, e: std::io::Error| GsrError::Internal(format!("snapshot save {}: {stage}: {e}", path.display()));
+    let result = (|| {
+        let file = std::fs::File::create(&tmp).map_err(|e| save_err("create staging", e))?;
+        let mut w = std::io::BufWriter::new(file);
+        save(&mut w, index)?;
+        let file = w
+            .into_inner()
+            .map_err(|e| save_err("flush staging", e.into_error()))?;
+        file.sync_all().map_err(|e| save_err("sync staging", e))?;
+        std::fs::rename(&tmp, path).map_err(|e| save_err("rename into place", e))
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; a leftover staging file is harmless either
+        // way (the next successful save truncates and replaces it).
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Loads a snapshot from a file path.
@@ -710,5 +740,109 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn staging_path_is_a_sibling_with_tmp_suffix() {
+        assert_eq!(staging_path(Path::new("/a/b/idx.snap")), Path::new("/a/b/idx.snap.tmp"));
+        assert_eq!(staging_path(Path::new("idx.snap")), Path::new("idx.snap.tmp"));
+    }
+
+    #[test]
+    fn save_to_path_replaces_atomically_and_cleans_staging() {
+        let dir = std::env::temp_dir().join("gsr_store_atomic_save");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.snap");
+        let indexes = built_all();
+
+        super::save_to_path(&path, &indexes[4]).unwrap();
+        assert!(!staging_path(&path).exists(), "staging file must be renamed away");
+        assert_eq!(load_from_path(&path).unwrap().method_key(), "3dreach");
+
+        // Overwriting with a different method swaps the whole file.
+        super::save_to_path(&path, &indexes[2]).unwrap();
+        assert_eq!(load_from_path(&path).unwrap().method_key(), "georeach");
+        assert!(!staging_path(&path).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The crash-safety contract: a save killed at *any* byte leaves the
+    /// previous snapshot loadable. A kill mid-save leaves exactly the
+    /// debris this test plants — a partial staging file next to the intact
+    /// target — because the target is only ever touched by the final
+    /// rename of a fully synced file.
+    #[test]
+    fn partial_staging_write_never_corrupts_the_previous_snapshot() {
+        let dir = std::env::temp_dir().join("gsr_store_crash_save");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.snap");
+        let indexes = built_all();
+        let old = &indexes[4];
+        super::save_to_path(&path, old).unwrap();
+        let old_answers: Vec<bool> = paper_example::probe_regions()
+            .iter()
+            .map(|r| old.query(paper_example::A, r))
+            .collect();
+
+        let mut new_bytes = Vec::new();
+        save(&mut new_bytes, &indexes[5]).unwrap();
+        let step = (new_bytes.len() / 32).max(1);
+        for cut in (0..=new_bytes.len()).step_by(step) {
+            // Simulate a kill after `cut` bytes of the staging write.
+            std::fs::write(staging_path(&path), &new_bytes[..cut]).unwrap();
+            let reloaded = load_from_path(&path)
+                .unwrap_or_else(|e| panic!("old snapshot corrupted at cut {cut}: {e}"));
+            assert_eq!(reloaded.method_key(), "3dreach", "cut {cut}");
+            for (r, expect) in paper_example::probe_regions().iter().zip(&old_answers) {
+                assert_eq!(reloaded.query(paper_example::A, r), *expect, "cut {cut}");
+            }
+        }
+        // After any such crash, the next save still succeeds and swaps in
+        // the new index, clobbering the stale staging file.
+        super::save_to_path(&path, &indexes[5]).unwrap();
+        assert_eq!(load_from_path(&path).unwrap().method_key(), "3dreach-rev");
+        assert!(!staging_path(&path).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// I/O faults while encoding surface as typed errors (never a panic),
+    /// mirroring the `FailingReader` contract on the load side.
+    #[test]
+    fn failing_writer_faults_are_typed_errors() {
+        use gsr_datagen::faults::FailingWriter;
+        let index = &built_all()[4];
+        let mut full = Vec::new();
+        save(&mut full, index).unwrap();
+        let step = (full.len() / 16).max(1);
+        for budget in (0..full.len()).step_by(step) {
+            let mut w = FailingWriter::new(Vec::new(), budget);
+            match save(&mut w, index) {
+                Err(GsrError::Internal(msg)) => {
+                    assert!(msg.contains("snapshot save"), "{msg}")
+                }
+                other => panic!("budget {budget}: expected Internal error, got {other:?}"),
+            }
+        }
+    }
+
+    /// A save that cannot even create its staging file (here: the staging
+    /// path is a directory) fails with a typed error and leaves the
+    /// existing snapshot byte-identical.
+    #[test]
+    fn unwritable_staging_path_leaves_the_target_untouched() {
+        let dir = std::env::temp_dir().join("gsr_store_unwritable_staging");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.snap");
+        let indexes = built_all();
+        super::save_to_path(&path, &indexes[4]).unwrap();
+        let before = std::fs::read(&path).unwrap();
+
+        std::fs::create_dir_all(staging_path(&path)).unwrap();
+        match super::save_to_path(&path, &indexes[5]) {
+            Err(GsrError::Internal(msg)) => assert!(msg.contains("staging"), "{msg}"),
+            other => panic!("expected Internal error, got {other:?}"),
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), before, "target must be untouched");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,64 @@
+//! End-to-end chaos drill at scale 0: every attack scenario of
+//! `gsr_bench::chaos` must end with all attempts handled as specified —
+//! typed refusals for malformed/hostile input, oracle-correct answers
+//! under concurrent hot reloads, and no snapshot corruption at any
+//! kill-during-save truncation point.
+
+use gsr_bench::chaos::{chaos_json, run_experiment, ChaosOptions};
+use gsr_bench::Config;
+
+fn drill_config() -> (Config, ChaosOptions) {
+    let cfg = Config { scale: 0.0, queries: 20, seed: 17, threads: 1 };
+    // Smaller than the repro defaults so the suite stays fast on one CPU,
+    // but every scenario still mounts multiple concurrent attacks.
+    let opts = ChaosOptions { attackers: 4, kill_points: 25, reloads: 3, clients: 2 };
+    (cfg, opts)
+}
+
+#[test]
+fn every_chaos_scenario_survives_at_scale_zero() {
+    let (cfg, opts) = drill_config();
+    let (_table, scenarios) = run_experiment(&cfg, &opts).expect("chaos drill must run");
+
+    let expected = [
+        "oversize-line",
+        "slow-loris",
+        "idle-reap",
+        "torn-pipeline",
+        "conn-flood",
+        "queue-shed",
+        "reload-storm",
+        "kill-during-save",
+        "snapshot-corruption",
+    ];
+    let names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+    assert_eq!(names, expected, "the drill must mount every scenario, in order");
+
+    for s in &scenarios {
+        assert!(s.attempts > 0, "{}: no attacks mounted", s.name);
+        assert!(
+            s.passed(),
+            "{}: {}/{} handled — {}",
+            s.name,
+            s.handled,
+            s.attempts,
+            s.detail
+        );
+    }
+}
+
+#[test]
+fn chaos_json_reports_every_scenario_with_a_verdict() {
+    let (cfg, opts) = drill_config();
+    let (_table, scenarios) = run_experiment(&cfg, &opts).expect("chaos drill must run");
+    let json = chaos_json(&cfg, &opts, &scenarios);
+
+    assert!(json.starts_with("{\n"), "{json}");
+    assert!(json.ends_with("}\n"), "{json}");
+    assert!(json.contains("\"experiment\": \"chaos\""), "{json}");
+    for s in &scenarios {
+        assert!(json.contains(&format!("\"name\": \"{}\"", s.name)), "{json}");
+    }
+    assert!(json.contains("\"passed\": true"), "{json}");
+    assert!(!json.contains("\"passed\": false"), "a failing verdict leaked into the artifact");
+}

@@ -288,8 +288,9 @@ fn replay_vs_oracle_agreement_through_gsr_serve() {
 }
 
 /// The full experiment driver end to end at scale 0: a sweep must produce
-/// at least `min_steps` reconciling steps with zero oracle mismatches, and
-/// the JSON artifact must carry the per-step fields the plots need.
+/// at least `min_steps` reconciling steps with zero oracle mismatches, the
+/// overload step must actually shed its flood with tallies that balance,
+/// and the JSON artifact must carry the fields the plots need.
 #[test]
 fn sweep_experiment_end_to_end_at_scale_zero() {
     let cfg = gsr_bench::Config { scale: 0.0, queries: 30, seed: 11, threads: 1 };
@@ -300,7 +301,7 @@ fn sweep_experiment_end_to_end_at_scale_zero() {
         sweep: true,
         cache_entries: 512,
     };
-    let (table, steps) = run_experiment(&cfg, &opts).expect("loadtest experiment");
+    let (table, steps, overload) = run_experiment(&cfg, &opts).expect("loadtest experiment");
     assert!(steps.len() >= 4, "a sweep maps at least 4 rate steps, got {}", steps.len());
     assert_eq!(table.len(), steps.len());
     for (i, step) in steps.iter().enumerate() {
@@ -311,9 +312,18 @@ fn sweep_experiment_end_to_end_at_scale_zero() {
             step.offered_qps
         );
     }
-    let json = gsr_bench::loadtest::loadtest_json(&cfg, &opts, &steps);
+    overload.reconcile().unwrap_or_else(|e| panic!("overload does not reconcile: {e}"));
+    assert!(overload.busy > 0, "the flood must be shed: {overload:?}");
+    assert_eq!(overload.holders, opts.clients);
+    assert_eq!(
+        overload.busy,
+        overload.server_shed + overload.server_rejected,
+        "every busy reply is one server-side refusal: {overload:?}"
+    );
+    let json = gsr_bench::loadtest::loadtest_json(&cfg, &opts, &steps, Some(&overload));
     for field in ["\"offered_qps\"", "\"achieved_qps\"", "\"p50_us\"", "\"p99_us\"",
-        "\"p999_us\"", "\"cache_hit_rate\"", "\"per_client_completed\"", "\"mismatches\""]
+        "\"p999_us\"", "\"cache_hit_rate\"", "\"per_client_completed\"", "\"mismatches\"",
+        "\"overload\"", "\"shed_rate\"", "\"served_p99_us\""]
     {
         assert!(json.contains(field), "JSON missing {field}:\n{json}");
     }

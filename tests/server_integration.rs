@@ -370,6 +370,179 @@ fn cancel_token_stops_the_server_without_a_client() {
     thread.join().expect("run() must return after cancel");
 }
 
+/// `STATS` on its own connection, retrying while admission control still
+/// sheds (used right after flood tests drop their held connections).
+fn stats_with_retry(addr: SocketAddr) -> String {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (mut reader, mut stream) = connect(addr);
+        stream.write_all(b"STATS\n").unwrap();
+        let reply = read_line(&mut reader);
+        if reply.starts_with("STATS ") {
+            return reply;
+        }
+        assert!(Instant::now() < deadline, "STATS never got through: {reply}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn stat_field(stats: &str, name: &str) -> u64 {
+    stats
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix(&format!("{name}=")))
+        .unwrap_or_else(|| panic!("{name} missing from {stats}"))
+        .parse()
+        .unwrap()
+}
+
+/// RESET zeroes counters but keeps both the index and the cached entries;
+/// RELOAD swaps the index (here: the same snapshot, so answers must not
+/// change) and *clears* the cache, so the next probe misses again. A
+/// RELOAD of a missing path is a typed load error that leaves the old
+/// index serving.
+#[test]
+fn reset_keeps_the_cache_where_reload_clears_it() {
+    let fx = start_serve("reload", &["--cache-entries", "64"]);
+    let snap_path = fx.dir.join("idx.snap").to_string_lossy().to_string();
+    let (mut reader, mut stream) = connect(fx.addr);
+
+    // Prime the cache, then RESET: the entry must survive.
+    stream.write_all(b"REACH 0 0 0 1 1\n").unwrap();
+    let first = read_line(&mut reader);
+    assert!(first == "TRUE" || first == "FALSE", "{first}");
+    stream.write_all(b"RESET\nREACH 0 0 0 1 1\nSTATS\n").unwrap();
+    assert_eq!(read_line(&mut reader), "OK reset");
+    assert_eq!(read_line(&mut reader), first);
+    let stats = read_line(&mut reader);
+    assert_eq!(stat_field(&stats, "cache_hits"), 1, "RESET keeps cache entries: {stats}");
+    assert_eq!(stat_field(&stats, "reloads"), 0, "{stats}");
+    let index_bytes = stat_field(&stats, "index_bytes");
+    assert!(index_bytes > 0, "{stats}");
+
+    // A RELOAD that cannot load is a typed load error; the old index and
+    // the cache keep serving.
+    stream.write_all(b"RELOAD /nonexistent/never.snap\nREACH 0 0 0 1 1\n").unwrap();
+    assert!(read_line(&mut reader).starts_with("ERR 3 "), "missing snapshot is a load error");
+    assert_eq!(read_line(&mut reader), first, "old index keeps serving after a failed RELOAD");
+
+    // A real RELOAD swaps the index and clears the cache: the reload
+    // counter advances, and the same query must re-miss afterwards.
+    stream.write_all(format!("RELOAD {snap_path}\nSTATS\n").as_bytes()).unwrap();
+    let reload = read_line(&mut reader);
+    assert!(reload.starts_with("OK reload index_bytes="), "{reload}");
+    let stats = read_line(&mut reader);
+    assert_eq!(stat_field(&stats, "reloads"), 1, "{stats}");
+    let hits_before = stat_field(&stats, "cache_hits");
+    let misses_before = stat_field(&stats, "cache_misses");
+    stream.write_all(b"REACH 0 0 0 1 1\nSTATS\n").unwrap();
+    assert_eq!(read_line(&mut reader), first, "the reloaded snapshot answers identically");
+    let stats = read_line(&mut reader);
+    assert_eq!(stat_field(&stats, "cache_hits"), hits_before, "RELOAD clears the cache: {stats}");
+    assert_eq!(stat_field(&stats, "cache_misses"), misses_before + 1, "{stats}");
+    assert_eq!(stat_field(&stats, "index_bytes"), index_bytes, "same snapshot, same size");
+
+    shutdown_and_join(fx);
+}
+
+/// With `--max-conns` at the worker count, held connections pin every
+/// admission slot: new arrivals get one `ERR 7 busy` line and a close,
+/// counted under `rejected=`, and the slots come back once the holders
+/// leave.
+#[test]
+fn connections_past_max_conns_are_rejected_with_busy() {
+    let fx = start_serve("shed", &["--max-conns", "2"]);
+
+    let mut holders = Vec::new();
+    for _ in 0..2 {
+        let (mut reader, mut stream) = connect(fx.addr);
+        stream.write_all(b"REACH 0 0 0 1 1\n").unwrap();
+        let reply = read_line(&mut reader);
+        assert!(reply == "TRUE" || reply == "FALSE", "{reply}");
+        holders.push((reader, stream));
+    }
+    for k in 0..3 {
+        let (mut reader, _stream) = connect(fx.addr);
+        let reply = read_line(&mut reader);
+        assert!(
+            reply.starts_with("ERR 7 busy retry_ms="),
+            "arrival {k} must be turned away typed: {reply}"
+        );
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "busy closes the connection");
+    }
+    drop(holders);
+
+    let stats = stats_with_retry(fx.addr);
+    assert_eq!(stat_field(&stats, "rejected"), 3, "{stats}");
+    assert_eq!(stat_field(&stats, "shed"), 0, "{stats}");
+    assert_eq!(stat_field(&stats, "queries"), 2, "only the held connections queried: {stats}");
+    assert_eq!(stat_field(&stats, "errors"), 0, "busy refusals are not errors: {stats}");
+    assert_eq!(stat_field(&stats, "live"), 1, "slots must come back (STATS counts itself)");
+
+    shutdown_and_join(fx);
+}
+
+/// Connection-lifecycle limits through the CLI flags: an oversize line is
+/// refused with `ERR 2` and a close, a blank-line flood is ignored without
+/// counters moving, and a mid-pipeline disconnect still answers every
+/// complete line plus one typed error for the torn tail — with `STATS`
+/// reconciling the whole session exactly.
+#[test]
+fn lifecycle_limits_refuse_oversize_blank_and_torn_input() {
+    let fx = start_serve("limits", &["--max-line", "64"]);
+
+    // Oversize: refused, typed, closed.
+    let (mut reader, mut stream) = connect(fx.addr);
+    let long = format!("REACH {}\n", "9".repeat(200));
+    stream.write_all(long.as_bytes()).unwrap();
+    assert_eq!(read_line(&mut reader), "ERR 2 line too long (max 64 bytes)");
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "oversize closes the connection");
+
+    // Blank-line flood: ignored entirely; the connection stays usable.
+    let (mut reader, mut stream) = connect(fx.addr);
+    let flood = "\n".repeat(10_000);
+    stream.write_all(flood.as_bytes()).unwrap();
+    stream.write_all(b"REACH 0 0 0 1 1\n").unwrap();
+    let answer = read_line(&mut reader);
+    assert!(answer == "TRUE" || answer == "FALSE", "{answer}");
+    drop((reader, stream));
+
+    // Mid-pipeline disconnect: five complete queries plus a torn tail,
+    // then a half-close. Every complete line answers; the tail is one
+    // typed protocol error.
+    let (mut reader, mut stream) = connect(fx.addr);
+    let mut request = String::new();
+    for v in 0..5 {
+        request.push_str(&format!("REACH {v} 0 0 1 1\n"));
+    }
+    request.push_str("REACH 0 0 0"); // torn: no newline, wrong arity
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut replies = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        replies.push(line.trim_end().to_string());
+    }
+    assert_eq!(replies.len(), 6, "5 answers + 1 torn-tail error: {replies:?}");
+    for (v, reply) in replies[..5].iter().enumerate() {
+        assert!(reply == "TRUE" || reply == "FALSE", "query {v}: {reply}");
+    }
+    assert!(replies[5].starts_with("ERR 2 "), "torn tail must be typed: {}", replies[5]);
+
+    // Exact reconciliation of the whole session: 1 (blank-flood probe)
+    // + 5 (pipeline) queries; 1 oversize + 1 torn tail = 2 errors.
+    let stats = stats_with_retry(fx.addr);
+    assert_eq!(stat_field(&stats, "queries"), 6, "{stats}");
+    assert_eq!(stat_field(&stats, "errors"), 2, "{stats}");
+    assert_eq!(stat_field(&stats, "shed") + stat_field(&stats, "rejected"), 0, "{stats}");
+
+    shutdown_and_join(fx);
+}
+
 fn shutdown_and_join(fx: ServeFixture) {
     let (mut reader, mut stream) = connect(fx.addr);
     stream.write_all(b"SHUTDOWN\n").unwrap();
