@@ -779,27 +779,37 @@ pub struct SnapshotPoint {
     pub method: String,
     /// Cold-start index construction, milliseconds.
     pub build_ms: f64,
-    /// Snapshot serialization, milliseconds.
+    /// Snapshot serialization (current v3 format), milliseconds.
     pub save_ms: f64,
-    /// Snapshot size in bytes.
+    /// v3 snapshot size in bytes.
     pub snapshot_bytes: usize,
-    /// Snapshot deserialization + validation, milliseconds.
+    /// v3 load from a file (mmap + validation), milliseconds. Also kept
+    /// under its historical name `load_ms` in the JSON trajectory.
     pub load_ms: f64,
-    /// `build_ms / load_ms` — how much faster a replica starts from a
+    /// Legacy v2 load from a file (streaming decode), milliseconds.
+    pub load_ms_v2: f64,
+    /// v3 load throughput, `snapshot_bytes / load_ms`, in MB/s (decimal
+    /// megabytes). On the mmap path this exceeds disk bandwidth because
+    /// pages fault in lazily during queries.
+    pub load_mb_per_s: f64,
+    /// `build_ms / load_ms` — how much faster a replica starts from a v3
     /// snapshot than from a rebuild.
     pub load_speedup: f64,
-    /// Whether the loaded index answered the probe workload identically.
+    /// Whether both loaded copies (v2 and v3) answered the probe workload
+    /// identically to the freshly built index.
     pub agree: bool,
 }
 
 /// **Extension (new subsystem)**: cold-start rebuild vs snapshot load.
 ///
-/// For every dataset × method: time the cold index build, serialize it
-/// through `gsr-store`, time the load back, and replay a probe workload on
-/// both copies to confirm bit-identical answers. The point of the snapshot
-/// subsystem is the `load speedup` column: a query-service replica pays
-/// the serialization format's decode cost instead of the full construction
-/// cost.
+/// For every dataset × method: time the cold index build, persist it as
+/// both a v3 snapshot (`gsr_store::save`, the zero-copy format) and a
+/// legacy v2 snapshot (`gsr_store::save_v2`, streaming decode), time
+/// loading each back **from a file** — the v3 path memory-maps it — and
+/// replay a probe workload on all copies to confirm bit-identical answers.
+/// The point of the format change is the `load v3` column: a replica's
+/// restart cost is the mmap + structural validation, not a decode of every
+/// section.
 pub fn snapshot(datasets: &[Dataset], cfg: &Config) -> (TextTable, Vec<SnapshotPoint>) {
     use std::time::Instant;
 
@@ -809,12 +819,16 @@ pub fn snapshot(datasets: &[Dataset], cfg: &Config) -> (TextTable, Vec<SnapshotP
         "build [ms]",
         "save [ms]",
         "snapshot [MB]",
-        "load [ms]",
+        "load v2 [ms]",
+        "load v3 [ms]",
         "load speedup",
+        "v3 [MB/s]",
         "answers",
     ]);
     let mut points = Vec::new();
     let default_bucket = DegreeBucket::PAPER_BUCKETS[DegreeBucket::DEFAULT_INDEX];
+    let dir = std::env::temp_dir().join(format!("gsr_bench_snapshot_{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
 
     for ds in datasets {
         let gen = WorkloadGen::new(&ds.prep);
@@ -825,10 +839,17 @@ pub fn snapshot(datasets: &[Dataset], cfg: &Config) -> (TextTable, Vec<SnapshotP
             let built = method_snapshot(kind, &ds.prep);
             let build_ms = start.elapsed().as_secs_f64() * 1e3;
 
-            let mut bytes = Vec::new();
+            let v3_path = dir.join(format!("{}.v3.snap", built.method_key()));
+            let v2_path = dir.join(format!("{}.v2.snap", built.method_key()));
             let start = Instant::now();
-            let saved = gsr_store::save(&mut bytes, &built).is_ok();
+            let saved = gsr_store::save_to_path(&v3_path, &built).is_ok();
             let save_ms = start.elapsed().as_secs_f64() * 1e3;
+            // The v2 copy exists only to measure the legacy decode.
+            let mut v2_bytes = Vec::new();
+            let saved = saved
+                && gsr_store::save_v2(&mut v2_bytes, &built).is_ok()
+                && std::fs::write(&v2_path, &v2_bytes).is_ok();
+            drop(v2_bytes);
             if !saved {
                 t.row([
                     ds.name.to_string(),
@@ -838,35 +859,43 @@ pub fn snapshot(datasets: &[Dataset], cfg: &Config) -> (TextTable, Vec<SnapshotP
                 ]);
                 continue;
             }
+            let snapshot_bytes =
+                std::fs::metadata(&v3_path).map(|m| m.len() as usize).unwrap_or(0);
 
             let start = Instant::now();
-            let loaded = gsr_store::load(&mut bytes.as_slice());
+            let loaded_v2 = gsr_store::load_from_path(&v2_path);
+            let load_ms_v2 = start.elapsed().as_secs_f64() * 1e3;
+            let start = Instant::now();
+            let loaded_v3 = gsr_store::load_from_path(&v3_path);
             let load_ms = start.elapsed().as_secs_f64() * 1e3;
-            let Ok(loaded) = loaded else {
+            let (Ok(loaded_v2), Ok(loaded_v3)) = (loaded_v2, loaded_v3) else {
                 t.row([
                     ds.name.to_string(),
                     built.method_key().to_string(),
                     format!("{build_ms:.2}"),
                     format!("{save_ms:.2}"),
-                    fmt_mb(bytes.len()),
+                    fmt_mb(snapshot_bytes),
                     "load failed".to_string(),
                 ]);
                 continue;
             };
 
-            let agree = w
-                .queries
-                .iter()
-                .all(|(v, r)| built.query(*v, r) == loaded.query(*v, r));
+            let agree = w.queries.iter().all(|(v, r)| {
+                let want = built.query(*v, r);
+                loaded_v3.query(*v, r) == want && loaded_v2.query(*v, r) == want
+            });
             let load_speedup = build_ms / load_ms.max(1e-6);
+            let load_mb_per_s = snapshot_bytes as f64 / 1e6 / (load_ms.max(1e-6) / 1e3);
             t.row([
                 ds.name.to_string(),
                 built.method_key().to_string(),
                 format!("{build_ms:.2}"),
                 format!("{save_ms:.2}"),
-                fmt_mb(bytes.len()),
+                fmt_mb(snapshot_bytes),
+                format!("{load_ms_v2:.2}"),
                 format!("{load_ms:.2}"),
                 format!("{load_speedup:.1}x"),
+                format!("{load_mb_per_s:.0}"),
                 if agree { "identical".to_string() } else { "MISMATCH".to_string() },
             ]);
             points.push(SnapshotPoint {
@@ -874,13 +903,16 @@ pub fn snapshot(datasets: &[Dataset], cfg: &Config) -> (TextTable, Vec<SnapshotP
                 method: built.method_key().to_string(),
                 build_ms,
                 save_ms,
-                snapshot_bytes: bytes.len(),
+                snapshot_bytes,
                 load_ms,
+                load_ms_v2,
+                load_mb_per_s,
                 load_speedup,
                 agree,
             });
         }
     }
+    let _ = std::fs::remove_dir_all(&dir);
     (t, points)
 }
 
@@ -896,6 +928,7 @@ pub fn snapshot_json(cfg: &Config, points: &[SnapshotPoint]) -> String {
         s.push_str(&format!(
             "    {{\"dataset\": \"{}\", \"method\": \"{}\", \"build_ms\": {:.3}, \
              \"save_ms\": {:.3}, \"snapshot_bytes\": {}, \"load_ms\": {:.3}, \
+             \"load_ms_v2\": {:.3}, \"load_ms_v3\": {:.3}, \"load_mb_per_s\": {:.1}, \
              \"load_speedup\": {:.2}, \"agree\": {}}}{}\n",
             p.dataset,
             p.method,
@@ -903,6 +936,9 @@ pub fn snapshot_json(cfg: &Config, points: &[SnapshotPoint]) -> String {
             p.save_ms,
             p.snapshot_bytes,
             p.load_ms,
+            p.load_ms_v2,
+            p.load_ms,
+            p.load_mb_per_s,
             p.load_speedup,
             p.agree,
             if i + 1 == points.len() { "" } else { "," }
@@ -1373,10 +1409,14 @@ mod tests {
         for p in &points {
             assert!(p.agree, "{}/{} answers diverged after load", p.dataset, p.method);
             assert!(p.snapshot_bytes > 0);
+            assert!(p.load_ms > 0.0 && p.load_ms_v2 > 0.0 && p.load_mb_per_s > 0.0);
         }
         let json = snapshot_json(&cfg, &points);
         assert!(json.contains("\"experiment\": \"snapshot\""));
         assert!(json.contains("\"method\": \"3dreach\""), "{json}");
+        assert!(json.contains("\"load_ms_v2\""), "{json}");
+        assert!(json.contains("\"load_ms_v3\""), "{json}");
+        assert!(json.contains("\"load_mb_per_s\""), "{json}");
         assert_eq!(json.matches("\"agree\": true").count(), ALL_METHODS.len(), "{json}");
     }
 

@@ -86,7 +86,7 @@ pub enum Command {
         save: PathBuf,
     },
     /// `gsr serve --load PATH [--port P] [--threads T] [--budget-ms B]
-    /// [--cache-entries N] [overload limit flags]`
+    /// [--cache-entries N] [--trust-snapshot] [overload limit flags]`
     Serve {
         /// Snapshot to load (built with `gsr build --save`).
         load: PathBuf,
@@ -99,6 +99,9 @@ pub enum Command {
         budget_ms: Option<u64>,
         /// Result-cache capacity in entries (`0` = caching disabled).
         cache_entries: usize,
+        /// Skip the eager CRC pass on v3 snapshot loads (startup and
+        /// `RELOAD`); structural validation still runs.
+        trust: bool,
         /// Overload and connection-lifecycle limits.
         limits: ServeLimits,
     },
@@ -166,6 +169,8 @@ usage:
   gsr build FILE --method <3dreach|3dreach-rev|spareach-bfl|spareach-int|georeach|socreach>
                  --save PATH [--threads T]          (persist a built index as a snapshot)
   gsr serve --load PATH [--port P] [--threads T] [--budget-ms B] [--cache-entries N]
+                 [--trust-snapshot]                 (skip the eager CRC pass on v3
+                                                     loads; structural checks remain)
                  [--max-pending N] [--max-conns N]  (admission control; over-limit
                                                      connections get ERR 7 busy)
                  [--max-line BYTES] [--max-batch N] (request-line / pipeline caps)
@@ -236,6 +241,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
+            // Boolean flags take no value; everything else consumes one.
+            if name == "trust-snapshot" {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             let value = it.next().ok_or_else(|| err(format!("--{name} needs a value")))?;
             flags.insert(name.to_string(), value.clone());
         } else {
@@ -358,6 +368,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 threads,
                 budget_ms,
                 cache_entries,
+                trust: flags.contains_key("trust-snapshot"),
                 limits: ServeLimits {
                     max_pending,
                     max_conns,
@@ -592,8 +603,14 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn st
                 save.display()
             )?;
         }
-        Command::Serve { load, port, threads, budget_ms, cache_entries, limits } => {
-            let index = gsr_store::load_shared(&load)?;
+        Command::Serve { load, port, threads, budget_ms, cache_entries, trust, limits } => {
+            let started = std::time::Instant::now();
+            let (index, info) = gsr_store::load_from_path_with(
+                &load,
+                gsr_store::LoadOptions { trust },
+            )?;
+            let load_ms = started.elapsed().as_millis().min(u64::MAX as u128) as u64;
+            let index = std::sync::Arc::new(index);
             let config = gsr_server::ServerConfig {
                 threads,
                 budget: budget_ms.map(Duration::from_millis),
@@ -604,12 +621,29 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn st
                 max_batch: limits.max_batch,
                 idle_timeout: limits.idle_timeout_ms.map(Duration::from_millis),
                 write_timeout: limits.write_timeout_ms.map(Duration::from_millis),
+                trust_snapshot: trust,
             };
             let server = gsr_server::QueryServer::bind(("127.0.0.1", port), index, config)
                 .map_err(|e| Box::new(e) as Box<dyn std::error::Error>)?;
+            server.stats().record_load(load_ms, info.format);
+            writeln!(
+                out,
+                "loaded {} (format v{}, {} bytes, {}) in {load_ms} ms",
+                load.display(),
+                info.format,
+                info.file_bytes,
+                if info.mapped { "memory-mapped" } else { "heap-decoded" },
+            )?;
             // Printed (and flushed) before blocking so `--port 0` callers
-            // can read the OS-assigned port.
+            // can read the OS-assigned port. Everything above already
+            // happened, so restart-to-serving is load_ms + bind, and the
+            // ready line says so.
             writeln!(out, "listening on {}", server.local_addr())?;
+            writeln!(
+                out,
+                "ready to serve in {} ms (snapshot load {load_ms} ms)",
+                started.elapsed().as_millis()
+            )?;
             out.flush()?;
             server.run()?;
             writeln!(out, "server stopped")?;
@@ -744,6 +778,7 @@ mod tests {
                 threads: 2,
                 budget_ms: Some(50),
                 cache_entries: 1024,
+                trust: false,
                 limits: ServeLimits::default(),
             }
         );
@@ -752,6 +787,13 @@ mod tests {
             cmd,
             Command::Serve { port: 7070, threads: 0, budget_ms: None, cache_entries: 0, .. }
         ));
+        // --trust-snapshot is boolean: it consumes no value, so flags
+        // after it still parse.
+        let cmd = parse_args(&args(&[
+            "serve", "--load", "idx.snap", "--trust-snapshot", "--port", "9",
+        ]))
+        .unwrap();
+        assert!(matches!(cmd, Command::Serve { trust: true, port: 9, .. }));
         assert!(parse_args(&args(&["serve"])).is_err(), "load missing");
         assert!(parse_args(&args(&["serve", "--load", "x", "--port", "high"])).is_err());
         assert!(parse_args(&args(&["serve", "--load", "x", "--cache-entries", "-1"])).is_err());

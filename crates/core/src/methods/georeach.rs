@@ -23,7 +23,7 @@
 use crate::{PreparedNetwork, QueryCost, RangeReachIndex};
 use gsr_geo::Rect;
 use gsr_graph::scc::CompId;
-use gsr_graph::{topo, VertexId};
+use gsr_graph::{topo, Col, VertexId};
 use gsr_index::grid::{CellId, HierarchicalGrid};
 
 /// Construction parameters of the SPA-graph (Section 2.2.2).
@@ -99,14 +99,14 @@ pub struct GeoReachParts {
 /// The GeoReach evaluator: SPA-graph over the condensation DAG.
 #[derive(Debug, Clone)]
 pub struct GeoReach {
-    comp_of: Vec<CompId>,
+    comp_of: Col<CompId>,
     dag: gsr_graph::DiGraph,
     grid: HierarchicalGrid,
     info: Vec<SpaInfo>,
     /// Member points per component (CSR) for the exact checks during the
     /// traversal.
-    member_offsets: Vec<u32>,
-    member_points: Vec<gsr_geo::Point>,
+    member_offsets: Col<u32>,
+    member_points: Col<gsr_geo::Point>,
 }
 
 impl GeoReach {
@@ -213,12 +213,13 @@ impl GeoReach {
         GeoReach {
             comp_of: (0..prep.network().num_vertices() as VertexId)
                 .map(|v| prep.comp(v))
-                .collect(),
+                .collect::<Vec<CompId>>()
+                .into(),
             dag,
             grid,
             info,
-            member_offsets,
-            member_points,
+            member_offsets: member_offsets.into(),
+            member_points: member_points.into(),
         }
     }
 
@@ -234,22 +235,39 @@ impl GeoReach {
     /// Decomposes the index for snapshot encoding.
     pub fn to_parts(&self) -> GeoReachParts {
         GeoReachParts {
-            comp_of: self.comp_of.clone(),
+            comp_of: self.comp_of.to_vec(),
             dag: self.dag.clone(),
             space: *self.grid.space(),
             finest_exp: self.grid.finest_exp(),
-            info: self
-                .info
-                .iter()
-                .map(|i| match i {
-                    SpaInfo::B(b) => SpaInfoParts::B(*b),
-                    SpaInfo::R(r) => SpaInfoParts::R(*r),
-                    SpaInfo::G(cells) => SpaInfoParts::G(cells.clone()),
-                })
-                .collect(),
-            member_offsets: self.member_offsets.clone(),
-            member_points: self.member_points.clone(),
+            info: self.spa_info().collect(),
+            member_offsets: self.member_offsets.to_vec(),
+            member_points: self.member_points.to_vec(),
         }
+    }
+
+    /// Streams the per-component SPA-graph information as public
+    /// [`SpaInfoParts`] (for snapshot encoding without materializing a
+    /// full [`GeoReachParts`]).
+    pub fn spa_info(&self) -> impl Iterator<Item = SpaInfoParts> + '_ {
+        self.info.iter().map(|i| match i {
+            SpaInfo::B(b) => SpaInfoParts::B(*b),
+            SpaInfo::R(r) => SpaInfoParts::R(*r),
+            SpaInfo::G(cells) => SpaInfoParts::G(cells.clone()),
+        })
+    }
+
+    /// Borrowed view of the flat columns for zero-copy snapshot encoding:
+    /// `(comp_of, dag, space, finest_exp, member_offsets, member_points)`.
+    /// The SPA-graph info itself is streamed via [`GeoReach::spa_info`].
+    pub fn cols(&self) -> (&[CompId], &gsr_graph::DiGraph, Rect, u8, &[u32], &[gsr_geo::Point]) {
+        (
+            &self.comp_of,
+            &self.dag,
+            *self.grid.space(),
+            self.grid.finest_exp(),
+            &self.member_offsets,
+            &self.member_points,
+        )
     }
 
     /// Reassembles an index from untrusted [`GeoReachParts`].
@@ -267,6 +285,30 @@ impl GeoReach {
             member_offsets,
             member_points,
         } = parts;
+        Self::from_cols(
+            comp_of.into(),
+            dag,
+            space,
+            finest_exp,
+            info,
+            member_offsets.into(),
+            member_points.into(),
+        )
+    }
+
+    /// [`GeoReach::from_parts`] over already-assembled columns — the v3
+    /// zero-copy load path (the DAG arrives via
+    /// [`gsr_graph::DiGraph::from_csr_cols`]). Identical validation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_cols(
+        comp_of: Col<CompId>,
+        dag: gsr_graph::DiGraph,
+        space: Rect,
+        finest_exp: u8,
+        info: Vec<SpaInfoParts>,
+        member_offsets: Col<u32>,
+        member_points: Col<gsr_geo::Point>,
+    ) -> Result<Self, String> {
         let ncomp = dag.num_vertices();
         if info.len() != ncomp {
             return Err(format!(

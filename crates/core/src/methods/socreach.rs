@@ -15,7 +15,7 @@
 use crate::{PreparedNetwork, QueryCost, RangeReachIndex};
 use gsr_geo::{Point, Rect};
 use gsr_graph::scc::CompId;
-use gsr_graph::VertexId;
+use gsr_graph::{Col, VertexId};
 use gsr_reach::compact::{CompactLabels, DeltaArray};
 use gsr_reach::interval::IntervalLabeling;
 
@@ -48,7 +48,7 @@ pub enum ScanMode {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SocReach {
-    comp_of: Vec<CompId>,
+    comp_of: Col<CompId>,
     /// Delta-compressed interval labels: the per-label scans walk the
     /// labels strictly sequentially, so the random-access arrays of the
     /// full [`IntervalLabeling`] are construction scaffolding only.
@@ -58,7 +58,7 @@ pub struct SocReach {
     /// `points[post_offsets[p - 1] .. post_offsets[p]]`. Stored
     /// delta-compressed — the per-post scan decodes them as a cursor.
     post_offsets: DeltaArray,
-    points: Vec<Point>,
+    points: Col<Point>,
     mode: ScanMode,
 }
 
@@ -86,17 +86,17 @@ impl SocReach {
             post_offsets.push(points.len() as u32);
         }
 
-        let comp_of = (0..prep.network().num_vertices() as VertexId)
+        let comp_of: Vec<CompId> = (0..prep.network().num_vertices() as VertexId)
             .map(|v| prep.comp(v))
             .collect();
 
         SocReach {
-            comp_of,
+            comp_of: comp_of.into(),
             labels: CompactLabels::from_labeling(&labeling),
             // The freshly built CSR is monotone by construction, so the
             // fallback is unreachable; it keeps the build panic-free.
             post_offsets: DeltaArray::from_sorted(&post_offsets).unwrap_or_default(),
-            points,
+            points: points.into(),
             mode,
         }
     }
@@ -169,6 +169,58 @@ impl SocReach {
         // from_sorted rejects decreasing runs, completing the CSR check.
         let post_offsets = DeltaArray::from_sorted(&post_offsets)
             .map_err(|e| format!("socreach: {e}"))?;
+        if let Some(&c) = comp_of.iter().find(|&&c| (c as usize) >= ncomp) {
+            return Err(format!("socreach: comp_of references component {c} >= {ncomp}"));
+        }
+        Ok(SocReach {
+            comp_of: comp_of.into(),
+            labels,
+            post_offsets,
+            points: points.into(),
+            mode,
+        })
+    }
+
+    /// Reassembles an evaluator from already-validated columns — the v3
+    /// zero-copy load path, where `post_offsets` arrives as a
+    /// [`DeltaArray`] rebuilt via [`DeltaArray::from_cols`] instead of
+    /// being re-derived from plain offsets.
+    ///
+    /// The same structural invariants as [`SocReach::from_parts`] are
+    /// checked (the delta stream itself was validated by
+    /// `DeltaArray::from_cols`); violations are `Err(String)`.
+    pub fn from_cols(
+        comp_of: impl Into<Col<CompId>>,
+        labels: CompactLabels,
+        post_offsets: DeltaArray,
+        points: impl Into<Col<Point>>,
+        mode: ScanMode,
+    ) -> Result<Self, String> {
+        let comp_of = comp_of.into();
+        let points = points.into();
+        let ncomp = labels.num_vertices();
+        if post_offsets.len() != ncomp + 1 {
+            return Err(format!(
+                "socreach: {} post offsets for {ncomp} components",
+                post_offsets.len()
+            ));
+        }
+        if labels.max_post() as usize > ncomp {
+            return Err(format!(
+                "socreach: labels cover post {} but only {ncomp} components exist",
+                labels.max_post()
+            ));
+        }
+        if post_offsets.get(0) != 0 {
+            return Err("socreach: post offsets not monotone from 0".into());
+        }
+        if post_offsets.get(ncomp) as usize != points.len() {
+            return Err(format!(
+                "socreach: post offsets claim {} points but {} present",
+                post_offsets.get(ncomp),
+                points.len()
+            ));
+        }
         if let Some(&c) = comp_of.iter().find(|&&c| (c as usize) >= ncomp) {
             return Err(format!("socreach: comp_of references component {c} >= {ncomp}"));
         }

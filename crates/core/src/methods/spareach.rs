@@ -15,7 +15,7 @@ use crate::{PreparedNetwork, QueryCost, RangeReachIndex, SccSpatialPolicy};
 use gsr_geo::{Aabb, Rect};
 use gsr_graph::par;
 use gsr_graph::scc::CompId;
-use gsr_graph::{DiGraph, VertexId};
+use gsr_graph::{Col, DiGraph, VertexId};
 use gsr_geo::Point;
 use gsr_index::{KdTree, QuadTree, RTree, RTreeParams, UniformGrid};
 use gsr_reach::bfl::{BflIndex, BflParams};
@@ -104,15 +104,15 @@ pub struct SpaReachParts<R> {
 #[derive(Debug, Clone)]
 pub struct SpaReach<R> {
     /// Snapshot of per-component spatial membership for MBR refinement.
-    comp_of: Vec<CompId>,
+    comp_of: Col<CompId>,
     filter: SpatialFilter,
     reach: R,
     name: &'static str,
     mode: CandidateMode,
     /// Per-component spatial member points (flattened CSR), used to refine
     /// partially overlapping MBR candidates.
-    member_offsets: Vec<u32>,
-    member_points: Vec<gsr_geo::Point>,
+    member_offsets: Col<u32>,
+    member_points: Col<gsr_geo::Point>,
 }
 
 /// SpaReach with the BFL reachability index (the paper's best spatial-first
@@ -326,13 +326,13 @@ impl<R: Reachability> SpaReach<R> {
         let comp_of = par::map_indexed(threads, n, |v| prep.comp(v as VertexId));
 
         SpaReach {
-            comp_of,
+            comp_of: comp_of.into(),
             filter,
             reach: build_reach(prep.dag()),
             name,
             mode: CandidateMode::Materialize,
-            member_offsets,
-            member_points,
+            member_offsets: member_offsets.into(),
+            member_points: member_points.into(),
         }
     }
 
@@ -357,12 +357,37 @@ impl<R: Reachability> SpaReach<R> {
             _ => return None,
         };
         Some(SpaReachParts {
-            comp_of: self.comp_of.clone(),
+            comp_of: self.comp_of.to_vec(),
             filter,
             reach: self.reach.clone(),
-            member_offsets: self.member_offsets.clone(),
-            member_points: self.member_points.clone(),
+            member_offsets: self.member_offsets.to_vec(),
+            member_points: self.member_points.to_vec(),
         })
+    }
+
+    /// Borrowed view of the persisted columns for zero-copy snapshot
+    /// encoding: `(comp_of, filter_tree, filter_is_mbr, reach,
+    /// member_offsets, member_points)`. `None` for ablation-only
+    /// backends or the streaming candidate mode (mirrors
+    /// [`SpaReach::to_parts`]).
+    #[allow(clippy::type_complexity)]
+    pub fn cols(&self) -> Option<(&[CompId], &RTree<2, CompId>, bool, &R, &[u32], &[Point])> {
+        if self.mode != CandidateMode::Materialize {
+            return None;
+        }
+        let (tree, is_mbr) = match &self.filter {
+            SpatialFilter::Points(t) => (t, false),
+            SpatialFilter::CompBoxes(t) => (t, true),
+            _ => return None,
+        };
+        Some((
+            &self.comp_of,
+            tree,
+            is_mbr,
+            &self.reach,
+            &self.member_offsets,
+            &self.member_points,
+        ))
     }
 
     /// Reassembles an index from a [`SpaReachParts`] decomposition.
@@ -375,6 +400,23 @@ impl<R: Reachability> SpaReach<R> {
     /// not expose a vertex count). Violations are `Err(String)`.
     pub fn from_parts(parts: SpaReachParts<R>, name: &'static str) -> Result<Self, String> {
         let SpaReachParts { comp_of, filter, reach, member_offsets, member_points } = parts;
+        Self::from_cols(comp_of, filter, reach, member_offsets, member_points, name)
+    }
+
+    /// [`SpaReach::from_parts`] over already-assembled columns — the v3
+    /// zero-copy load path (the filter tree arrives via
+    /// [`RTree::from_cols`]). Identical validation, no copies.
+    pub fn from_cols(
+        comp_of: impl Into<Col<CompId>>,
+        filter: SpaReachFilterParts,
+        reach: R,
+        member_offsets: impl Into<Col<u32>>,
+        member_points: impl Into<Col<Point>>,
+        name: &'static str,
+    ) -> Result<Self, String> {
+        let comp_of = comp_of.into();
+        let member_offsets = member_offsets.into();
+        let member_points = member_points.into();
         if member_offsets.is_empty() {
             return Err("spareach: empty member offsets".into());
         }

@@ -19,7 +19,7 @@ use crate::{PreparedNetwork, QueryCost, RangeReachIndex, SccSpatialPolicy};
 use gsr_geo::{cuboid_from_rect, Aabb, Cuboid, Point, Rect};
 use gsr_graph::par;
 use gsr_graph::scc::CompId;
-use gsr_graph::{HeapBytes, VertexId};
+use gsr_graph::{Col, HeapBytes, VertexId};
 use gsr_index::{RTree, RTreeParams};
 use gsr_reach::compact::CompactLabels;
 use gsr_reach::interval::{BuildOptions, IntervalLabeling};
@@ -30,17 +30,19 @@ use std::sync::Arc;
 type Entry = CompId;
 
 /// Shared plumbing of the two 3-D methods. Everything is immutable after
-/// construction, so the heavy sections (labeling, R-tree, member CSR) are
-/// `Arc`-shared: cloning an index — e.g. fanning a snapshot-loaded index
-/// out to worker threads — is O(1) and does not duplicate the structures.
+/// construction, so the heavy sections are shared on clone: the R-tree is
+/// `Arc`-shared and the flat columns are [`Col`]s (O(1) clone whether they
+/// own their buffer or borrow a mapped snapshot) — cloning an index, e.g.
+/// fanning a snapshot-loaded index out to worker threads, never duplicates
+/// the structures.
 #[derive(Debug, Clone)]
 struct ThreeDCommon {
-    comp_of: Arc<Vec<CompId>>,
+    comp_of: Col<CompId>,
     tree: Arc<RTree<3, Entry>>,
     policy: SccSpatialPolicy,
     /// Member points per component for MBR refinement (CSR).
-    member_offsets: Arc<Vec<u32>>,
-    member_points: Arc<Vec<Point>>,
+    member_offsets: Col<u32>,
+    member_points: Col<Point>,
 }
 
 impl ThreeDCommon {
@@ -153,11 +155,11 @@ type CommonParts = (Vec<CompId>, RTree<3, CompId>, SccSpatialPolicy, Vec<u32>, V
 impl ThreeDCommon {
     fn to_parts(&self) -> CommonParts {
         (
-            (*self.comp_of).clone(),
+            self.comp_of.to_vec(),
             (*self.tree).clone(),
             self.policy,
-            (*self.member_offsets).clone(),
-            (*self.member_points).clone(),
+            self.member_offsets.to_vec(),
+            self.member_points.to_vec(),
         )
     }
 
@@ -168,6 +170,19 @@ impl ThreeDCommon {
     /// cannot panic.
     fn from_parts(ncomp: usize, parts: CommonParts) -> Result<Self, String> {
         let (comp_of, tree, policy, member_offsets, member_points) = parts;
+        Self::from_cols(ncomp, comp_of.into(), tree, policy, member_offsets.into(), member_points.into())
+    }
+
+    /// [`ThreeDCommon::from_parts`] over already-assembled columns — the v3
+    /// zero-copy load path. Identical validation, no copies.
+    fn from_cols(
+        ncomp: usize,
+        comp_of: Col<CompId>,
+        tree: RTree<3, Entry>,
+        policy: SccSpatialPolicy,
+        member_offsets: Col<u32>,
+        member_points: Col<Point>,
+    ) -> Result<Self, String> {
         if member_offsets.len() != ncomp + 1 {
             return Err(format!(
                 "3dreach: {} member offsets for {ncomp} components",
@@ -191,14 +206,36 @@ impl ThreeDCommon {
             return Err(format!("3dreach: tree references component {c} >= {ncomp}"));
         }
         Ok(ThreeDCommon {
-            comp_of: Arc::new(comp_of),
+            comp_of,
             tree: Arc::new(tree),
             policy,
-            member_offsets: Arc::new(member_offsets),
-            member_points: Arc::new(member_points),
+            member_offsets,
+            member_points,
         })
     }
 }
+
+/// Borrowed column view returned by [`ThreeDReach::cols`]:
+/// `(comp_of, labels, tree, policy, member_offsets, member_points)`.
+pub type ThreeDReachCols<'a> = (
+    &'a [CompId],
+    &'a CompactLabels,
+    &'a RTree<3, CompId>,
+    SccSpatialPolicy,
+    &'a [u32],
+    &'a [Point],
+);
+
+/// Borrowed column view returned by [`ThreeDReachRev::cols`]:
+/// `(comp_of, rev_post, tree, policy, member_offsets, member_points)`.
+pub type ThreeDReachRevCols<'a> = (
+    &'a [CompId],
+    &'a [u32],
+    &'a RTree<3, CompId>,
+    SccSpatialPolicy,
+    &'a [u32],
+    &'a [Point],
+);
 
 /// The forward 3DReach method: 3-D points, one cuboid query per label.
 #[derive(Debug, Clone)]
@@ -254,11 +291,11 @@ impl ThreeDReach {
 
         ThreeDReach {
             common: ThreeDCommon {
-                comp_of: Arc::new(ThreeDCommon::comp_of(prep, threads)),
+                comp_of: ThreeDCommon::comp_of(prep, threads).into(),
                 tree: Arc::new(RTree::bulk_load_parallel(entries, RTreeParams::default(), threads)),
                 policy,
-                member_offsets: Arc::new(member_offsets),
-                member_points: Arc::new(member_points),
+                member_offsets: member_offsets.into(),
+                member_points: member_points.into(),
             },
             labels: Arc::new(CompactLabels::from_labeling(&labeling)),
         }
@@ -291,6 +328,41 @@ impl ThreeDReach {
             (comp_of, tree, policy, member_offsets, member_points),
         )?;
         Ok(ThreeDReach { common, labels: Arc::new(labels) })
+    }
+
+    /// Reassembles an index from already-validated columns — the v3
+    /// zero-copy load path. Same structural checks as
+    /// [`ThreeDReach::from_parts`], no copies.
+    pub fn from_cols(
+        comp_of: Col<CompId>,
+        labels: CompactLabels,
+        tree: RTree<3, CompId>,
+        policy: SccSpatialPolicy,
+        member_offsets: Col<u32>,
+        member_points: Col<Point>,
+    ) -> Result<Self, String> {
+        let common = ThreeDCommon::from_cols(
+            labels.num_vertices(),
+            comp_of,
+            tree,
+            policy,
+            member_offsets,
+            member_points,
+        )?;
+        Ok(ThreeDReach { common, labels: Arc::new(labels) })
+    }
+
+    /// Borrowed view of the index columns for zero-copy snapshot encoding:
+    /// `(comp_of, labels, tree, policy, member_offsets, member_points)`.
+    pub fn cols(&self) -> ThreeDReachCols<'_> {
+        (
+            &self.common.comp_of,
+            &self.labels,
+            &self.common.tree,
+            self.common.policy,
+            &self.common.member_offsets,
+            &self.common.member_points,
+        )
     }
 }
 
@@ -340,7 +412,7 @@ impl RangeReachIndex for ThreeDReach {
 pub struct ThreeDReachRev {
     common: ThreeDCommon,
     /// `post_rev` of every component (the plane height of a query).
-    rev_post: Arc<Vec<u32>>,
+    rev_post: Col<u32>,
 }
 
 impl ThreeDReachRev {
@@ -406,13 +478,13 @@ impl ThreeDReachRev {
 
         ThreeDReachRev {
             common: ThreeDCommon {
-                comp_of: Arc::new(ThreeDCommon::comp_of(prep, threads)),
+                comp_of: ThreeDCommon::comp_of(prep, threads).into(),
                 tree: Arc::new(RTree::bulk_load_parallel(entries, RTreeParams::default(), threads)),
                 policy,
-                member_offsets: Arc::new(member_offsets),
-                member_points: Arc::new(member_points),
+                member_offsets: member_offsets.into(),
+                member_points: member_points.into(),
             },
-            rev_post: Arc::new(rev_post),
+            rev_post: rev_post.into(),
         }
     }
 
@@ -426,7 +498,7 @@ impl ThreeDReachRev {
         let (comp_of, tree, policy, member_offsets, member_points) = self.common.to_parts();
         ThreeDRevParts {
             comp_of,
-            rev_post: (*self.rev_post).clone(),
+            rev_post: self.rev_post.to_vec(),
             tree,
             policy,
             member_offsets,
@@ -443,7 +515,42 @@ impl ThreeDReachRev {
             rev_post.len(),
             (comp_of, tree, policy, member_offsets, member_points),
         )?;
-        Ok(ThreeDReachRev { common, rev_post: Arc::new(rev_post) })
+        Ok(ThreeDReachRev { common, rev_post: rev_post.into() })
+    }
+
+    /// Reassembles an index from already-validated columns — the v3
+    /// zero-copy load path. Same structural checks as
+    /// [`ThreeDReachRev::from_parts`], no copies.
+    pub fn from_cols(
+        comp_of: Col<CompId>,
+        rev_post: Col<u32>,
+        tree: RTree<3, CompId>,
+        policy: SccSpatialPolicy,
+        member_offsets: Col<u32>,
+        member_points: Col<Point>,
+    ) -> Result<Self, String> {
+        let common = ThreeDCommon::from_cols(
+            rev_post.len(),
+            comp_of,
+            tree,
+            policy,
+            member_offsets,
+            member_points,
+        )?;
+        Ok(ThreeDReachRev { common, rev_post })
+    }
+
+    /// Borrowed view of the index columns for zero-copy snapshot encoding:
+    /// `(comp_of, rev_post, tree, policy, member_offsets, member_points)`.
+    pub fn cols(&self) -> ThreeDReachRevCols<'_> {
+        (
+            &self.common.comp_of,
+            &self.rev_post,
+            &self.common.tree,
+            self.common.policy,
+            &self.common.member_offsets,
+            &self.common.member_points,
+        )
     }
 }
 
@@ -558,11 +665,11 @@ mod tests {
         let fc = fwd.clone();
         assert!(Arc::ptr_eq(&fwd.common.tree, &fc.common.tree));
         assert!(Arc::ptr_eq(&fwd.labels, &fc.labels));
-        assert!(Arc::ptr_eq(&fwd.common.member_points, &fc.common.member_points));
+        assert!(Col::ptr_eq(&fwd.common.member_points, &fc.common.member_points));
         let rev = ThreeDReachRev::build(&prep, SccSpatialPolicy::Replicate);
         let rc = rev.clone();
         assert!(Arc::ptr_eq(&rev.common.tree, &rc.common.tree));
-        assert!(Arc::ptr_eq(&rev.rev_post, &rc.rev_post));
+        assert!(Col::ptr_eq(&rev.rev_post, &rc.rev_post));
         // A clone answers exactly like the original.
         for v in prep.network().graph().vertices() {
             for r in paper_example::probe_regions() {

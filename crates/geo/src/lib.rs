@@ -16,10 +16,11 @@
 //!
 //! All coordinates are `f64`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod aabb;
+mod pod;
 mod point;
 mod rect;
 

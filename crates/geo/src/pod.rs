@@ -1,0 +1,52 @@
+//! Plain-old-data declarations for the zero-copy snapshot path.
+//!
+//! The `Pod` trait lives in `gsr-graph` (next to the `Col` column type);
+//! the geometry types qualify and must be declared here because of the
+//! orphan rule. This is the only `unsafe` in the crate.
+#![allow(unsafe_code)]
+
+use crate::{Aabb, Point};
+
+// SAFETY: `Point` is `#[repr(C)] { x: f64, y: f64 }` — two same-size,
+// same-alignment fields, so no padding — and every bit pattern is a valid
+// f64 (including NaNs; geometry code never relies on validity beyond that).
+unsafe impl gsr_graph::Pod for Point {}
+
+// SAFETY: `Aabb<N>` is `#[repr(C)] { min: [f64; N], max: [f64; N] }` — two
+// arrays of the element type, no padding for any `N` — and every bit
+// pattern is a valid f64. Structural expectations (min <= max) are not part
+// of bit validity; loaders that need them must check explicitly.
+unsafe impl<const N: usize> gsr_graph::Pod for Aabb<N> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_layouts_have_no_padding() {
+        assert_eq!(std::mem::size_of::<Point>(), 16);
+        assert_eq!(std::mem::size_of::<Aabb<2>>(), 32);
+        assert_eq!(std::mem::size_of::<Aabb<3>>(), 48);
+        assert_eq!(std::mem::align_of::<Point>(), 8);
+        assert_eq!(std::mem::align_of::<Aabb<3>>(), 8);
+    }
+
+    #[test]
+    fn points_round_trip_through_bytes() {
+        let pts = [Point::new(1.5, -2.5), Point::new(0.0, f64::MAX)];
+        let bytes = gsr_graph::bytes_of(&pts[..]);
+        assert_eq!(bytes.len(), 32);
+        let col: gsr_graph::Col<Point> = {
+            struct Region(Vec<u8>);
+            // SAFETY (test-only): immutable after construction.
+            #[allow(unsafe_code)]
+            unsafe impl gsr_graph::StableBytes for Region {
+                fn stable_bytes(&self) -> &[u8] {
+                    &self.0
+                }
+            }
+            gsr_graph::Col::view(&std::sync::Arc::new(Region(bytes.to_vec())), 0, 2).unwrap()
+        };
+        assert_eq!(&col[..], &pts[..]);
+    }
+}

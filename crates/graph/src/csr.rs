@@ -1,5 +1,6 @@
 //! Compressed-sparse-row storage for directed graphs.
 
+use crate::col::Col;
 use crate::VertexId;
 
 /// A directed graph stored in CSR form, with both forward (out-neighbour)
@@ -10,14 +11,17 @@ use crate::VertexId;
 /// condensation). The reverse adjacency doubles memory but is required by
 /// the reversed interval labeling of 3DReach-REV and by in-degree priorities
 /// in the labeling construction (Algorithm 1 of the paper).
+/// All four arrays are [`Col`]s: owned after an in-process build, borrowed
+/// zero-copy from the mapped file after a v3 snapshot load. Clones are O(1)
+/// either way.
 #[derive(Debug, Clone)]
 pub struct DiGraph {
     /// Forward CSR offsets: edges of vertex `v` are
     /// `targets[offsets[v] .. offsets[v + 1]]`.
-    out_offsets: Vec<u32>,
-    out_targets: Vec<VertexId>,
-    in_offsets: Vec<u32>,
-    in_sources: Vec<VertexId>,
+    out_offsets: Col<u32>,
+    out_targets: Col<VertexId>,
+    in_offsets: Col<u32>,
+    in_sources: Col<VertexId>,
 }
 
 impl DiGraph {
@@ -50,7 +54,12 @@ impl DiGraph {
             cursor[v as usize] += 1;
         }
 
-        DiGraph { out_offsets, out_targets, in_offsets, in_sources }
+        DiGraph {
+            out_offsets: out_offsets.into(),
+            out_targets: out_targets.into(),
+            in_offsets: in_offsets.into(),
+            in_sources: in_sources.into(),
+        }
     }
 
     /// Number of vertices.
@@ -125,6 +134,13 @@ impl DiGraph {
         (&self.out_offsets, &self.out_targets)
     }
 
+    /// Reverse-CSR view, `(in_offsets, in_sources)`. Derivable from the
+    /// forward CSR, but v3 snapshots persist it anyway so a load is a pure
+    /// map with no O(V + E) rebuild allocations.
+    pub fn in_csr(&self) -> (&[u32], &[VertexId]) {
+        (&self.in_offsets, &self.in_sources)
+    }
+
     /// Rebuilds a graph from a forward CSR previously obtained via
     /// [`DiGraph::out_csr`]. The reverse adjacency is reconstructed with the
     /// same counting sort as the original build, so the result is
@@ -135,6 +151,103 @@ impl DiGraph {
     /// reported as an `Err(String)` for the caller to wrap in its own typed
     /// error.
     pub fn from_out_csr(out_offsets: Vec<u32>, out_targets: Vec<VertexId>) -> Result<Self, String> {
+        Self::validate_forward_csr(&out_offsets, &out_targets)?;
+        let n = out_offsets.len() - 1;
+
+        // Reverse adjacency via counting sort, iterating edges in forward-CSR
+        // order — the same order `from_sorted_edges` uses.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &v in &out_targets {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0 as VertexId; out_targets.len()];
+        for u in 0..n {
+            let lo = out_offsets[u] as usize;
+            let hi = out_offsets[u + 1] as usize;
+            for &v in &out_targets[lo..hi] {
+                let slot = cursor[v as usize];
+                in_sources[slot as usize] = u as VertexId;
+                cursor[v as usize] += 1;
+            }
+        }
+
+        Ok(DiGraph {
+            out_offsets: out_offsets.into(),
+            out_targets: out_targets.into(),
+            in_offsets: in_offsets.into(),
+            in_sources: in_sources.into(),
+        })
+    }
+
+    /// Assembles a graph from all four CSR columns at once — the v3
+    /// zero-copy load path, where the columns borrow from a mapped snapshot
+    /// and must not be rebuilt or copied.
+    ///
+    /// The forward CSR is validated exactly as in [`DiGraph::from_out_csr`].
+    /// The reverse CSR is untrusted too; instead of rebuilding it (which
+    /// would allocate `O(V + E)` and defeat the zero-copy load), the
+    /// counting sort that *would* build it is replayed against the provided
+    /// columns: every edge `(u, v)` must land on a slot whose stored source
+    /// is `u`. A single pass with one `O(V)` cursor array proves the
+    /// provided reverse adjacency is bit-identical to the rebuilt one.
+    pub fn from_csr_cols(
+        out_offsets: Col<u32>,
+        out_targets: Col<VertexId>,
+        in_offsets: Col<u32>,
+        in_sources: Col<VertexId>,
+    ) -> Result<Self, String> {
+        Self::validate_forward_csr(&out_offsets, &out_targets)?;
+        let n = out_offsets.len() - 1;
+        let m = out_targets.len();
+        if in_offsets.len() != n + 1 {
+            return Err(format!(
+                "csr: reverse offsets have {} entries, expected {}",
+                in_offsets.len(),
+                n + 1
+            ));
+        }
+        if in_offsets[0] != 0 {
+            return Err(format!("csr: reverse offsets[0] = {}, expected 0", in_offsets[0]));
+        }
+        if let Some(w) = in_offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(format!("csr: reverse offsets decrease at index {w}"));
+        }
+        if in_offsets[n] as usize != m || in_sources.len() != m {
+            return Err(format!(
+                "csr: reverse CSR claims {} edges ({} sources), forward has {m}",
+                in_offsets[n],
+                in_sources.len()
+            ));
+        }
+        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+        for u in 0..n {
+            let lo = out_offsets[u] as usize;
+            let hi = out_offsets[u + 1] as usize;
+            for &v in &out_targets[lo..hi] {
+                let slot = cursor[v as usize];
+                if slot >= in_offsets[v as usize + 1] || in_sources[slot as usize] != u as VertexId
+                {
+                    return Err(format!(
+                        "csr: reverse adjacency does not correspond to forward edge \
+                         ({u}, {v})"
+                    ));
+                }
+                cursor[v as usize] = slot + 1;
+            }
+        }
+        // Totals already match (both CSRs claim m edges and every replayed
+        // slot stayed within its vertex's range), so cursor == in_offsets[1..]
+        // here by construction.
+        Ok(DiGraph { out_offsets, out_targets, in_offsets, in_sources })
+    }
+
+    /// Shape, bounds and per-vertex ordering checks shared by the two
+    /// untrusted constructors.
+    fn validate_forward_csr(out_offsets: &[u32], out_targets: &[VertexId]) -> Result<(), String> {
         if out_offsets.is_empty() {
             return Err("csr: empty offset array".into());
         }
@@ -168,29 +281,7 @@ impl DiGraph {
                 return Err(format!("csr: out-neighbours of vertex {v} not sorted+dedup"));
             }
         }
-
-        // Reverse adjacency via counting sort, iterating edges in forward-CSR
-        // order — the same order `from_sorted_edges` uses.
-        let mut in_offsets = vec![0u32; n + 1];
-        for &v in &out_targets {
-            in_offsets[v as usize + 1] += 1;
-        }
-        for i in 0..n {
-            in_offsets[i + 1] += in_offsets[i];
-        }
-        let mut cursor = in_offsets.clone();
-        let mut in_sources = vec![0 as VertexId; out_targets.len()];
-        for u in 0..n {
-            let lo = out_offsets[u] as usize;
-            let hi = out_offsets[u + 1] as usize;
-            for &v in &out_targets[lo..hi] {
-                let slot = cursor[v as usize];
-                in_sources[slot as usize] = u as VertexId;
-                cursor[v as usize] += 1;
-            }
-        }
-
-        Ok(DiGraph { out_offsets, out_targets, in_offsets, in_sources })
+        Ok(())
     }
 
     /// Approximate heap footprint in bytes, for the index-size accounting of
@@ -285,6 +376,37 @@ mod tests {
         assert!(crate::DiGraph::from_out_csr(vec![0, 2], vec![1, 1]).is_err());
         // Empty offsets are rejected outright.
         assert!(crate::DiGraph::from_out_csr(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn from_csr_cols_round_trips_and_rejects_tampering() {
+        let g = diamond();
+        let (oo, ot) = g.out_csr();
+        let (io, is_) = g.in_csr();
+        let cols = |src: &[u32]| crate::Col::from(src.to_vec());
+        let h = crate::DiGraph::from_csr_cols(cols(oo), cols(ot), cols(io), cols(is_))
+            .expect("faithful columns must assemble");
+        for v in g.vertices() {
+            assert_eq!(g.out_neighbors(v), h.out_neighbors(v));
+            assert_eq!(g.in_neighbors(v), h.in_neighbors(v));
+        }
+
+        // Reordering within one vertex's in-list breaks the counting-sort
+        // correspondence even though the multiset of edges is unchanged.
+        let mut shuffled = is_.to_vec();
+        shuffled.swap(2, 3);
+        assert!(
+            crate::DiGraph::from_csr_cols(cols(oo), cols(ot), cols(io), cols(&shuffled)).is_err()
+        );
+        // Reverse shape defects are typed errors, not panics.
+        assert!(crate::DiGraph::from_csr_cols(cols(oo), cols(ot), cols(&io[..3]), cols(is_))
+            .is_err());
+        let mut bad_counts = io.to_vec();
+        bad_counts[4] = 3;
+        assert!(
+            crate::DiGraph::from_csr_cols(cols(oo), cols(ot), cols(&bad_counts), cols(is_))
+                .is_err()
+        );
     }
 
     #[test]

@@ -15,13 +15,21 @@
 //! * [`stats`] — degree statistics used by the workload generators
 //!   (query vertices are bucketed by out-degree in Section 6.1);
 //! * [`par`] — a scoped-thread work pool used by the parallel (but
-//!   deterministic) index constructions across the workspace.
+//!   deterministic) index constructions across the workspace;
+//! * [`col`] — the zero-copy [`Col`] column type every flat index arena is
+//!   stored in, so v3 snapshots can be memory-mapped and served without
+//!   deserialization.
+//!
+//! `unsafe` is denied crate-wide and allowed only inside [`col`], which
+//! contains the two reinterpretation casts the zero-copy snapshot path
+//! needs (with the safety argument documented there).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitset;
 mod builder;
+pub mod col;
 mod csr;
 pub mod dfs;
 pub mod mem;
@@ -32,6 +40,7 @@ pub mod stats;
 pub mod topo;
 
 pub use builder::{graph_from_edges, GraphBuilder};
+pub use col::{bytes_of, Col, Pod, StableBytes};
 pub use csr::DiGraph;
 pub use mem::HeapBytes;
 

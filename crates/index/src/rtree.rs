@@ -35,7 +35,7 @@
 //! dynamic-insertion extension) see [`crate::DynRTree`].
 
 use gsr_geo::Aabb;
-use gsr_graph::HeapBytes;
+use gsr_graph::{Col, HeapBytes};
 
 /// Fan-out parameters of an [`RTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,19 +67,19 @@ impl RTreeParams {
 /// satisfies `lo[d] == hi[d]` bit-exactly.
 #[derive(Debug, Clone, PartialEq)]
 struct EntryStore<const N: usize> {
-    lo: [Vec<f64>; N],
-    hi: [Option<Vec<f64>>; N],
+    lo: [Col<f64>; N],
+    hi: [Option<Col<f64>>; N],
 }
 
 impl<const N: usize> EntryStore<N> {
     fn from_boxes(boxes: &[Aabb<N>]) -> Self {
-        let lo: [Vec<f64>; N] =
-            std::array::from_fn(|d| boxes.iter().map(|b| b.min[d]).collect());
-        let hi: [Option<Vec<f64>>; N] = std::array::from_fn(|d| {
+        let lo: [Col<f64>; N] =
+            std::array::from_fn(|d| boxes.iter().map(|b| b.min[d]).collect::<Vec<_>>().into());
+        let hi: [Option<Col<f64>>; N] = std::array::from_fn(|d| {
             if boxes.iter().all(|b| b.min[d].to_bits() == b.max[d].to_bits()) {
                 None
             } else {
-                Some(boxes.iter().map(|b| b.max[d]).collect())
+                Some(boxes.iter().map(|b| b.max[d]).collect::<Vec<_>>().into())
             }
         });
         EntryStore { lo, hi }
@@ -148,6 +148,31 @@ pub struct RTreeSnapshot<const N: usize, T> {
     pub values: Vec<T>,
 }
 
+/// Borrowed view of an [`RTree`]'s arena columns, for zero-copy snapshot
+/// encoding. Unlike [`RTreeSnapshot`] nothing is cloned; the slices alias
+/// the live tree. Produced by [`RTree::cols`], inverted by
+/// [`RTree::from_cols`].
+#[derive(Debug)]
+pub struct RTreeCols<'a, const N: usize, T> {
+    /// Fan-out parameters.
+    pub params: RTreeParams,
+    /// Per-node MBRs in breadth-first id order (inner nodes first).
+    pub mbrs: &'a [Aabb<N>],
+    /// CSR offsets into `children` for inner node `i`.
+    pub child_start: &'a [u32],
+    /// Concatenated child id lists of the inner nodes.
+    pub children: &'a [u32],
+    /// CSR offsets into the entry columns for leaf nodes.
+    pub entry_start: &'a [u32],
+    /// Per-dimension entry lower bounds.
+    pub entry_lo: [&'a [f64]; N],
+    /// Per-dimension entry upper bounds; `None` marks a degenerate
+    /// dimension whose upper bounds equal `entry_lo` bit-exactly.
+    pub entry_hi: [Option<&'a [f64]>; N],
+    /// Entry payloads, parallel to the coordinate columns.
+    pub values: &'a [T],
+}
+
 /// An R-tree over `N`-dimensional boxes with payloads of type `T`.
 ///
 /// ```
@@ -167,12 +192,12 @@ pub struct RTree<const N: usize, T> {
     params: RTreeParams,
     len: usize,
     num_inner: usize,
-    mbrs: Vec<Aabb<N>>,
-    child_start: Vec<u32>,
-    children: Vec<u32>,
-    entry_start: Vec<u32>,
+    mbrs: Col<Aabb<N>>,
+    child_start: Col<u32>,
+    children: Col<u32>,
+    entry_start: Col<u32>,
     entries: EntryStore<N>,
-    values: Vec<T>,
+    values: Col<T>,
 }
 
 impl<const N: usize, T> Default for RTree<N, T> {
@@ -194,12 +219,12 @@ impl<const N: usize, T> RTree<N, T> {
             params,
             len: 0,
             num_inner: 0,
-            mbrs: vec![Aabb::empty()],
-            child_start: vec![0],
-            entry_start: vec![0, 0],
-            children: Vec::new(),
+            mbrs: vec![Aabb::empty()].into(),
+            child_start: vec![0].into(),
+            entry_start: vec![0, 0].into(),
+            children: Col::default(),
             entries: EntryStore::from_boxes(&[]),
-            values: Vec::new(),
+            values: Col::default(),
         }
     }
 
@@ -348,12 +373,12 @@ impl<const N: usize, T> RTree<N, T> {
             params,
             len: values.len(),
             num_inner,
-            mbrs,
-            child_start,
-            children,
-            entry_start,
+            mbrs: mbrs.into(),
+            child_start: child_start.into(),
+            children: children.into(),
+            entry_start: entry_start.into(),
             entries,
-            values,
+            values: values.into(),
         }
     }
 
@@ -561,35 +586,47 @@ impl<const N: usize, T> RTree<N, T> {
     {
         RTreeSnapshot {
             params: self.params,
-            mbrs: self.mbrs.clone(),
-            child_start: self.child_start.clone(),
-            children: self.children.clone(),
-            entry_start: self.entry_start.clone(),
-            entry_lo: self.entries.lo.clone(),
-            entry_hi: self.entries.hi.clone(),
-            values: self.values.clone(),
+            mbrs: self.mbrs.to_vec(),
+            child_start: self.child_start.to_vec(),
+            children: self.children.to_vec(),
+            entry_start: self.entry_start.to_vec(),
+            entry_lo: std::array::from_fn(|d| self.entries.lo[d].to_vec()),
+            entry_hi: std::array::from_fn(|d| self.entries.hi[d].as_ref().map(|c| c.to_vec())),
+            values: self.values.to_vec(),
         }
     }
 
-    /// Rebuilds a tree from an [`RTreeSnapshot`].
-    ///
-    /// The input is untrusted: the arrays must describe a proper
-    /// breadth-first tree — monotone CSR offsets, child ids strictly
-    /// greater than their parent's (which rules out cycles), every
-    /// non-root node referenced exactly once, coordinate columns parallel
-    /// to the payloads — so that no traversal can panic or loop.
-    /// Violations are reported as `Err(String)`.
-    pub fn from_snapshot(snap: RTreeSnapshot<N, T>) -> Result<Self, String> {
-        let RTreeSnapshot {
-            params,
-            mbrs,
-            child_start,
-            children,
-            entry_start,
-            entry_lo,
-            entry_hi,
-            values,
-        } = snap;
+    /// Borrowed view of the arena columns for zero-copy (v3) snapshot
+    /// encoding — no clone, unlike [`RTree::to_snapshot`].
+    /// [`RTree::from_cols`] inverts it.
+    pub fn cols(&self) -> RTreeCols<'_, N, T> {
+        RTreeCols {
+            params: self.params,
+            mbrs: &self.mbrs,
+            child_start: &self.child_start,
+            children: &self.children,
+            entry_start: &self.entry_start,
+            entry_lo: std::array::from_fn(|d| &self.entries.lo[d][..]),
+            entry_hi: std::array::from_fn(|d| self.entries.hi[d].as_deref()),
+            values: &self.values,
+        }
+    }
+
+    /// Assembles a tree directly from arena columns — the v3 zero-copy load
+    /// path, where the columns borrow from a mapped snapshot. Runs exactly
+    /// the structural validation of [`RTree::from_snapshot`] (which
+    /// delegates here); the columns themselves are never copied.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_cols(
+        params: RTreeParams,
+        mbrs: Col<Aabb<N>>,
+        child_start: Col<u32>,
+        children: Col<u32>,
+        entry_start: Col<u32>,
+        entry_lo: [Col<f64>; N],
+        entry_hi: [Option<Col<f64>>; N],
+        values: Col<T>,
+    ) -> Result<Self, String> {
         if child_start.is_empty() || entry_start.is_empty() {
             return Err("rtree: empty CSR offset array".into());
         }
@@ -606,8 +643,8 @@ impl<const N: usize, T> RTree<N, T> {
             ));
         }
         for (name, offsets, total) in [
-            ("child", &child_start, children.len()),
-            ("entry", &entry_start, values.len()),
+            ("child", &child_start[..], children.len()),
+            ("entry", &entry_start[..], values.len()),
         ] {
             if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
                 return Err(format!("rtree: {name} offsets not monotone from 0"));
@@ -678,6 +715,37 @@ impl<const N: usize, T> RTree<N, T> {
             entries: EntryStore { lo: entry_lo, hi: entry_hi },
             values,
         })
+    }
+
+    /// Rebuilds a tree from an [`RTreeSnapshot`].
+    ///
+    /// The input is untrusted: the arrays must describe a proper
+    /// breadth-first tree — monotone CSR offsets, child ids strictly
+    /// greater than their parent's (which rules out cycles), every
+    /// non-root node referenced exactly once, coordinate columns parallel
+    /// to the payloads — so that no traversal can panic or loop.
+    /// Violations are reported as `Err(String)`.
+    pub fn from_snapshot(snap: RTreeSnapshot<N, T>) -> Result<Self, String> {
+        let RTreeSnapshot {
+            params,
+            mbrs,
+            child_start,
+            children,
+            entry_start,
+            entry_lo,
+            entry_hi,
+            values,
+        } = snap;
+        Self::from_cols(
+            params,
+            mbrs.into(),
+            child_start.into(),
+            children.into(),
+            entry_start.into(),
+            entry_lo.map(Col::from),
+            entry_hi.map(|c| c.map(Col::from)),
+            values.into(),
+        )
     }
 
     /// Checks structural invariants (entry count, MBR containment, fan-out

@@ -22,7 +22,7 @@
 
 use crate::Reachability;
 use gsr_graph::dfs::{SpanningForest, NO_PARENT};
-use gsr_graph::{DiGraph, VertexId};
+use gsr_graph::{Col, DiGraph, VertexId};
 
 /// Construction parameters for [`BflIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,13 +62,13 @@ impl Default for BflParams {
 pub struct BflIndex {
     g: DiGraph,
     /// 1-based DFS post-order.
-    post: Vec<u32>,
+    post: Col<u32>,
     /// Smallest post-order number in the DFS subtree of each vertex.
-    tree_min: Vec<u32>,
+    tree_min: Col<u32>,
     /// Per-vertex out-filters, `filter_words` words each, concatenated.
-    out_filters: Vec<u64>,
+    out_filters: Col<u64>,
     /// Per-vertex in-filters.
-    in_filters: Vec<u64>,
+    in_filters: Col<u64>,
     words: usize,
 }
 
@@ -135,7 +135,14 @@ impl BflIndex {
             )
         };
 
-        BflIndex { g: g.clone(), post: forest.post, tree_min, out_filters, in_filters, words }
+        BflIndex {
+            g: g.clone(),
+            post: forest.post.into(),
+            tree_min: tree_min.into(),
+            out_filters: out_filters.into(),
+            in_filters: in_filters.into(),
+            words,
+        }
     }
 
     #[inline]
@@ -182,12 +189,14 @@ impl BflIndex {
     /// `Err(String)` — never panics.
     pub fn from_parts(
         g: DiGraph,
-        post: Vec<u32>,
-        tree_min: Vec<u32>,
-        out_filters: Vec<u64>,
-        in_filters: Vec<u64>,
+        post: impl Into<Col<u32>>,
+        tree_min: impl Into<Col<u32>>,
+        out_filters: impl Into<Col<u64>>,
+        in_filters: impl Into<Col<u64>>,
         words: usize,
     ) -> Result<Self, String> {
+        let (post, tree_min) = (post.into(), tree_min.into());
+        let (out_filters, in_filters) = (out_filters.into(), in_filters.into());
         let n = g.num_vertices();
         if words == 0 {
             return Err("bfl: zero filter words".into());

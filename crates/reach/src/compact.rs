@@ -19,7 +19,7 @@
 //! constructors and never panic on malformed bytes.
 
 use crate::interval::{Interval, IntervalLabeling};
-use gsr_graph::{HeapBytes, VertexId};
+use gsr_graph::{Col, HeapBytes, VertexId};
 
 /// Appends `v` to `out` as an LEB128 varint (7 payload bits per byte,
 /// high bit = continuation). At most 5 bytes for a `u32`.
@@ -77,9 +77,9 @@ pub struct CompactLabels {
     max_post: u32,
     /// CSR offsets into `bytes`: vertex `v`'s stream is
     /// `bytes[offsets[v] as usize .. offsets[v + 1] as usize]`.
-    offsets: Vec<u32>,
+    offsets: Col<u32>,
     /// Concatenated per-vertex varint streams.
-    bytes: Vec<u8>,
+    bytes: Col<u8>,
 }
 
 impl CompactLabels {
@@ -101,7 +101,7 @@ impl CompactLabels {
             debug_assert!(bytes.len() <= u32::MAX as usize, "label stream exceeds u32 offsets");
             offsets.push(bytes.len() as u32);
         }
-        CompactLabels { max_post: n as u32, offsets, bytes }
+        CompactLabels { max_post: n as u32, offsets: offsets.into(), bytes: bytes.into() }
     }
 
     /// Number of vertices with a label set.
@@ -166,7 +166,12 @@ impl CompactLabels {
     /// is untrusted: the offsets must form a CSR over `bytes` and every
     /// per-vertex stream must decode to a sorted, disjoint interval set
     /// inside `1..=max_post`, consuming its byte range exactly.
-    pub fn from_parts(max_post: u32, offsets: Vec<u32>, bytes: Vec<u8>) -> Result<Self, String> {
+    pub fn from_parts(
+        max_post: u32,
+        offsets: impl Into<Col<u32>>,
+        bytes: impl Into<Col<u8>>,
+    ) -> Result<Self, String> {
+        let (offsets, bytes) = (offsets.into(), bytes.into());
         if offsets.is_empty() {
             return Err("compact labels: empty offset array".into());
         }
@@ -250,17 +255,17 @@ impl Iterator for LabelIter<'_> {
 pub struct DeltaArray {
     len: usize,
     /// `anchors[b]` = value at index `b * BLOCK`.
-    anchors: Vec<u32>,
+    anchors: Col<u32>,
     /// `starts[b]` = offset into `bytes` of block `b`'s delta stream.
-    starts: Vec<u32>,
+    starts: Col<u32>,
     /// Concatenated varint deltas for the non-anchor positions.
-    bytes: Vec<u8>,
+    bytes: Col<u8>,
 }
 
 impl Default for DeltaArray {
     /// An empty array.
     fn default() -> Self {
-        DeltaArray { len: 0, anchors: Vec::new(), starts: Vec::new(), bytes: Vec::new() }
+        DeltaArray { len: 0, anchors: Col::default(), starts: Col::default(), bytes: Col::default() }
     }
 }
 
@@ -293,7 +298,90 @@ impl DeltaArray {
                 write_varint(&mut bytes, v - values[i - 1]);
             }
         }
-        Ok(DeltaArray { len: values.len(), anchors, starts, bytes })
+        Ok(DeltaArray {
+            len: values.len(),
+            anchors: anchors.into(),
+            starts: starts.into(),
+            bytes: bytes.into(),
+        })
+    }
+
+    /// The raw columns `(len, anchors, starts, bytes)` for snapshot
+    /// encoding; [`DeltaArray::from_cols`] inverts it. `len` must be
+    /// persisted explicitly — it is not derivable from the columns (the last
+    /// block may be partial).
+    pub fn cols(&self) -> (usize, &[u32], &[u32], &[u8]) {
+        (self.len, &self.anchors, &self.starts, &self.bytes)
+    }
+
+    /// Reassembles a compressed array directly from its columns — the v3
+    /// zero-copy load path, which must not decompress-and-recompress the
+    /// way `to_vec()` + [`DeltaArray::from_sorted`] would.
+    ///
+    /// The input is untrusted. Validation decodes every block's stream once
+    /// (allocation-free): block counts must match `len`, `starts` must
+    /// partition `bytes` exactly, every varint must be well-formed, running
+    /// values must stay monotone within `u32`, and each block's anchor must
+    /// not decrease relative to the previous block's last value — exactly
+    /// the invariants [`DeltaArray::from_sorted`] establishes.
+    pub fn from_cols(
+        len: usize,
+        anchors: impl Into<Col<u32>>,
+        starts: impl Into<Col<u32>>,
+        bytes: impl Into<Col<u8>>,
+    ) -> Result<Self, String> {
+        let (anchors, starts) = (anchors.into(), starts.into());
+        let bytes: Col<u8> = bytes.into();
+        let blocks = len.div_ceil(Self::BLOCK);
+        if anchors.len() != blocks || starts.len() != blocks {
+            return Err(format!(
+                "delta array: {len} entries imply {blocks} blocks, got {} anchors / {} starts",
+                anchors.len(),
+                starts.len()
+            ));
+        }
+        if blocks == 0 {
+            if !bytes.is_empty() {
+                return Err(format!("delta array: empty array with {} stream bytes", bytes.len()));
+            }
+            return Ok(DeltaArray { len, anchors, starts, bytes });
+        }
+        if starts[0] != 0 {
+            return Err(format!("delta array: starts[0] = {}, expected 0", starts[0]));
+        }
+        let mut prev_last: u64 = 0;
+        for b in 0..blocks {
+            let begin = starts[b] as usize;
+            let end = if b + 1 < blocks { starts[b + 1] as usize } else { bytes.len() };
+            if begin > end || end > bytes.len() {
+                return Err(format!("delta array: block {b} stream [{begin}, {end}) malformed"));
+            }
+            let anchor = anchors[b] as u64;
+            if b > 0 && anchor < prev_last {
+                return Err(format!(
+                    "delta array: anchor {anchor} of block {b} decreases below {prev_last}"
+                ));
+            }
+            let in_block = (len - b * Self::BLOCK).min(Self::BLOCK);
+            let mut value = anchor;
+            let mut pos = begin;
+            for _ in 1..in_block {
+                let delta = read_varint(&bytes[..end], &mut pos)
+                    .ok_or_else(|| format!("delta array: block {b} stream truncated"))?;
+                value += delta as u64;
+                if value > u32::MAX as u64 {
+                    return Err(format!("delta array: block {b} overflows u32"));
+                }
+            }
+            if pos != end {
+                return Err(format!(
+                    "delta array: block {b} stream has {} trailing bytes",
+                    end - pos
+                ));
+            }
+            prev_last = value;
+        }
+        Ok(DeltaArray { len, anchors, starts, bytes })
     }
 
     /// Number of entries.
@@ -485,6 +573,45 @@ mod tests {
         }
         assert_eq!(d.to_vec(), values);
         assert!(d.heap_bytes() < values.len() * 4, "compression must pay off on small deltas");
+    }
+
+    #[test]
+    fn delta_array_cols_round_trip_and_reject_corruption() {
+        let values: Vec<u32> =
+            (0..100u32).scan(0u32, |acc, i| { *acc += i % 5; Some(*acc) }).collect();
+        let d = DeltaArray::from_sorted(&values).unwrap();
+        let (len, anchors, starts, bytes) = d.cols();
+        let back =
+            DeltaArray::from_cols(len, anchors.to_vec(), starts.to_vec(), bytes.to_vec())
+                .expect("faithful columns reassemble");
+        assert_eq!(back, d);
+        assert_eq!(back.to_vec(), values);
+
+        // Wrong length: block count disagrees with the columns.
+        assert!(DeltaArray::from_cols(
+            len + DeltaArray::BLOCK,
+            anchors.to_vec(),
+            starts.to_vec(),
+            bytes.to_vec()
+        )
+        .is_err());
+        // Truncated stream.
+        assert!(DeltaArray::from_cols(
+            len,
+            anchors.to_vec(),
+            starts.to_vec(),
+            bytes[..bytes.len() - 1].to_vec()
+        )
+        .is_err());
+        // A decreasing anchor breaks monotonicity.
+        let mut bad_anchor = anchors.to_vec();
+        bad_anchor[1] = 0;
+        assert!(
+            DeltaArray::from_cols(len, bad_anchor, starts.to_vec(), bytes.to_vec()).is_err()
+        );
+        // Empty arrays must carry no stream bytes.
+        assert!(DeltaArray::from_cols(0, vec![], vec![], vec![1u8]).is_err());
+        assert!(DeltaArray::from_cols(0, vec![], vec![], vec![]).is_ok());
     }
 
     #[test]

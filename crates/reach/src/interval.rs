@@ -24,18 +24,29 @@
 
 use crate::Reachability;
 use gsr_graph::dfs::{ForestStrategy, SpanningForest};
-use gsr_graph::{DiGraph, VertexId};
+use gsr_graph::{Col, DiGraph, VertexId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// A closed interval `[lo, hi]` of 1-based post-order numbers.
+///
+/// `#[repr(C)]` is part of the snapshot contract: v3 sections store label
+/// columns as raw `lo, hi` u32 pairs and remap them zero-copy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(C)]
 pub struct Interval {
     /// Smallest post-order number covered.
     pub lo: u32,
     /// Largest post-order number covered.
     pub hi: u32,
 }
+
+// SAFETY: `Interval` is `#[repr(C)] { lo: u32, hi: u32 }` — no padding —
+// and every bit pattern is a pair of valid u32s. The structural invariant
+// `lo <= hi` is not bit validity; `IntervalLabeling::from_parts` checks it
+// on every untrusted load.
+#[allow(unsafe_code)]
+unsafe impl gsr_graph::Pod for Interval {}
 
 impl Interval {
     /// Creates an interval; panics in debug builds when inverted.
@@ -133,13 +144,13 @@ impl Default for BuildOptions {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IntervalLabeling {
     /// `post[v]`, 1-based.
-    post: Vec<u32>,
+    post: Col<u32>,
     /// `post_to_vertex[p - 1]` inverts `post`.
-    post_to_vertex: Vec<VertexId>,
+    post_to_vertex: Col<VertexId>,
     /// CSR offsets into `labels` (`labels[offsets[v]..offsets[v+1]]`).
-    offsets: Vec<u32>,
+    offsets: Col<u32>,
     /// All labels, sorted and disjoint per vertex.
-    labels: Vec<Interval>,
+    labels: Col<Interval>,
 }
 
 impl IntervalLabeling {
@@ -247,11 +258,13 @@ impl IntervalLabeling {
     /// with endpoints inside `1..=n`. Violations are reported as
     /// `Err(String)` — never panics.
     pub fn from_parts(
-        post: Vec<u32>,
-        post_to_vertex: Vec<VertexId>,
-        offsets: Vec<u32>,
-        labels: Vec<Interval>,
+        post: impl Into<Col<u32>>,
+        post_to_vertex: impl Into<Col<VertexId>>,
+        offsets: impl Into<Col<u32>>,
+        labels: impl Into<Col<Interval>>,
     ) -> Result<Self, String> {
+        let (post, post_to_vertex) = (post.into(), post_to_vertex.into());
+        let (offsets, labels) = (offsets.into(), labels.into());
         let n = post.len();
         if post_to_vertex.len() != n {
             return Err(format!(
@@ -619,10 +632,10 @@ fn finish(forest: &SpanningForest, sets: Vec<Vec<Interval>>) -> IntervalLabeling
         offsets.push(labels.len() as u32);
     }
     IntervalLabeling {
-        post: forest.post.clone(),
-        post_to_vertex: forest.post_to_vertex.clone(),
-        offsets,
-        labels,
+        post: forest.post.clone().into(),
+        post_to_vertex: forest.post_to_vertex.clone().into(),
+        offsets: offsets.into(),
+        labels: labels.into(),
     }
 }
 

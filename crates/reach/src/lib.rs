@@ -17,7 +17,7 @@
 //! All indexes assume a DAG input (use `gsr_graph::scc::Condensation` for
 //! arbitrary graphs, per Section 5 of the paper).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bfl;

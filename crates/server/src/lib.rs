@@ -131,6 +131,10 @@ pub struct ServerConfig {
     /// Write deadline for reply flushes, so one stalled reader cannot
     /// wedge a worker forever; `None` = unlimited.
     pub write_timeout: Option<Duration>,
+    /// Skip the eager CRC pass when `RELOAD` loads a v3 snapshot
+    /// ([`gsr_store::LoadOptions::trust`]). Structural validation always
+    /// runs; only enable this for snapshots this deployment wrote itself.
+    pub trust_snapshot: bool,
 }
 
 impl Default for ServerConfig {
@@ -145,6 +149,7 @@ impl Default for ServerConfig {
             max_batch: 4096,
             idle_timeout: None,
             write_timeout: Some(Duration::from_secs(10)),
+            trust_snapshot: false,
         }
     }
 }
@@ -533,9 +538,10 @@ impl QueryServer {
                             replies.push_str("OK reset\n");
                         }
                         Ok(Some(Request::Reload(path))) => match self.reload(&path) {
-                            Ok(index_bytes) => {
-                                replies
-                                    .push_str(&format!("OK reload index_bytes={index_bytes}\n"));
+                            Ok((index_bytes, load_ms)) => {
+                                replies.push_str(&format!(
+                                    "OK reload index_bytes={index_bytes} load_ms={load_ms}\n"
+                                ));
                             }
                             Err(e) => {
                                 // The old index keeps serving; the client
@@ -563,20 +569,27 @@ impl QueryServer {
         (replies, action)
     }
 
-    /// Handles `RELOAD <path>`: loads and CRC-validates the snapshot on a
+    /// Handles `RELOAD <path>`: loads and validates the snapshot on a
     /// dedicated thread (off the worker pool, so a deserializer panic is
     /// fenced), then swaps the served index and clears the result cache
     /// under the index write lock. In-flight batches pinned the old
     /// `Arc`/epoch pair and finish on the old index; new batches see the
-    /// new pair. On any failure the old index keeps serving.
-    fn reload(&self, path: &str) -> Result<u64, GsrError> {
+    /// new pair. On any failure the old index keeps serving. Returns the
+    /// new index's heap footprint and the wall-clock load time (which,
+    /// with the v3 mmap path, is the restart cost a replica would pay).
+    fn reload(&self, path: &str) -> Result<(u64, u64), GsrError> {
         let owned = path.to_string();
-        let loaded = std::thread::Builder::new()
+        let trust = self.config.trust_snapshot;
+        let started = Instant::now();
+        let (loaded, info) = std::thread::Builder::new()
             .name("gsr-reload".into())
-            .spawn(move || gsr_store::load_from_path(&owned))
+            .spawn(move || {
+                gsr_store::load_from_path_with(&owned, gsr_store::LoadOptions { trust })
+            })
             .map_err(|e| GsrError::Internal(format!("reload: spawn loader: {e}")))?
             .join()
             .map_err(|_| GsrError::Internal("reload: snapshot loader panicked".into()))??;
+        let load_ms = started.elapsed().as_millis().min(u64::MAX as u128) as u64;
         let index_bytes = loaded.index_bytes() as u64;
         let fresh: Arc<dyn RangeReachIndex> = Arc::new(loaded);
         {
@@ -590,7 +603,8 @@ impl QueryServer {
             }
         }
         self.stats.record_reload();
-        Ok(index_bytes)
+        self.stats.record_load(load_ms, info.format);
+        Ok((index_bytes, load_ms))
     }
 
     /// Evaluates the accumulated `REACH` batch and appends one reply line

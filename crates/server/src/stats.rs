@@ -18,6 +18,8 @@ pub struct ServerStats {
     rejected: AtomicU64,
     accept_errors: AtomicU64,
     reloads: AtomicU64,
+    load_ms: AtomicU64,
+    snapshot_format: AtomicU64,
     hist: LatencyHistogram,
 }
 
@@ -63,6 +65,16 @@ impl ServerStats {
         self.reloads.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records how the served snapshot was (last) loaded: wall-clock load
+    /// time in milliseconds and the snapshot wire-format version (0 when
+    /// the index was built in-process rather than loaded). Set at startup
+    /// and on every successful `RELOAD`; `RESET` leaves it alone — restart
+    /// cost is a property of the serving index, not of the traffic window.
+    pub fn record_load(&self, load_ms: u64, snapshot_format: u32) {
+        self.load_ms.store(load_ms, Ordering::Relaxed);
+        self.snapshot_format.store(snapshot_format as u64, Ordering::Relaxed);
+    }
+
     /// Zeroes the query/error counters and the latency histogram, for a
     /// `RESET` request. Counter wipes are not a transaction; requests in
     /// flight may straddle the reset, which a load driver avoids by
@@ -94,6 +106,8 @@ impl ServerStats {
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
             live: 0,
+            load_ms: self.load_ms.load(Ordering::Relaxed),
+            snapshot_format: self.snapshot_format.load(Ordering::Relaxed) as u32,
         }
     }
 }
@@ -131,6 +145,14 @@ pub struct StatsSnapshot {
     /// gauge, not a counter; `RESET` does not touch it. Filled in by the
     /// server, which owns the admission count.
     pub live: u64,
+    /// Wall-clock milliseconds the serving index took to load (startup or
+    /// last `RELOAD`); 0 when it was built in-process. `RESET` does not
+    /// touch it.
+    pub load_ms: u64,
+    /// Snapshot wire-format version the serving index was loaded from
+    /// (2 = streaming decode, 3 = zero-copy mmap); 0 when built
+    /// in-process. `RESET` does not touch it.
+    pub snapshot_format: u32,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -139,7 +161,8 @@ impl std::fmt::Display for StatsSnapshot {
             f,
             "queries={} errors={} p50_us={} p99_us={} p999_us={} index_bytes={} \
              cache_hits={} cache_misses={} cache_evictions={} \
-             shed={} rejected={} accept_errors={} reloads={} live={}",
+             shed={} rejected={} accept_errors={} reloads={} live={} \
+             load_ms={} snapshot_format={}",
             self.queries,
             self.errors,
             self.p50_us,
@@ -154,6 +177,8 @@ impl std::fmt::Display for StatsSnapshot {
             self.accept_errors,
             self.reloads,
             self.live,
+            self.load_ms,
+            self.snapshot_format,
         )
     }
 }
@@ -193,6 +218,7 @@ mod tests {
         s.record_rejected();
         s.record_accept_error();
         s.record_reload();
+        s.record_load(7, 3);
         let snap = s.snapshot();
         assert_eq!(snap.queries, 2);
         assert_eq!(snap.errors, 2);
@@ -200,7 +226,8 @@ mod tests {
             snap.to_string(),
             "queries=2 errors=2 p50_us=15 p99_us=15 p999_us=15 index_bytes=0 \
              cache_hits=0 cache_misses=0 cache_evictions=0 \
-             shed=2 rejected=1 accept_errors=1 reloads=1 live=0"
+             shed=2 rejected=1 accept_errors=1 reloads=1 live=0 \
+             load_ms=7 snapshot_format=3"
         );
     }
 
@@ -214,6 +241,7 @@ mod tests {
         s.record_rejected();
         s.record_accept_error();
         s.record_reload();
+        s.record_load(12, 3);
         s.reset();
         let snap = s.snapshot();
         assert_eq!(snap.queries, 0);
@@ -224,5 +252,9 @@ mod tests {
         assert_eq!(snap.rejected, 0);
         assert_eq!(snap.accept_errors, 0);
         assert_eq!(snap.reloads, 0);
+        // Restart cost describes the serving index, not the traffic
+        // window: RESET must not wipe it.
+        assert_eq!(snap.load_ms, 12);
+        assert_eq!(snap.snapshot_format, 3);
     }
 }

@@ -9,6 +9,7 @@
 //! adversarial (checksum-forged) coordinates into debug-build panics.
 
 use crate::wire::{Dec, Enc};
+use gsr_core::methods::SpaInfoParts;
 use gsr_geo::{Aabb, Point, Rect};
 use gsr_graph::DiGraph;
 use gsr_index::grid::CellId;
@@ -53,6 +54,54 @@ pub fn dec_rect(d: &mut Dec, what: &str) -> Result<Rect, String> {
     let max_x = d.f64(what)?;
     let max_y = d.f64(what)?;
     Ok(Rect { min_x, min_y, max_x, max_y })
+}
+
+/// Encodes a GeoReach SPA-info table (count + tagged entries). Shared by
+/// the v2 section payload and the v3 `SPA_INFO` section, which carry the
+/// identical byte layout.
+pub fn enc_spa_info(e: &mut Enc, info: &[SpaInfoParts]) {
+    e.u64(info.len() as u64);
+    for i in info {
+        match i {
+            SpaInfoParts::B(false) => e.u8(0),
+            SpaInfoParts::B(true) => e.u8(1),
+            SpaInfoParts::R(r) => {
+                e.u8(2);
+                enc_rect(e, r);
+            }
+            SpaInfoParts::G(cells) => {
+                e.u8(3);
+                e.u64(cells.len() as u64);
+                for c in cells {
+                    enc_cell(e, c);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes a GeoReach SPA-info table.
+pub fn dec_spa_info(d: &mut Dec, what: &str) -> Result<Vec<SpaInfoParts>, String> {
+    let n = d.count(1, what)?;
+    let mut info = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = d.u8(what)?;
+        info.push(match kind {
+            0 => SpaInfoParts::B(false),
+            1 => SpaInfoParts::B(true),
+            2 => SpaInfoParts::R(dec_rect(d, what)?),
+            3 => {
+                let c = d.count(9, what)?;
+                let mut cells = Vec::with_capacity(c);
+                for _ in 0..c {
+                    cells.push(dec_cell(d, what)?);
+                }
+                SpaInfoParts::G(cells)
+            }
+            k => return Err(format!("unknown {what} kind {k}")),
+        });
+    }
+    Ok(info)
 }
 
 fn enc_aabb<const N: usize>(e: &mut Enc, b: &Aabb<N>) {

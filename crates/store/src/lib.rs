@@ -11,25 +11,28 @@
 //!
 //! ## Wire format
 //!
-//! ```text
-//! magic    8  bytes  b"GSRSNAP\0"
-//! version  u32 LE    format version (currently 2)
-//! sections           framed + CRC-32-checksummed, see `wire`
-//! ```
-//!
-//! The first section carries the method tag; the remaining sections are
-//! the method's structures in a fixed per-method order (see `DESIGN.md`
-//! for the layout table). Every multi-byte value is little-endian and
-//! fixed-width, so a snapshot written on one machine loads on any other.
+//! The current format (v3) is **zero-copy**: after the magic and version,
+//! a directory of tagged, CRC-32-checksummed entries describes sections
+//! laid out at 64-byte-aligned offsets, and each section is a fixed-width
+//! little-endian column image of the corresponding index arena (see
+//! `v3` and the layout tables in `DESIGN.md`). Loading memory-maps the
+//! file (or copies it once into an aligned buffer) and serves queries
+//! from typed views into the mapped region — no per-element decode.
+//! [`save_v2`] still writes, and [`load`] still reads, the v2 streaming
+//! format (framed `tag | len | payload | crc` sections) for
+//! interoperability with older snapshots.
 //!
 //! ## Trust model
 //!
 //! A snapshot is *untrusted input*: loading revalidates every structural
 //! invariant a query dereferences (CSR monotonicity, permutations,
 //! component-id bounds, R-tree arena reachability) through the owning
-//! crates' `from_parts` constructors. Corruption, truncation, version
-//! mismatches and impossible structures all surface as
+//! crates' `from_parts`/`from_cols` constructors. Corruption, truncation,
+//! version mismatches and impossible structures all surface as
 //! [`GsrError::Load`] — never a panic, never an unbounded allocation.
+//! [`LoadOptions::trust`] skips only the CRC pass over the section
+//! payloads (for snapshots on trusted local disks); the structural
+//! validation always runs.
 //!
 //! ```
 //! use gsr_core::{paper_example, RangeReachIndex, SccSpatialPolicy};
@@ -46,14 +49,18 @@
 //! assert!(loaded.query(paper_example::A, &paper_example::query_region()));
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod codec;
+mod v3;
 mod wire;
 
+pub use arena::ArenaBytes;
+
 use gsr_core::methods::{
-    GeoReach, GeoReachParts, ScanMode, SocReach, SpaInfoParts, SpaReachBfl, SpaReachFilterParts,
+    GeoReach, GeoReachParts, ScanMode, SocReach, SpaReachBfl, SpaReachFilterParts,
     SpaReachInt, SpaReachParts, ThreeDParts, ThreeDReach, ThreeDReachRev, ThreeDRevParts,
 };
 use gsr_core::{GsrError, QueryCost, RangeReachIndex, SccSpatialPolicy};
@@ -78,8 +85,16 @@ pub const MAGIC: [u8; 8] = *b"GSRSNAP\0";
 ///   everywhere.
 /// * **2** — columnar breadth-first R-tree arenas (degenerate dimensions
 ///   elided), delta-compressed labels for SocReach/3DReach, and raw
-///   reversed post-order heights for 3DReach-REV.
-pub const FORMAT_VERSION: u32 = 2;
+///   reversed post-order heights for 3DReach-REV. Still readable by
+///   [`load`] and writable via [`save_v2`].
+/// * **3** — zero-copy section layout: a checksummed directory followed by
+///   the raw arena columns at 64-byte-aligned offsets, loadable by
+///   memory-mapping the file with no deserialization.
+pub const FORMAT_VERSION: u32 = 3;
+
+/// The previous streaming format version, retained as a decode fallback
+/// (and for writers that must interoperate with older readers).
+pub const FORMAT_VERSION_V2: u32 = 2;
 
 /// Section tags (see `DESIGN.md` for the per-method section sequences).
 mod section {
@@ -241,14 +256,23 @@ fn read_compact_labels(r: &mut impl Read) -> Result<gsr_reach::compact::CompactL
 // ---------------------------------------------------------------------------
 // Save.
 
-/// Serializes a built index to `w` in the versioned snapshot format.
+/// Serializes a built index to `w` in the current (v3, zero-copy)
+/// snapshot format: the section payloads are the index's own arena bytes,
+/// written directly — no per-element encoding.
 ///
 /// I/O failures are [`GsrError::Internal`]; an index configuration that
 /// cannot be persisted (SpaReach with an ablation-only spatial backend or
 /// the streaming candidate mode) is rejected the same way.
 pub fn save(w: &mut impl Write, index: &SnapshotIndex) -> Result<(), GsrError> {
+    v3::save_v3(w, index)
+}
+
+/// Serializes a built index in the legacy v2 streaming format. Kept for
+/// interoperability (older readers) and for benchmarking the two formats
+/// against each other; [`load`] reads both.
+pub fn save_v2(w: &mut impl Write, index: &SnapshotIndex) -> Result<(), GsrError> {
     w.write_all(&MAGIC).map_err(io_save)?;
-    w.write_all(&FORMAT_VERSION.to_le_bytes()).map_err(io_save)?;
+    w.write_all(&FORMAT_VERSION_V2.to_le_bytes()).map_err(io_save)?;
 
     let (tag, sections): (u8, Vec<(u8, Vec<u8>)>) = match index {
         SnapshotIndex::SpaReachBfl(i) => {
@@ -312,24 +336,7 @@ fn georeach_sections(parts: GeoReachParts) -> Vec<(u8, Vec<u8>)> {
     enc_rect(&mut grid, &parts.space);
     grid.u8(parts.finest_exp);
     let mut info = Enc::new();
-    info.u64(parts.info.len() as u64);
-    for i in &parts.info {
-        match i {
-            SpaInfoParts::B(false) => info.u8(0),
-            SpaInfoParts::B(true) => info.u8(1),
-            SpaInfoParts::R(r) => {
-                info.u8(2);
-                enc_rect(&mut info, r);
-            }
-            SpaInfoParts::G(cells) => {
-                info.u8(3);
-                info.u64(cells.len() as u64);
-                for c in cells {
-                    enc_cell(&mut info, c);
-                }
-            }
-        }
-    }
+    enc_spa_info(&mut info, &parts.info);
     vec![
         (section::COMP_OF, comp_of_payload(&parts.comp_of)),
         (section::DAG, dag.into_bytes()),
@@ -390,12 +397,32 @@ fn threed_rev_sections(parts: ThreeDRevParts) -> Vec<(u8, Vec<u8>)> {
 // ---------------------------------------------------------------------------
 // Load.
 
-/// Deserializes a snapshot, revalidating every structural invariant.
-///
-/// All failure modes — bad magic, unsupported version, truncation, CRC
-/// mismatch, structurally impossible data, trailing bytes — are
-/// [`GsrError::Load`] with a diagnostic naming the offending section.
-pub fn load(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
+/// Options for loading a snapshot.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadOptions {
+    /// Skip the CRC-32 verification pass over v3 section payloads. Only
+    /// for snapshots on trusted local storage; structural validation (and
+    /// therefore memory safety on garbage input) is unaffected. v2 loads
+    /// ignore this — their framing verifies CRCs inline.
+    pub trust: bool,
+}
+
+/// How a snapshot was loaded — surfaced so servers can report their
+/// restart cost truthfully.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadInfo {
+    /// Wire-format version of the file (2 or 3).
+    pub format: u32,
+    /// Whether the snapshot is served from a memory-mapped file (v3 on
+    /// unix) rather than a decoded or copied heap buffer.
+    pub mapped: bool,
+    /// On-disk size of the snapshot file, in bytes.
+    pub file_bytes: u64,
+}
+
+/// Reads and checks the 12-byte magic + version prefix, returning the
+/// version for dispatch (without judging whether it is supported).
+fn read_prefix(r: &mut impl Read) -> Result<u32, GsrError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)
         .map_err(|e| load_err(format!("missing magic ({e})")))?;
@@ -405,13 +432,49 @@ pub fn load(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
     let mut version = [0u8; 4];
     r.read_exact(&mut version)
         .map_err(|e| load_err(format!("missing format version ({e})")))?;
-    let version = u32::from_le_bytes(version);
-    if version != FORMAT_VERSION {
-        return Err(load_err(format!(
-            "unsupported format version {version} (this build reads version {FORMAT_VERSION})"
-        )));
-    }
+    Ok(u32::from_le_bytes(version))
+}
 
+fn unsupported_version(version: u32) -> GsrError {
+    load_err(format!(
+        "unsupported format version {version} (this build reads versions {FORMAT_VERSION_V2} and {FORMAT_VERSION})"
+    ))
+}
+
+/// Deserializes a snapshot (v3 or v2, sniffed from the version field),
+/// revalidating every structural invariant.
+///
+/// All failure modes — bad magic, unsupported version, truncation, CRC
+/// mismatch, structurally impossible data, trailing bytes — are
+/// [`GsrError::Load`] with a diagnostic naming the offending section.
+pub fn load(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
+    load_with(r, LoadOptions::default())
+}
+
+/// [`load`] with explicit [`LoadOptions`].
+///
+/// A v3 stream is read into a fresh 64-byte-aligned buffer in one pass
+/// and served from typed views into it — callers with a file path should
+/// prefer [`load_from_path`], which memory-maps instead of reading.
+pub fn load_with(r: &mut impl Read, opts: LoadOptions) -> Result<SnapshotIndex, GsrError> {
+    match read_prefix(r)? {
+        FORMAT_VERSION_V2 => load_v2_body(r),
+        FORMAT_VERSION => {
+            let mut full = Vec::new();
+            full.extend_from_slice(&MAGIC);
+            full.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+            r.read_to_end(&mut full)
+                .map_err(|e| load_err(format!("i/o error reading snapshot: {e}")))?;
+            let arena = Arc::new(ArenaBytes::copy_from_slice(&full));
+            v3::load_v3(&arena, opts.trust)
+        }
+        v => Err(unsupported_version(v)),
+    }
+}
+
+/// The v2 streaming decode: the reader is positioned just past the
+/// magic + version prefix.
+fn load_v2_body(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
     let meta = read_section(r, section::META, "meta").map_err(load_err)?;
     let mut d = Dec::new(&meta);
     let tag = d.u8("meta").map_err(load_err)?;
@@ -513,25 +576,7 @@ fn load_georeach(r: &mut impl Read) -> Result<SnapshotIndex, GsrError> {
 
     let payload = read_section(r, section::SPA_INFO, "spa-info").map_err(load_err)?;
     let mut d = Dec::new(&payload);
-    let n = d.count(1, "spa-info").map_err(load_err)?;
-    let mut info = Vec::with_capacity(n);
-    for _ in 0..n {
-        let kind = d.u8("spa-info").map_err(load_err)?;
-        info.push(match kind {
-            0 => SpaInfoParts::B(false),
-            1 => SpaInfoParts::B(true),
-            2 => SpaInfoParts::R(dec_rect(&mut d, "spa-info").map_err(load_err)?),
-            3 => {
-                let c = d.count(9, "spa-info").map_err(load_err)?;
-                let mut cells = Vec::with_capacity(c);
-                for _ in 0..c {
-                    cells.push(dec_cell(&mut d, "spa-info").map_err(load_err)?);
-                }
-                SpaInfoParts::G(cells)
-            }
-            k => return Err(load_err(format!("unknown spa-info kind {k}"))),
-        });
-    }
+    let info = dec_spa_info(&mut d, "spa-info").map_err(load_err)?;
     d.finish("spa-info").map_err(load_err)?;
 
     let (member_offsets, member_points) = read_members(r)?;
@@ -638,13 +683,43 @@ pub fn save_to_path(path: impl AsRef<Path>, index: &SnapshotIndex) -> Result<(),
     result
 }
 
-/// Loads a snapshot from a file path.
+/// Loads a snapshot from a file path. v3 files are memory-mapped and
+/// served zero-copy; v2 files take the streaming decode.
 pub fn load_from_path(path: impl AsRef<Path>) -> Result<SnapshotIndex, GsrError> {
+    load_from_path_with(path, LoadOptions::default()).map(|(index, _)| index)
+}
+
+/// [`load_from_path`] with explicit [`LoadOptions`], also reporting how
+/// the snapshot was loaded ([`LoadInfo`]).
+pub fn load_from_path_with(
+    path: impl AsRef<Path>,
+    opts: LoadOptions,
+) -> Result<(SnapshotIndex, LoadInfo), GsrError> {
+    use std::io::Seek;
     let path = path.as_ref();
-    let file = std::fs::File::open(path)
+    let mut file = std::fs::File::open(path)
         .map_err(|e| GsrError::Load(format!("snapshot {}: {e}", path.display())))?;
-    let mut r = std::io::BufReader::new(file);
-    load(&mut r)
+    let file_bytes =
+        file.metadata().map(|m| m.len()).map_err(|e| {
+            GsrError::Load(format!("snapshot {}: {e}", path.display()))
+        })?;
+    match read_prefix(&mut file)? {
+        FORMAT_VERSION_V2 => {
+            file.rewind()
+                .map_err(|e| load_err(format!("i/o error rewinding snapshot: {e}")))?;
+            let mut r = std::io::BufReader::new(file);
+            let index = load_with(&mut r, opts)?;
+            Ok((index, LoadInfo { format: FORMAT_VERSION_V2, mapped: false, file_bytes }))
+        }
+        FORMAT_VERSION => {
+            let arena = ArenaBytes::from_file(&file)
+                .map_err(|e| load_err(format!("i/o error mapping snapshot: {e}")))?;
+            let mapped = arena.is_mapped();
+            let index = v3::load_v3(&Arc::new(arena), opts.trust)?;
+            Ok((index, LoadInfo { format: FORMAT_VERSION, mapped, file_bytes }))
+        }
+        v => Err(unsupported_version(v)),
+    }
 }
 
 /// Loads a snapshot into an immutable, reference-counted index that can be
@@ -739,6 +814,96 @@ mod tests {
                     ),
                 }
             }
+        }
+    }
+
+    /// The v2 streaming format stays fully readable: save through the
+    /// legacy writer, load through the sniffing entry point, and get the
+    /// same answers and cost counters as the v3 round trip.
+    #[test]
+    fn v2_snapshots_still_load_bit_identically() {
+        let prep = paper_example::prepared();
+        for index in built_all() {
+            let mut v2 = Vec::new();
+            save_v2(&mut v2, &index).unwrap();
+            assert_eq!(&v2[8..12], &FORMAT_VERSION_V2.to_le_bytes());
+            let loaded = load(&mut v2.as_slice()).unwrap();
+            assert_eq!(loaded.method_key(), index.method_key());
+            for v in prep.network().graph().vertices() {
+                for r in paper_example::probe_regions() {
+                    assert_eq!(
+                        loaded.query_with_cost_unchecked(v, &r),
+                        index.query_with_cost_unchecked(v, &r),
+                        "{} v={v} r={r}",
+                        index.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// `trust` skips only the CRC pass; a trusted load of a pristine v3
+    /// snapshot is identical to an untrusted one.
+    #[test]
+    fn trusted_v3_load_matches_untrusted() {
+        for index in built_all() {
+            let mut bytes = Vec::new();
+            save(&mut bytes, &index).unwrap();
+            assert_eq!(&bytes[8..12], &FORMAT_VERSION.to_le_bytes());
+            let a = load_with(&mut bytes.as_slice(), LoadOptions { trust: false }).unwrap();
+            let b = load_with(&mut bytes.as_slice(), LoadOptions { trust: true }).unwrap();
+            assert_eq!(a.method_key(), b.method_key());
+            assert_eq!(a.index_bytes(), b.index_bytes());
+        }
+    }
+
+    /// The path loader memory-maps v3 files (on unix) and reports the
+    /// format and mapping mode truthfully for both formats.
+    #[test]
+    fn path_load_reports_format_and_mapping() {
+        let dir = std::env::temp_dir().join("gsr_store_load_info");
+        std::fs::create_dir_all(&dir).unwrap();
+        let indexes = built_all();
+
+        let v3_path = dir.join("v3.snap");
+        save_to_path(&v3_path, &indexes[3]).unwrap();
+        let (idx, info) = load_from_path_with(&v3_path, LoadOptions::default()).unwrap();
+        assert_eq!(idx.method_key(), "socreach");
+        assert_eq!(info.format, FORMAT_VERSION);
+        assert_eq!(info.file_bytes, std::fs::metadata(&v3_path).unwrap().len());
+        assert_eq!(info.mapped, cfg!(unix));
+
+        let v2_path = dir.join("v2.snap");
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&v2_path).unwrap());
+        save_v2(&mut w, &indexes[3]).unwrap();
+        drop(w);
+        let (idx, info) = load_from_path_with(&v2_path, LoadOptions::default()).unwrap();
+        assert_eq!(idx.method_key(), "socreach");
+        assert_eq!(info.format, FORMAT_VERSION_V2);
+        assert!(!info.mapped);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Every v3 section payload starts at a 64-byte-aligned file offset
+    /// and the declared file length matches the byte count exactly.
+    #[test]
+    fn v3_sections_are_aligned_and_sized_exactly() {
+        for index in built_all() {
+            let mut bytes = Vec::new();
+            save(&mut bytes, &index).unwrap();
+            let n = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+            let file_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+            assert_eq!(file_len, bytes.len() as u64, "{}", index.name());
+            let mut end_of_last = 24 + n * 24;
+            for i in 0..n {
+                let e = &bytes[24 + i * 24..][..24];
+                let off = u64::from_le_bytes(e[8..16].try_into().unwrap()) as usize;
+                let len = u64::from_le_bytes(e[16..24].try_into().unwrap()) as usize;
+                assert_eq!(off % 64, 0, "{} section {i}", index.name());
+                assert!(off >= end_of_last, "{} section {i} overlaps", index.name());
+                end_of_last = off + len;
+            }
+            assert_eq!(end_of_last, bytes.len(), "{}", index.name());
         }
     }
 

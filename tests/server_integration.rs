@@ -293,6 +293,13 @@ fn stats_reports_p999_and_reset_zeroes_counters_but_not_the_index() {
         .parse::<u64>()
         .unwrap();
     assert!(index_bytes > 0, "{stats}");
+    // Restart-cost fields: the server was started from a v3 snapshot, so
+    // STATS must carry the load time and wire-format version.
+    assert!(stats.contains(" load_ms="), "STATS must report load_ms: {stats}");
+    assert!(
+        stats.contains("snapshot_format=3"),
+        "STATS must report the served snapshot's format: {stats}"
+    );
 
     // RESET takes no arguments, like STATS and SHUTDOWN.
     stream.write_all(b"RESET now\n").unwrap();
@@ -310,6 +317,10 @@ fn stats_reports_p999_and_reset_zeroes_counters_but_not_the_index() {
     assert!(
         stats.contains(&format!("index_bytes={index_bytes}")),
         "RESET must not touch the loaded index: {stats}"
+    );
+    assert!(
+        stats.contains("snapshot_format=3"),
+        "RESET must not wipe the restart-cost fields: {stats}"
     );
 
     // The index still answers, and the cached entry survived the reset.
@@ -430,8 +441,17 @@ fn reset_keeps_the_cache_where_reload_clears_it() {
     stream.write_all(format!("RELOAD {snap_path}\nSTATS\n").as_bytes()).unwrap();
     let reload = read_line(&mut reader);
     assert!(reload.starts_with("OK reload index_bytes="), "{reload}");
+    assert!(
+        reload.contains(" load_ms="),
+        "RELOAD must report its time-to-first-query: {reload}"
+    );
     let stats = read_line(&mut reader);
     assert_eq!(stat_field(&stats, "reloads"), 1, "{stats}");
+    assert_eq!(
+        stat_field(&stats, "snapshot_format"),
+        3,
+        "a successful RELOAD refreshes the restart-cost fields: {stats}"
+    );
     let hits_before = stat_field(&stats, "cache_hits");
     let misses_before = stat_field(&stats, "cache_misses");
     stream.write_all(b"REACH 0 0 0 1 1\nSTATS\n").unwrap();
@@ -550,5 +570,9 @@ fn shutdown_and_join(fx: ServeFixture) {
     fx.thread.join().expect("serve thread must exit cleanly after SHUTDOWN");
     let text = fx.out.contents();
     assert!(text.contains("server stopped"), "{text}");
+    // Startup logging: `serve --load` announces how the snapshot loaded
+    // (format, mapping) and its time-to-first-query.
+    assert!(text.contains("loaded ") && text.contains("format v3"), "{text}");
+    assert!(text.contains("ready to serve in "), "{text}");
     std::fs::remove_dir_all(&fx.dir).ok();
 }

@@ -165,10 +165,10 @@ fn io_faults_mid_stream_are_typed_load_errors() {
     }
 }
 
-/// Saving a loaded index must reproduce the exact v2 byte stream: the
+/// Saving a loaded index must reproduce the exact v3 byte stream: the
 /// compact layouts (columnar R-tree arenas, delta-compressed labels) are
-/// canonical, so save → load → save is the identity on bytes for every
-/// method.
+/// canonical and the section directory is deterministic, so
+/// save → load → save is the identity on bytes for every method.
 #[test]
 fn resaving_a_loaded_snapshot_is_byte_identical() {
     let prep = PreparedNetwork::new(NetworkSpec::yelp(0.02).generate());
@@ -178,12 +178,103 @@ fn resaving_a_loaded_snapshot_is_byte_identical() {
         let loaded = gsr_store::load(&mut bytes.as_slice()).expect("load");
         let mut again = Vec::new();
         gsr_store::save(&mut again, &loaded).expect("re-save");
-        assert_eq!(bytes, again, "{}: v2 snapshot is not canonical", original.name());
+        assert_eq!(bytes, again, "{}: v3 snapshot is not canonical", original.name());
+    }
+}
+
+/// A v2 snapshot (framed streaming sections) must still load, and saving
+/// what it loads migrates it to v3 with bit-identical answers and work
+/// counters — the upgrade path for snapshots on disk.
+#[test]
+fn v2_snapshots_migrate_to_v3_bit_identically() {
+    let prep = PreparedNetwork::new(NetworkSpec::yelp(0.02).generate());
+    let n = prep.network().num_vertices() as u32;
+    let regions = random_regions(8, 0xBEEF);
+    for original in snapshots(&prep) {
+        let mut v2 = Vec::new();
+        gsr_store::save_v2(&mut v2, &original).expect("save_v2");
+        assert_eq!(&v2[8..12], &2u32.to_le_bytes(), "save_v2 must write version 2");
+        let from_v2 = gsr_store::load(&mut v2.as_slice()).expect("v2 load");
+
+        let mut v3 = Vec::new();
+        gsr_store::save(&mut v3, &from_v2).expect("migrating save");
+        assert_eq!(&v3[8..12], &3u32.to_le_bytes(), "save must write version 3");
+        let migrated = gsr_store::load(&mut v3.as_slice()).expect("v3 load");
+
+        for v in (0..n).step_by(11) {
+            for r in &regions {
+                let (a0, c0) = original.query_with_cost(v, r);
+                let (a1, c1) = migrated.query_with_cost(v, r);
+                assert_eq!(a0, a1, "{}: answer diverged at v={v} r={r}", original.name());
+                assert_eq!(c0, c1, "{}: QueryCost diverged at v={v} r={r}", original.name());
+            }
+        }
+    }
+}
+
+/// The in-memory load path must not care where the caller's bytes live:
+/// a v3 stream read from a misaligned source buffer is realigned into the
+/// owned arena and loads identically.
+#[test]
+fn misaligned_source_buffers_load_identically() {
+    let prep = PreparedNetwork::new(NetworkSpec::yelp(0.02).generate());
+    let original = snapshots(&prep).remove(0);
+    let mut bytes = Vec::new();
+    gsr_store::save(&mut bytes, &original).expect("save");
+
+    let regions = random_regions(4, 7);
+    for shift in [1usize, 3, 7, 33] {
+        // Stage the stream at an odd offset inside a larger buffer, so
+        // every section payload the reader sees is misaligned.
+        let mut staged = vec![0u8; shift];
+        staged.extend_from_slice(&bytes);
+        let loaded = gsr_store::load(&mut &staged[shift..])
+            .unwrap_or_else(|e| panic!("shift {shift}: {e}"));
+        for v in (0..original.num_vertices() as u32).step_by(13) {
+            for r in &regions {
+                assert_eq!(loaded.query(v, r), original.query(v, r), "shift {shift}");
+            }
+        }
+    }
+}
+
+/// `--trust-snapshot` skips only the CRC pass; the structural validators
+/// still run. A bit-flip sweep under trusted loading must therefore never
+/// panic: every flip either fails structurally with a typed
+/// [`GsrError::Load`] or loads into a self-consistent (if wrong-valued)
+/// index.
+#[test]
+fn trusted_loads_of_corrupt_bytes_never_panic() {
+    let prep = PreparedNetwork::new(NetworkSpec::yelp(0.02).generate());
+    let original = snapshots(&prep).remove(0);
+    let mut bytes = Vec::new();
+    gsr_store::save(&mut bytes, &original).expect("save");
+
+    let trust = gsr_store::LoadOptions { trust: true };
+    let stride = (bytes.len() / 97).max(1);
+    for pos in (0..bytes.len()).step_by(stride) {
+        for bit in [0u8, 5] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << bit;
+            match gsr_store::load_with(&mut corrupt.as_slice(), trust) {
+                Ok(loaded) => {
+                    // Structure survived; the index must still answer
+                    // without panicking (values may differ — that is the
+                    // documented trade of skipping CRCs).
+                    let r = random_regions(1, 1)[0];
+                    let _ = loaded.query(0, &r);
+                }
+                Err(GsrError::Load(msg)) => {
+                    assert!(!msg.is_empty(), "empty diagnostic at byte {pos}");
+                }
+                Err(other) => panic!("flip at {pos} bit {bit}: non-Load error {other:?}"),
+            }
+        }
     }
 }
 
 /// A v1 snapshot (pointer-node R-trees, uncompressed labels) carries
-/// format version 1 in its header; the v2 loader must reject it with a
+/// format version 1 in its header; the loader must reject it with a
 /// typed version error, not misparse the payload or panic.
 #[test]
 fn v1_snapshots_are_rejected_with_a_typed_version_error() {
@@ -191,7 +282,7 @@ fn v1_snapshots_are_rejected_with_a_typed_version_error() {
     for original in snapshots(&prep) {
         let mut bytes = Vec::new();
         gsr_store::save(&mut bytes, &original).expect("save");
-        assert_eq!(&bytes[8..12], &2u32.to_le_bytes(), "header must carry version 2");
+        assert_eq!(&bytes[8..12], &3u32.to_le_bytes(), "header must carry version 3");
 
         // Craft a v1-tagged stream: same magic, version field = 1. The
         // loader must stop at the header — v1 payloads are not parseable
