@@ -20,6 +20,13 @@
 //! --duration-ms  per-rate-step duration (default 1000)
 //! --sweep        sweep the rate geometrically until p99 saturates
 //! --cache-entries  server result-cache capacity (default 4096; 0 = off)
+//! --shards       also sweep a second server holding an N-shard router,
+//!                recorded side by side in BENCH_loadtest.json
+//!
+//! The `shard` experiment (also not part of `all`) partitions the
+//! Yelp-analog dataset into 1/2/4/8 spatial tiles, routes the workload
+//! through the MBR-pruned scatter-gather ShardedIndex, verifies every
+//! answer against a single-index oracle, and writes BENCH_shard.json.
 //! ```
 
 use gsr_bench::experiments;
@@ -30,9 +37,9 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|hotpath|memory|parbuild|snapshot|loadtest|chaos|all]... \
+        "usage: repro [table3|..|fig7|backends|ablations|analysis|latency|throughput|hotpath|memory|parbuild|snapshot|loadtest|chaos|shard|all]... \
          [--scale S] [--queries N] [--seed K] [--threads T] [--csv] \
-         [--rate QPS] [--clients K] [--duration-ms MS] [--sweep] [--cache-entries N]"
+         [--rate QPS] [--clients K] [--duration-ms MS] [--sweep] [--cache-entries N] [--shards N]"
     );
     std::process::exit(2);
 }
@@ -74,12 +81,16 @@ fn main() {
                 lt_opts.cache_entries =
                     args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--shards" => {
+                lt_opts.shards =
+                    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--sweep" => lt_opts.sweep = true,
             "--csv" => csv = true,
             "all" | "table3" | "table4" | "table5" | "table6" | "fig5" | "fig6" | "fig7"
             | "backends" | "ablations" | "analysis" | "latency" | "throughput" | "hotpath"
             | "memory" | "parbuild" | "forests" | "georeach" | "reduction" | "spatial"
-            | "polarity" | "snapshot" | "loadtest" | "chaos" => {
+            | "polarity" | "snapshot" | "loadtest" | "chaos" | "shard" => {
                 experiments_wanted.insert(arg);
             }
             _ => usage(),
@@ -114,9 +125,11 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    // `loadtest` and `chaos` generate their own dataset and spin up live
-    // servers; when only they are wanted, skip the four-dataset generation.
-    let needs_datasets = experiments_wanted.iter().any(|e| e != "loadtest" && e != "chaos");
+    // `loadtest`, `chaos` and `shard` generate their own dataset (and the
+    // first two spin up live servers); when only they are wanted, skip the
+    // four-dataset generation.
+    let needs_datasets =
+        experiments_wanted.iter().any(|e| e != "loadtest" && e != "chaos" && e != "shard");
     let datasets = if needs_datasets {
         eprintln!("generating datasets (scale {}) ...", cfg.scale);
         let datasets = Dataset::load_all(&cfg);
@@ -256,12 +269,13 @@ fn main() {
     }
     if wanted("loadtest") {
         eprintln!(
-            "loadtest: rate={} qps, clients={}, duration={} ms, sweep={}, cache_entries={}",
+            "loadtest: rate={} qps, clients={}, duration={} ms, sweep={}, cache_entries={}, \
+             shards={}",
             lt_opts.rate_qps, lt_opts.clients, lt_opts.duration_ms, lt_opts.sweep,
-            lt_opts.cache_entries
+            lt_opts.cache_entries, lt_opts.shards
         );
         match gsr_bench::loadtest::run_experiment(&cfg, &lt_opts) {
-            Ok((table, steps, overload)) => {
+            Ok((table, steps, overload, sharded)) => {
                 emit("Extension: open-loop latency-under-throughput sweep", &table);
                 eprintln!(
                     "overload: {} flooders vs {} holders -> busy={} served={} \
@@ -275,15 +289,35 @@ fn main() {
                     overload.server_rejected,
                     overload.served_p99_us,
                 );
-                let json =
-                    gsr_bench::loadtest::loadtest_json(&cfg, &lt_opts, &steps, Some(&overload));
+                if let Some(sh) = &sharded {
+                    for (base, shard_step) in steps.iter().zip(&sh.steps) {
+                        eprintln!(
+                            "sharded x{}: {} qps offered -> single {:.0} qps p99={} us, \
+                             sharded {:.0} qps p99={} us",
+                            sh.shards,
+                            base.offered_qps,
+                            base.achieved_qps,
+                            base.p99_us,
+                            shard_step.achieved_qps,
+                            shard_step.p99_us,
+                        );
+                    }
+                }
+                let json = gsr_bench::loadtest::loadtest_json(
+                    &cfg,
+                    &lt_opts,
+                    &steps,
+                    Some(&overload),
+                    sharded.as_ref(),
+                );
                 match std::fs::write("BENCH_loadtest.json", &json) {
                     Ok(()) => eprintln!("wrote BENCH_loadtest.json ({} steps)", steps.len()),
                     Err(e) => eprintln!("cannot write BENCH_loadtest.json: {e}"),
                 }
                 let cache_enabled = lt_opts.cache_entries > 0;
                 let mut failed = false;
-                for (i, step) in steps.iter().enumerate() {
+                let sharded_steps = sharded.as_ref().map(|s| s.steps.as_slice()).unwrap_or(&[]);
+                for (i, step) in steps.iter().chain(sharded_steps).enumerate() {
                     if let Err(e) = step.reconcile(cache_enabled) {
                         eprintln!(
                             "loadtest: step {} ({} qps) failed reconciliation: {e}",
@@ -303,6 +337,47 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("loadtest failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if wanted("shard") {
+        match gsr_bench::shard::run_experiment(&cfg) {
+            Ok((table, baseline_qps, points)) => {
+                emit(
+                    "Extension: spatial-tile sharding with MBR-pruned scatter-gather routing",
+                    &table,
+                );
+                eprintln!("shard: single-index baseline {baseline_qps:.0} qps");
+                let json = gsr_bench::shard::shard_json(&cfg, baseline_qps, &points);
+                match std::fs::write("BENCH_shard.json", &json) {
+                    Ok(()) => eprintln!("wrote BENCH_shard.json ({} shard counts)", points.len()),
+                    Err(e) => eprintln!("cannot write BENCH_shard.json: {e}"),
+                }
+                let mut failed = false;
+                for p in &points {
+                    if p.mismatches > 0 {
+                        eprintln!(
+                            "shard: {} shards disagreed with the oracle on {} queries",
+                            p.shards, p.mismatches
+                        );
+                        failed = true;
+                    }
+                    if p.shards > 1 && p.avg_shards_probed >= p.shards as f64 {
+                        eprintln!(
+                            "shard: no pruning at {} shards (avg probed {:.2})",
+                            p.shards, p.avg_shards_probed
+                        );
+                        failed = true;
+                    }
+                }
+                if failed {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("shard failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -21,6 +21,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod harness;
 pub mod loadtest;
+pub mod shard;
 pub mod table;
 
 pub use alloc_track::allocation_count;

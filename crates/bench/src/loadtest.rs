@@ -41,7 +41,10 @@ use crate::harness::{Config, Dataset, MethodKind};
 use crate::table::TextTable;
 use gsr_core::hist::LatencyHistogram;
 use gsr_core::methods::ThreeDReach;
-use gsr_core::{BatchExecutor, RangeReachIndex, SccSpatialPolicy};
+use gsr_core::{
+    partition_tiles, tile_network, BatchExecutor, PreparedNetwork, RangeReachIndex,
+    SccSpatialPolicy, ShardMember, ShardedIndex,
+};
 use gsr_datagen::workload::{Workload, WorkloadGen};
 use gsr_datagen::NetworkSpec;
 use gsr_graph::stats::DegreeBucket;
@@ -875,6 +878,11 @@ pub struct LoadtestOptions {
     pub sweep: bool,
     /// Server result-cache capacity (0 disables it).
     pub cache_entries: usize,
+    /// Spatial shards for the side-by-side comparison run (`<= 1` = no
+    /// comparison). With `N > 1` the sweep runs twice — once against the
+    /// single index, once against an N-shard [`ShardedIndex`] over the same
+    /// dataset — and both series land in `BENCH_loadtest.json`.
+    pub shards: usize,
 }
 
 impl Default for LoadtestOptions {
@@ -885,45 +893,58 @@ impl Default for LoadtestOptions {
             rate_qps: 1000.0,
             sweep: false,
             cache_entries: 4096,
+            shards: 1,
         }
     }
 }
 
-/// **Extension**: the full open-loop saturation experiment.
-///
-/// Generates the Yelp-analog dataset at `cfg.scale`, builds one 3DReach
-/// index for serving and a *second, independent* 3DReach build as the
-/// oracle, starts a real TCP [`QueryServer`] on a loopback port (worker
-/// pool sized `clients + 1` so every pipelined client owns a worker, with
-/// `max_conns` two past the client count so admission control is real but
-/// the sweep itself never sheds), and drives the sweep followed by the
-/// overload step. Every step must reconcile; the caller decides how loudly
-/// to fail on mismatches via [`StepResult::reconcile`] and
-/// [`OverloadResult::reconcile`].
-pub fn run_experiment(
-    cfg: &Config,
-    opts: &LoadtestOptions,
-) -> Result<(TextTable, Vec<StepResult>, OverloadResult), String> {
-    let ds = Dataset::from_spec(&NetworkSpec::yelp(cfg.scale));
-    let gen = WorkloadGen::new(&ds.prep);
-    let workload = gen.extent_degree(
-        crate::experiments::DEFAULT_EXTENT,
-        DegreeBucket::PAPER_BUCKETS[DegreeBucket::DEFAULT_INDEX],
-        cfg.queries.max(1),
-        cfg.seed,
-    );
-    let oracle =
-        MethodKind::ThreeDReach.build(&ds.prep, SccSpatialPolicy::Replicate);
-    let plan = ReplayPlan::from_workload(&workload, oracle.as_ref());
+/// The sharded half of a sharded-vs-unsharded comparison: the same sweep,
+/// served by an N-shard [`ShardedIndex`] instead of the single index.
+#[derive(Debug, Clone)]
+pub struct ShardComparison {
+    /// Shard count of the comparison index.
+    pub shards: usize,
+    /// The sharded server's sweep, same rate schedule as the baseline.
+    pub steps: Vec<StepResult>,
+}
 
-    let serve_index: Arc<dyn RangeReachIndex> = Arc::new(ThreeDReach::build_threaded(
-        &ds.prep,
-        SccSpatialPolicy::Replicate,
-        cfg.threads,
-    ));
+/// Partitions the dataset into `shards` spatial tiles and builds one
+/// 3DReach index per tile, assembled into a scatter-gather router.
+fn build_sharded_index(
+    prep: &PreparedNetwork,
+    shards: usize,
+    threads: usize,
+) -> Result<ShardedIndex, String> {
+    let tiles = partition_tiles(prep.network(), shards);
+    let mut members = Vec::with_capacity(tiles.len());
+    for tile in &tiles {
+        let net = tile_network(prep.network(), tile)
+            .map_err(|e| format!("loadtest: shard build: {e}"))?;
+        let tile_prep = PreparedNetwork::new(net);
+        members.push(ShardMember {
+            index: Arc::new(ThreeDReach::build_threaded(
+                &tile_prep,
+                SccSpatialPolicy::Replicate,
+                threads,
+            )),
+            mbr: tile.mbr,
+        });
+    }
+    ShardedIndex::new(members).map_err(|e| format!("loadtest: shard build: {e}"))
+}
+
+/// Binds a fresh loopback server over `index`, drives the sweep (and the
+/// overload step when asked), and tears the server down.
+fn serve_and_sweep(
+    index: Arc<dyn RangeReachIndex>,
+    plan: &ReplayPlan,
+    opts: &LoadtestOptions,
+    sweep_opts: &SweepOptions,
+    with_overload: bool,
+) -> Result<(Vec<StepResult>, Option<OverloadResult>), String> {
     let server = QueryServer::bind(
         ("127.0.0.1", 0),
-        serve_index,
+        index,
         ServerConfig {
             threads: opts.clients + 1,
             budget: None,
@@ -941,6 +962,56 @@ pub fn run_experiment(
     let token = server.cancel_token();
     let handle = std::thread::spawn(move || server.run());
 
+    let outcome = run_sweep(addr, plan, sweep_opts).and_then(|steps| {
+        if with_overload {
+            run_overload(addr, plan, sweep_opts).map(|o| (steps, Some(o)))
+        } else {
+            Ok((steps, None))
+        }
+    });
+
+    token.cancel();
+    let _ = handle.join();
+    outcome
+}
+
+/// **Extension**: the full open-loop saturation experiment.
+///
+/// Generates the Yelp-analog dataset at `cfg.scale`, builds one 3DReach
+/// index for serving and a *second, independent* 3DReach build as the
+/// oracle, starts a real TCP [`QueryServer`] on a loopback port (worker
+/// pool sized `clients + 1` so every pipelined client owns a worker, with
+/// `max_conns` two past the client count so admission control is real but
+/// the sweep itself never sheds), and drives the sweep followed by the
+/// overload step. Every step must reconcile; the caller decides how loudly
+/// to fail on mismatches via [`StepResult::reconcile`] and
+/// [`OverloadResult::reconcile`].
+///
+/// With `opts.shards > 1` the same sweep then runs a second time against a
+/// fresh server holding an N-shard [`ShardedIndex`] over the same dataset
+/// (replies still checked against the single-index oracle), returned as
+/// the [`ShardComparison`].
+pub fn run_experiment(
+    cfg: &Config,
+    opts: &LoadtestOptions,
+) -> Result<(TextTable, Vec<StepResult>, OverloadResult, Option<ShardComparison>), String> {
+    let ds = Dataset::from_spec(&NetworkSpec::yelp(cfg.scale));
+    let gen = WorkloadGen::new(&ds.prep);
+    let workload = gen.extent_degree(
+        crate::experiments::DEFAULT_EXTENT,
+        DegreeBucket::PAPER_BUCKETS[DegreeBucket::DEFAULT_INDEX],
+        cfg.queries.max(1),
+        cfg.seed,
+    );
+    let oracle =
+        MethodKind::ThreeDReach.build(&ds.prep, SccSpatialPolicy::Replicate);
+    let plan = ReplayPlan::from_workload(&workload, oracle.as_ref());
+
+    let serve_index: Arc<dyn RangeReachIndex> = Arc::new(ThreeDReach::build_threaded(
+        &ds.prep,
+        SccSpatialPolicy::Replicate,
+        cfg.threads,
+    ));
     let sweep_opts = SweepOptions {
         clients: opts.clients,
         duration_ms: opts.duration_ms,
@@ -950,14 +1021,20 @@ pub fn run_experiment(
         cache_enabled: opts.cache_entries > 0,
         ..SweepOptions::default()
     };
-    let outcome = run_sweep(addr, &plan, &sweep_opts)
-        .and_then(|steps| run_overload(addr, &plan, &sweep_opts).map(|o| (steps, o)));
+    let (steps, overload) = serve_and_sweep(serve_index, &plan, opts, &sweep_opts, true)?;
+    let overload = overload.ok_or_else(|| "loadtest: overload step missing".to_string())?;
 
-    token.cancel();
-    let _ = handle.join();
-    let (steps, overload) = outcome?;
+    let sharded = if opts.shards > 1 {
+        let index = build_sharded_index(&ds.prep, opts.shards, cfg.threads)?;
+        let (sharded_steps, _) =
+            serve_and_sweep(Arc::new(index), &plan, opts, &sweep_opts, false)?;
+        Some(ShardComparison { shards: opts.shards, steps: sharded_steps })
+    } else {
+        None
+    };
 
     let mut table = TextTable::new([
+        "index",
         "offered_qps",
         "achieved_qps",
         "p50_us",
@@ -968,31 +1045,65 @@ pub fn run_experiment(
         "hit_rate",
         "balance",
     ]);
-    for s in &steps {
-        let min = s.per_client_completed.iter().min().copied().unwrap_or(0);
-        let max = s.per_client_completed.iter().max().copied().unwrap_or(0);
-        table.row([
-            format!("{:.0}", s.offered_qps),
-            format!("{:.0}", s.achieved_qps),
-            s.p50_us.to_string(),
-            s.p99_us.to_string(),
-            s.p999_us.to_string(),
-            s.errors.to_string(),
-            s.mismatches.to_string(),
-            format!("{:.3}", s.cache_hit_rate),
-            format!("{min}/{max}"),
-        ]);
+    let mut emit_rows = |label: &str, steps: &[StepResult]| {
+        for s in steps {
+            let min = s.per_client_completed.iter().min().copied().unwrap_or(0);
+            let max = s.per_client_completed.iter().max().copied().unwrap_or(0);
+            table.row([
+                label.to_string(),
+                format!("{:.0}", s.offered_qps),
+                format!("{:.0}", s.achieved_qps),
+                s.p50_us.to_string(),
+                s.p99_us.to_string(),
+                s.p999_us.to_string(),
+                s.errors.to_string(),
+                s.mismatches.to_string(),
+                format!("{:.3}", s.cache_hit_rate),
+                format!("{min}/{max}"),
+            ]);
+        }
+    };
+    emit_rows("single", &steps);
+    if let Some(sh) = &sharded {
+        emit_rows(&format!("shard{}", sh.shards), &sh.steps);
     }
-    Ok((table, steps, overload))
+    Ok((table, steps, overload, sharded))
 }
 
-/// Renders the sweep (and, when present, the overload step) as the
-/// `BENCH_loadtest.json` artifact.
+/// One step as a JSON object (no indent, no trailing comma).
+fn step_json(p: &StepResult) -> String {
+    let per_client: Vec<String> = p.per_client_completed.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"offered_qps\": {:.1}, \"achieved_qps\": {:.1}, \"sent\": {}, \
+         \"completed\": {}, \"errors\": {}, \"mismatches\": {}, \
+         \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
+         \"per_client_completed\": [{}], \"elapsed_ms\": {:.1}}}",
+        p.offered_qps,
+        p.achieved_qps,
+        p.sent,
+        p.completed,
+        p.errors,
+        p.mismatches,
+        p.p50_us,
+        p.p99_us,
+        p.p999_us,
+        p.cache_hits,
+        p.cache_misses,
+        p.cache_hit_rate,
+        per_client.join(", "),
+        p.elapsed_ms,
+    )
+}
+
+/// Renders the sweep (and, when present, the overload step and the
+/// sharded-vs-unsharded comparison) as the `BENCH_loadtest.json` artifact.
 pub fn loadtest_json(
     cfg: &Config,
     opts: &LoadtestOptions,
     steps: &[StepResult],
     overload: Option<&OverloadResult>,
+    sharded: Option<&ShardComparison>,
 ) -> String {
     let mut s = String::from("{\n  \"experiment\": \"loadtest\",\n");
     s.push_str(&format!(
@@ -1007,34 +1118,27 @@ pub fn loadtest_json(
         opts.sweep,
     ));
     for (i, p) in steps.iter().enumerate() {
-        let per_client: Vec<String> =
-            p.per_client_completed.iter().map(u64::to_string).collect();
         s.push_str(&format!(
-            "    {{\"offered_qps\": {:.1}, \"achieved_qps\": {:.1}, \"sent\": {}, \
-             \"completed\": {}, \"errors\": {}, \"mismatches\": {}, \
-             \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
-             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
-             \"per_client_completed\": [{}], \"elapsed_ms\": {:.1}}}{}\n",
-            p.offered_qps,
-            p.achieved_qps,
-            p.sent,
-            p.completed,
-            p.errors,
-            p.mismatches,
-            p.p50_us,
-            p.p99_us,
-            p.p999_us,
-            p.cache_hits,
-            p.cache_misses,
-            p.cache_hit_rate,
-            per_client.join(", "),
-            p.elapsed_ms,
+            "    {}{}\n",
+            step_json(p),
             if i + 1 == steps.len() { "" } else { "," }
         ));
     }
+    s.push_str("  ]");
+    if let Some(sh) = sharded {
+        s.push_str(&format!(",\n  \"sharded\": {{\"shards\": {}, \"steps\": [\n", sh.shards));
+        for (i, p) in sh.steps.iter().enumerate() {
+            s.push_str(&format!(
+                "    {}{}\n",
+                step_json(p),
+                if i + 1 == sh.steps.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]}");
+    }
     if let Some(o) = overload {
         s.push_str(&format!(
-            "  ],\n  \"overload\": {{\"offered_qps\": {:.1}, \"holders\": {}, \
+            ",\n  \"overload\": {{\"offered_qps\": {:.1}, \"holders\": {}, \
              \"flooders\": {}, \"busy\": {}, \"flooder_served\": {}, \
              \"shed_rate\": {:.4}, \"holder_completed\": {}, \"errors\": {}, \
              \"mismatches\": {}, \"served_p50_us\": {}, \"served_p99_us\": {}, \
@@ -1058,7 +1162,7 @@ pub fn loadtest_json(
             o.elapsed_ms,
         ));
     } else {
-        s.push_str("  ]\n}\n");
+        s.push_str("\n}\n");
     }
     s
 }
@@ -1214,16 +1318,28 @@ mod tests {
             cache_hit_rate: 0.9,
             elapsed_ms: 1001.5,
         };
-        let json = loadtest_json(&cfg, &opts, std::slice::from_ref(&step), None);
+        let json = loadtest_json(&cfg, &opts, std::slice::from_ref(&step), None, None);
         assert!(json.contains("\"experiment\": \"loadtest\""));
         assert!(json.contains("\"p999_us\": 2047"));
         assert!(json.contains("\"per_client_completed\": [250, 250, 250, 250]"));
         assert!(json.ends_with("  ]\n}\n"));
 
-        let json = loadtest_json(&cfg, &opts, &[step], Some(&balanced_overload()));
+        let json =
+            loadtest_json(&cfg, &opts, std::slice::from_ref(&step), Some(&balanced_overload()), None);
         assert!(json.contains("\"overload\": {\"offered_qps\": 500.0"));
         assert!(json.contains("\"shed_rate\": 0.8750"));
         assert!(json.contains("\"server_rejected\": 14"));
+        assert!(json.ends_with("}\n}\n"));
+
+        // The sharded comparison nests between the baseline steps and the
+        // overload ledger.
+        let sharded = ShardComparison { shards: 4, steps: vec![step.clone()] };
+        let json =
+            loadtest_json(&cfg, &opts, &[step], Some(&balanced_overload()), Some(&sharded));
+        assert!(json.contains("\"sharded\": {\"shards\": 4, \"steps\": ["));
+        let shard_at = json.find("\"sharded\"").unwrap();
+        let overload_at = json.find("\"overload\"").unwrap();
+        assert!(shard_at < overload_at, "sharded block precedes overload");
         assert!(json.ends_with("}\n}\n"));
     }
 

@@ -7,15 +7,21 @@
 //! gsr query network.gsr --method all < queries.txt
 //! gsr report network.gsr --vertex 12 --rect 10,10,50,50
 //! gsr build network.gsr --method 3dreach --save index.snap
+//! gsr build network.gsr --method 3dreach --shards 4 --save index.shards
 //! gsr serve --load index.snap --port 7070 --threads 4 --budget-ms 100
+//! gsr serve --load yelp=yelp.snap --load gowalla=gowalla.shards
 //! ```
 //!
 //! The `query` subcommand without `--vertex/--rect` reads one query per
 //! stdin line: `<vertex> <min_x> <min_y> <max_x> <max_y>`.
 //!
-//! `build` persists one built index as a `gsr-store` snapshot; `serve`
-//! loads a snapshot (no rebuild) and answers `REACH` queries over TCP
-//! using the `gsr-server` text protocol.
+//! `build` persists one built index as a `gsr-store` snapshot — with
+//! `--shards N` it spatially partitions the check-ins into N tiles and
+//! writes a *directory* of per-tile snapshots plus a manifest; `serve`
+//! loads snapshots (no rebuild) and answers `REACH` queries over TCP
+//! using the `gsr-server` text protocol. `--load` repeats: each
+//! `[name=]PATH` registers one dataset, selectable per connection with
+//! `USE <name>` (an unnamed single `--load` is the dataset `default`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,7 +80,7 @@ pub enum Command {
         /// Query region.
         rect: Rect,
     },
-    /// `gsr build FILE --method M --save PATH [--threads T]`
+    /// `gsr build FILE --method M --save PATH [--threads T] [--shards N]`
     Build {
         /// Network file.
         file: PathBuf,
@@ -82,14 +88,21 @@ pub enum Command {
         method: String,
         /// Worker threads for index construction.
         threads: usize,
-        /// Snapshot output path.
+        /// Snapshot output path (a directory when `shards > 1`).
         save: PathBuf,
+        /// Spatial tiles to partition into (`1` = single unsharded
+        /// snapshot). With `N > 1` the save path becomes a directory of
+        /// per-tile snapshots plus a `MANIFEST.gsrshard`.
+        shards: usize,
     },
-    /// `gsr serve --load PATH [--port P] [--threads T] [--budget-ms B]
+    /// `gsr serve --load [name=]PATH [--port P] [--threads T] [--budget-ms B]
     /// [--cache-entries N] [--trust-snapshot] [overload limit flags]`
     Serve {
-        /// Snapshot to load (built with `gsr build --save`).
-        load: PathBuf,
+        /// Datasets to serve, in registration order: `(name, path)` where
+        /// the path is a snapshot file or a sharded snapshot directory
+        /// (built with `gsr build --save [--shards N]`). Connections start
+        /// on the first and switch with `USE <name>`.
+        loads: Vec<(String, PathBuf)>,
         /// TCP port on 127.0.0.1 (`0` = OS-assigned; the chosen port is
         /// printed on the `listening on` line).
         port: u16,
@@ -168,7 +181,13 @@ usage:
   gsr report FILE --vertex V --rect X0,Y0,X1,Y1
   gsr build FILE --method <3dreach|3dreach-rev|spareach-bfl|spareach-int|georeach|socreach>
                  --save PATH [--threads T]          (persist a built index as a snapshot)
-  gsr serve --load PATH [--port P] [--threads T] [--budget-ms B] [--cache-entries N]
+                 [--shards N]                       (N > 1: spatially partition into N
+                                                     tiles and write PATH as a directory
+                                                     of per-tile snapshots + manifest)
+  gsr serve --load [name=]PATH [--port P] [--threads T] [--budget-ms B] [--cache-entries N]
+                 (--load repeats: each registers one dataset — snapshot file
+                  or sharded directory — switched per connection with USE <name>;
+                  a lone unnamed --load is the dataset \"default\")
                  [--trust-snapshot]                 (skip the eager CRC pass on v3
                                                      loads; structural checks remain)
                  [--max-pending N] [--max-conns N]  (admission control; over-limit
@@ -236,9 +255,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut it = args.iter();
     let sub = it.next().ok_or_else(|| err(USAGE))?;
 
-    // Collect positionals and --flags.
+    // Collect positionals and --flags. `--load` is repeatable (one dataset
+    // per occurrence) so it accumulates in order instead of overwriting.
     let mut positional: Vec<&String> = Vec::new();
     let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut load_specs: Vec<String> = Vec::new();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags take no value; everything else consumes one.
@@ -247,7 +268,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 continue;
             }
             let value = it.next().ok_or_else(|| err(format!("--{name} needs a value")))?;
-            flags.insert(name.to_string(), value.clone());
+            if name == "load" {
+                load_specs.push(value.clone());
+            } else {
+                flags.insert(name.to_string(), value.clone());
+            }
         } else {
             positional.push(a);
         }
@@ -307,15 +332,48 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .map_err(|_| err("--threads must be a non-negative integer"))?
                 .unwrap_or(1);
             let save = flag("save").ok_or_else(|| err("build needs --save"))?;
+            let shards = flag("shards")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|_| err("--shards must be a positive integer"))?
+                .unwrap_or(1);
+            if shards == 0 {
+                return Err(err("--shards must be at least 1"));
+            }
             Ok(Command::Build {
                 file: PathBuf::from(file),
                 method,
                 threads,
                 save: PathBuf::from(save),
+                shards,
             })
         }
         "serve" => {
-            let load = flag("load").ok_or_else(|| err("serve needs --load"))?;
+            if load_specs.is_empty() {
+                return Err(err("serve needs --load"));
+            }
+            let mut loads: Vec<(String, PathBuf)> = Vec::with_capacity(load_specs.len());
+            for spec in &load_specs {
+                // `name=path` registers a named dataset; a bare path is the
+                // dataset "default" (so single-snapshot serving needs no
+                // name).
+                let (name, path) = match spec.split_once('=') {
+                    Some((name, path)) if !name.is_empty() && !path.is_empty() => (name, path),
+                    Some(_) => {
+                        return Err(err(format!(
+                            "--load {spec:?}: expected [name=]PATH with a non-empty name and path"
+                        )))
+                    }
+                    None => ("default", spec.as_str()),
+                };
+                if loads.iter().any(|(have, _)| have == name) {
+                    return Err(err(format!(
+                        "--load {spec:?}: duplicate dataset name {name:?} (name datasets with \
+                         --load name=PATH)"
+                    )));
+                }
+                loads.push((name.to_string(), PathBuf::from(path)));
+            }
             let port = flag("port")
                 .map(|p| p.parse())
                 .transpose()
@@ -363,7 +421,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let idle_timeout_ms = timeout("idle-timeout-ms", defaults.idle_timeout_ms)?;
             let write_timeout_ms = timeout("write-timeout-ms", defaults.write_timeout_ms)?;
             Ok(Command::Serve {
-                load: PathBuf::from(load),
+                loads,
                 port,
                 threads,
                 budget_ms,
@@ -585,32 +643,83 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn st
                 }
             }
         }
-        Command::Build { file, method, threads, save } => {
+        Command::Build { file, method, threads, save, shards } => {
             let prep = load_prepared(&file)?;
-            let start = std::time::Instant::now();
-            let snapshot = build_snapshot(&method, &prep, threads)?;
-            let build_time = start.elapsed();
-            gsr_store::save_to_path(&save, &snapshot)?;
-            let bytes = std::fs::metadata(&save).map(|m| m.len()).unwrap_or(0);
-            let heap = snapshot.index_bytes();
-            let nv = snapshot.num_vertices().max(1);
-            writeln!(
-                out,
-                "built {} in {build_time:?}; index heap {heap} bytes ({:.1} bytes/vertex); \
-                 wrote {bytes} byte snapshot to {}",
-                snapshot.method_key(),
-                heap as f64 / nv as f64,
-                save.display()
-            )?;
+            if shards <= 1 {
+                let start = std::time::Instant::now();
+                let snapshot = build_snapshot(&method, &prep, threads)?;
+                let build_time = start.elapsed();
+                gsr_store::save_to_path(&save, &snapshot)?;
+                let bytes = std::fs::metadata(&save).map(|m| m.len()).unwrap_or(0);
+                let heap = snapshot.index_bytes();
+                let nv = snapshot.num_vertices().max(1);
+                writeln!(
+                    out,
+                    "built {} in {build_time:?}; index heap {heap} bytes ({:.1} bytes/vertex); \
+                     wrote {bytes} byte snapshot to {}",
+                    snapshot.method_key(),
+                    heap as f64 / nv as f64,
+                    save.display()
+                )?;
+            } else {
+                // Sharded build: partition the check-in points into spatial
+                // tiles, build one independent index per tile over the full
+                // social graph, and persist the set as a directory.
+                let start = std::time::Instant::now();
+                let tiles = gsr_core::partition_tiles(prep.network(), shards);
+                let mut built: Vec<(gsr_store::SnapshotIndex, Option<gsr_geo::Rect>)> =
+                    Vec::with_capacity(tiles.len());
+                for tile in &tiles {
+                    let tile_net = gsr_core::tile_network(prep.network(), tile)
+                        .map_err(|e| GsrError::Internal(format!("shard build: {e}")))?;
+                    let tile_prep = PreparedNetwork::new(tile_net);
+                    built.push((build_snapshot(&method, &tile_prep, threads)?, tile.mbr));
+                }
+                let build_time = start.elapsed();
+                gsr_store::shard::save_sharded_to_path(&save, &built)?;
+                let heap: usize = built.iter().map(|(s, _)| s.index_bytes()).sum();
+                writeln!(
+                    out,
+                    "built {} x{} shards in {build_time:?}; index heap {heap} bytes; \
+                     wrote sharded snapshot set to {}",
+                    method.to_ascii_lowercase(),
+                    built.len(),
+                    save.display()
+                )?;
+                for (i, (tile, (_, mbr))) in tiles.iter().zip(&built).enumerate() {
+                    match mbr {
+                        Some(m) => writeln!(
+                            out,
+                            "  shard {i}: {} spatial vertices, mbr {m}",
+                            tile.vertices.len()
+                        )?,
+                        None => writeln!(out, "  shard {i}: empty (no spatial vertices)")?,
+                    }
+                }
+            }
         }
-        Command::Serve { load, port, threads, budget_ms, cache_entries, trust, limits } => {
+        Command::Serve { loads, port, threads, budget_ms, cache_entries, trust, limits } => {
             let started = std::time::Instant::now();
-            let (index, info) = gsr_store::load_from_path_with(
-                &load,
-                gsr_store::LoadOptions { trust },
-            )?;
+            let mut datasets: Vec<(String, std::sync::Arc<dyn RangeReachIndex>)> =
+                Vec::with_capacity(loads.len());
+            let mut load_lines: Vec<String> = Vec::with_capacity(loads.len());
+            let mut first_format = 0u32;
+            for (name, path) in &loads {
+                let (index, info) =
+                    gsr_store::load_served_index(path, gsr_store::LoadOptions { trust })?;
+                if first_format == 0 {
+                    first_format = info.format;
+                }
+                load_lines.push(format!(
+                    "loaded {name}={} (format v{}, {} bytes, {})",
+                    path.display(),
+                    info.format,
+                    info.file_bytes,
+                    if info.mapped { "memory-mapped" } else { "heap-decoded" },
+                ));
+                datasets.push((name.clone(), index));
+            }
             let load_ms = started.elapsed().as_millis().min(u64::MAX as u128) as u64;
-            let index = std::sync::Arc::new(index);
             let config = gsr_server::ServerConfig {
                 threads,
                 budget: budget_ms.map(Duration::from_millis),
@@ -623,17 +732,12 @@ pub fn run(cmd: Command, out: &mut impl std::io::Write) -> Result<(), Box<dyn st
                 write_timeout: limits.write_timeout_ms.map(Duration::from_millis),
                 trust_snapshot: trust,
             };
-            let server = gsr_server::QueryServer::bind(("127.0.0.1", port), index, config)
+            let server = gsr_server::QueryServer::bind_many(("127.0.0.1", port), datasets, config)
                 .map_err(|e| Box::new(e) as Box<dyn std::error::Error>)?;
-            server.stats().record_load(load_ms, info.format);
-            writeln!(
-                out,
-                "loaded {} (format v{}, {} bytes, {}) in {load_ms} ms",
-                load.display(),
-                info.format,
-                info.file_bytes,
-                if info.mapped { "memory-mapped" } else { "heap-decoded" },
-            )?;
+            server.stats().record_load(load_ms, first_format);
+            for line in &load_lines {
+                writeln!(out, "{line} in {load_ms} ms")?;
+            }
             // Printed (and flushed) before blocking so `--port 0` callers
             // can read the OS-assigned port. Everything above already
             // happened, so restart-to-serving is load_ms + bind, and the
@@ -760,10 +864,23 @@ mod tests {
                 method: "georeach".into(),
                 threads: 1,
                 save: "idx.snap".into(),
+                shards: 1,
             }
         );
+        let cmd = parse_args(&args(&[
+            "build", "n.gsr", "--method", "georeach", "--save", "idx.shards", "--shards", "4",
+        ]))
+        .unwrap();
+        assert!(matches!(cmd, Command::Build { shards: 4, .. }));
         assert!(parse_args(&args(&["build", "n.gsr", "--method", "georeach"])).is_err());
         assert!(parse_args(&args(&["build", "n.gsr", "--save", "x"])).is_err());
+        assert!(
+            parse_args(&args(&[
+                "build", "n.gsr", "--method", "georeach", "--save", "x", "--shards", "0",
+            ]))
+            .is_err(),
+            "0 shards"
+        );
 
         let cmd = parse_args(&args(&[
             "serve", "--load", "idx.snap", "--port", "0", "--threads", "2",
@@ -773,7 +890,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Serve {
-                load: "idx.snap".into(),
+                loads: vec![("default".into(), "idx.snap".into())],
                 port: 0,
                 threads: 2,
                 budget_ms: Some(50),
@@ -787,6 +904,29 @@ mod tests {
             cmd,
             Command::Serve { port: 7070, threads: 0, budget_ms: None, cache_entries: 0, .. }
         ));
+        // --load repeats; name=path registers named datasets in order.
+        let cmd = parse_args(&args(&[
+            "serve", "--load", "yelp=a.snap", "--load", "gowalla=b.shards",
+        ]))
+        .unwrap();
+        let Command::Serve { loads, .. } = cmd else { panic!("expected serve") };
+        assert_eq!(
+            loads,
+            vec![
+                ("yelp".to_string(), PathBuf::from("a.snap")),
+                ("gowalla".to_string(), PathBuf::from("b.shards")),
+            ]
+        );
+        assert!(
+            parse_args(&args(&["serve", "--load", "a.snap", "--load", "b.snap"])).is_err(),
+            "two unnamed loads collide on the name \"default\""
+        );
+        assert!(
+            parse_args(&args(&["serve", "--load", "x=a.snap", "--load", "x=b.snap"])).is_err(),
+            "duplicate dataset name"
+        );
+        assert!(parse_args(&args(&["serve", "--load", "=a.snap"])).is_err(), "empty name");
+        assert!(parse_args(&args(&["serve", "--load", "x="])).is_err(), "empty path");
         // --trust-snapshot is boolean: it consumes no value, so flags
         // after it still parse.
         let cmd = parse_args(&args(&[
@@ -898,6 +1038,55 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(exit_code(e.as_ref()), 3, "{e}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_build_writes_a_directory_the_serve_loader_accepts() {
+        let dir = std::env::temp_dir().join("gsr_cli_shard_build_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let net = dir.join("net.gsr");
+        let shards = dir.join("idx.shards");
+        let net_path = net.to_string_lossy().to_string();
+        let shards_path = shards.to_string_lossy().to_string();
+
+        run(
+            parse_args(&args(&[
+                "generate", "--preset", "yelp", "--scale", "0.01", "--out", &net_path,
+            ]))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        let mut out = Vec::new();
+        run(
+            parse_args(&args(&[
+                "build", &net_path, "--method", "3dreach", "--shards", "3",
+                "--save", &shards_path,
+            ]))
+            .unwrap(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(text.contains("built 3dreach x3 shards"), "{text}");
+        assert!(shards.join("MANIFEST.gsrshard").is_file());
+
+        // The directory loads through the serve-path loader and answers
+        // exactly like a fresh unsharded build.
+        let (loaded, info) =
+            gsr_store::load_served_index(&shards, gsr_store::LoadOptions { trust: false })
+                .unwrap();
+        assert_eq!(info.format, 3);
+        let prep = load_prepared(&net).unwrap();
+        let fresh = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+        let r = Rect::new(-1000.0, -1000.0, 2000.0, 2000.0);
+        for v in 0..prep.network().num_vertices() as u32 {
+            assert_eq!(loaded.query(v, &r), fresh.query(v, &r), "vertex {v}");
+        }
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -61,6 +61,7 @@ pub mod hist;
 pub mod methods;
 mod network;
 pub mod paper_example;
+pub mod partition;
 pub mod scratch;
 mod traits;
 
@@ -70,4 +71,5 @@ pub use batch::{
 pub use error::GsrError;
 pub use fallback::{DegradedReason, FallbackIndex, FallbackOptions, OnlineReach};
 pub use network::{GeosocialNetwork, NetworkError, NetworkStats, PreparedNetwork};
-pub use traits::{QueryCost, RangeReachIndex, SccSpatialPolicy};
+pub use partition::{partition_tiles, tile_network, ShardMember, ShardedIndex, Tile};
+pub use traits::{QueryCost, RangeReachIndex, SccSpatialPolicy, ShardStats};

@@ -63,6 +63,25 @@ impl QueryCost {
     }
 }
 
+/// Point-in-time routing counters of a sharded scatter-gather index
+/// ([`crate::partition::ShardedIndex`]), surfaced through
+/// [`RangeReachIndex::shard_stats`] so callers holding a
+/// `dyn RangeReachIndex` (e.g. the query server's `STATS` handler) can
+/// report routing effectiveness without downcasting.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Number of shards behind the router.
+    pub shards: u64,
+    /// Shard probes actually executed (post MBR pruning, pre
+    /// short-circuit).
+    pub probes: u64,
+    /// Shard probes skipped because the shard MBR missed the query rect.
+    pub pruned: u64,
+    /// Per-shard 99th-percentile probe latency in microseconds, in shard
+    /// order.
+    pub probe_p99_us: Vec<u64>,
+}
+
 /// An evaluation method for `RangeReach(G, v, R)` queries (Problem 1).
 ///
 /// Implementations are built once from a [`crate::PreparedNetwork`] and then
@@ -142,4 +161,15 @@ pub trait RangeReachIndex: Send + Sync {
 
     /// Display name, e.g. `"3DReach"` or `"SpaReach-BFL"`.
     fn name(&self) -> &'static str;
+
+    /// Routing counters when `self` is a sharded scatter-gather router;
+    /// `None` (the default) for ordinary single indexes.
+    fn shard_stats(&self) -> Option<ShardStats> {
+        None
+    }
+
+    /// Zeroes the routing counters reported by
+    /// [`RangeReachIndex::shard_stats`]; a no-op (the default) for
+    /// ordinary single indexes. Wired to the server's `RESET` verb.
+    fn reset_shard_stats(&self) {}
 }

@@ -26,6 +26,17 @@
 //!   [`ServerConfig::cache_entries`]) memoizes `(vertex, rectangle)`
 //!   answers across connections; batches probe it first and only the
 //!   misses reach the index.
+//! * A **dataset registry** ([`QueryServer::bind_many`]): one process can
+//!   serve several named indexes; a per-connection `USE <dataset>` line
+//!   selects which one subsequent requests address. Cache entries are
+//!   keyed to globally unique per-dataset epochs, so answers from
+//!   different datasets can never collide in the shared cache.
+//! * **Sharded serving**: when the served index is a
+//!   [`gsr_core::ShardedIndex`] (loaded from a sharded snapshot directory
+//!   via [`gsr_store::load_served_index`]), each query fans out only to
+//!   the shards whose MBR intersects its rectangle and short-circuits on
+//!   the first `TRUE`; `STATS` additionally reports `shards=`, `probes=`,
+//!   `pruned=` and a per-shard `probe_p99_us=` list.
 //! * `STATS` reports queries served, error replies, p50/p99/p999 request
 //!   latency from a fixed-bucket histogram ([`ServerStats`], built on the
 //!   workspace-shared [`gsr_core::hist`] module), the cache's
@@ -79,7 +90,7 @@ use proto::{busy_reply, error_reply, parse_line, Request, BUSY_ERR, PROTOCOL_ERR
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -180,14 +191,39 @@ enum LineAction {
     Shutdown,
 }
 
-/// A bound TCP query service. Construct with [`QueryServer::bind`], then
-/// call [`QueryServer::run`] to serve until shutdown.
+/// One named dataset registered in the server: the served index and its
+/// cache epoch, swapped together by `RELOAD` so a batch can never pair a
+/// new index with an old epoch or vice versa.
+struct DatasetSlot {
+    name: String,
+    /// `(index, cache epoch)` behind a lock only so `RELOAD` can swap the
+    /// pair; the read path clones the `Arc` once per batch.
+    index: RwLock<(Arc<dyn RangeReachIndex>, u64)>,
+}
+
+/// Per-connection protocol state: which registered dataset this
+/// connection's `REACH`/`STATS`/`RELOAD` lines address (selected with
+/// `USE <dataset>`; every connection starts on the first registered
+/// dataset).
+#[derive(Debug, Clone, Copy, Default)]
+struct ConnState {
+    dataset: usize,
+}
+
+/// A bound TCP query service. Construct with [`QueryServer::bind`] (one
+/// index) or [`QueryServer::bind_many`] (a named registry), then call
+/// [`QueryServer::run`] to serve until shutdown.
 pub struct QueryServer {
     listener: TcpListener,
     local_addr: SocketAddr,
-    /// The served index, behind a lock only so `RELOAD` can swap it; the
-    /// read path clones the `Arc` once per batch.
-    index: RwLock<Arc<dyn RangeReachIndex>>,
+    /// The dataset registry, fixed at bind time (`USE` selects, `RELOAD`
+    /// swaps contents; entries are never added or removed while serving).
+    datasets: Vec<DatasetSlot>,
+    /// Allocator of globally unique cache epochs: every `(dataset,
+    /// index-version)` pair ever served gets its own epoch, so cached
+    /// answers from different datasets (or superseded indexes) can never
+    /// collide in the shared [`ResultCache`].
+    epoch_alloc: AtomicU64,
     config: ServerConfig,
     cancel: CancelToken,
     stats: Arc<ServerStats>,
@@ -218,12 +254,38 @@ impl Drop for LiveGuard<'_> {
 
 impl QueryServer {
     /// Binds the service to `addr` (use port 0 to let the OS pick one; the
-    /// chosen port is available via [`QueryServer::local_addr`]).
+    /// chosen port is available via [`QueryServer::local_addr`]), serving
+    /// one index registered under the dataset name `"default"`.
     pub fn bind(
         addr: impl ToSocketAddrs,
         index: Arc<dyn RangeReachIndex>,
         config: ServerConfig,
     ) -> Result<Self, GsrError> {
+        Self::bind_many(addr, vec![("default".to_string(), index)], config)
+    }
+
+    /// Binds the service with a registry of named indexes. Connections
+    /// start on the first entry and switch with `USE <name>`; `RELOAD`
+    /// swaps the selected dataset's index in place. Names must be
+    /// non-empty and unique.
+    pub fn bind_many(
+        addr: impl ToSocketAddrs,
+        indexes: Vec<(String, Arc<dyn RangeReachIndex>)>,
+        config: ServerConfig,
+    ) -> Result<Self, GsrError> {
+        if indexes.is_empty() {
+            return Err(GsrError::Internal("server bind: no datasets to serve".into()));
+        }
+        for (i, (name, _)) in indexes.iter().enumerate() {
+            if name.is_empty() {
+                return Err(GsrError::Internal("server bind: empty dataset name".into()));
+            }
+            if indexes.iter().take(i).any(|(other, _)| other == name) {
+                return Err(GsrError::Internal(format!(
+                    "server bind: duplicate dataset name {name:?}"
+                )));
+            }
+        }
         let listener = TcpListener::bind(addr)
             .map_err(|e| GsrError::Internal(format!("server bind: {e}")))?;
         let local_addr = listener
@@ -233,10 +295,22 @@ impl QueryServer {
             0 => None,
             n => Some(ResultCache::new(n)),
         };
+        // Epochs 0..n seed the datasets; the allocator continues from n so
+        // every reload (of any dataset) gets a fresh, never-reused epoch.
+        let epoch_alloc = AtomicU64::new(indexes.len() as u64);
+        let datasets = indexes
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, index))| DatasetSlot {
+                name,
+                index: RwLock::new((index, i as u64)),
+            })
+            .collect();
         Ok(QueryServer {
             listener,
             local_addr,
-            index: RwLock::new(index),
+            datasets,
+            epoch_alloc,
             config,
             cancel: CancelToken::new(),
             stats: Arc::new(ServerStats::default()),
@@ -245,27 +319,25 @@ impl QueryServer {
         })
     }
 
-    /// The currently served index (a cheap `Arc` clone).
-    fn current_index(&self) -> Arc<dyn RangeReachIndex> {
-        match self.index.read() {
-            Ok(g) => Arc::clone(&g),
-            // A poisoned lock means a panic while swapping; the Arc inside
-            // is still a whole index, so keep serving it.
-            Err(e) => Arc::clone(&e.into_inner()),
-        }
+    /// The currently served index of a dataset (a cheap `Arc` clone).
+    fn current_index(&self, dataset: usize) -> Arc<dyn RangeReachIndex> {
+        self.pinned(dataset).0
     }
 
-    /// Pins the served index and its cache epoch as one consistent pair.
-    /// `reload` swaps the index and bumps the epoch under the write lock,
-    /// so a batch can never see a new index with an old epoch or vice
-    /// versa.
-    fn pinned(&self) -> (Arc<dyn RangeReachIndex>, u64) {
-        let g = match self.index.read() {
+    /// Pins a dataset's served index and its cache epoch as one consistent
+    /// pair. `reload` swaps both under the write lock, so a batch can
+    /// never see a new index with an old epoch or vice versa — and because
+    /// epochs are allocated globally (never reused across datasets or
+    /// reloads), a cache entry keyed to one pair can never answer for
+    /// another.
+    fn pinned(&self, dataset: usize) -> (Arc<dyn RangeReachIndex>, u64) {
+        let g = match self.datasets[dataset].index.read() {
             Ok(g) => g,
+            // A poisoned lock means a panic while swapping; the pair inside
+            // is still whole, so keep serving it.
             Err(e) => e.into_inner(),
         };
-        let epoch = self.cache.as_ref().map_or(0, ResultCache::epoch);
-        (Arc::clone(&g), epoch)
+        (Arc::clone(&g.0), g.1)
     }
 
     /// The bound address (resolves port 0 to the OS-assigned port).
@@ -411,6 +483,7 @@ impl QueryServer {
         let mut last_activity = Instant::now();
         let mut pending: Vec<u8> = Vec::new();
         let mut chunk = [0u8; 4096];
+        let mut conn = ConnState::default();
         loop {
             if self.cancel.is_cancelled() {
                 return;
@@ -427,7 +500,7 @@ impl QueryServer {
                                 .write_all(line_too_long(self.config.max_line).as_bytes());
                             return;
                         }
-                        let (replies, _) = self.serve_lines(&tail);
+                        let (replies, _) = self.serve_lines_conn(&tail, &mut conn);
                         let _ = stream.write_all(replies.as_bytes());
                     }
                     return;
@@ -437,7 +510,7 @@ impl QueryServer {
                     pending.extend_from_slice(&chunk[..n]);
                     if let Some(last_nl) = pending.iter().rposition(|&b| b == b'\n') {
                         let complete: Vec<u8> = pending.drain(..=last_nl).collect();
-                        let (replies, action) = self.serve_lines(&complete);
+                        let (replies, action) = self.serve_lines_conn(&complete, &mut conn);
                         if stream.write_all(replies.as_bytes()).is_err()
                             || action != LineAction::Continue
                         {
@@ -489,7 +562,16 @@ impl QueryServer {
     /// as one bounded batch, not 1000 round trips. Batches are split at
     /// [`ServerConfig::max_batch`] queries so a pathological pipeline
     /// cannot grow one batch without bound.
+    /// Test-only convenience: serve one flush with fresh connection state.
+    #[cfg(test)]
     fn serve_lines(&self, bytes: &[u8]) -> (String, LineAction) {
+        self.serve_lines_conn(bytes, &mut ConnState::default())
+    }
+
+    /// [`QueryServer::serve_lines`] with explicit per-connection state:
+    /// `USE` switches `conn.dataset`, and every other verb addresses the
+    /// dataset the connection currently has selected.
+    fn serve_lines_conn(&self, bytes: &[u8], conn: &mut ConnState) -> (String, LineAction) {
         let text = String::from_utf8_lossy(bytes);
         let mut replies = String::new();
         let mut batch: Vec<BatchQuery> = Vec::new();
@@ -504,7 +586,7 @@ impl QueryServer {
             if line.len() > line_cap {
                 // Flush first so replies stay in request order, then
                 // answer the oversize line and drop the connection.
-                self.flush_batch(&mut batch, &mut replies);
+                self.flush_batch(conn.dataset, &mut batch, &mut replies);
                 self.stats.record_protocol_error();
                 replies.push_str(&line_too_long(self.config.max_line));
                 action = LineAction::Close;
@@ -515,42 +597,80 @@ impl QueryServer {
                 Ok(Some(Request::Reach(v, r))) => {
                     batch.push((v, r));
                     if batch.len() >= batch_cap {
-                        self.flush_batch(&mut batch, &mut replies);
+                        self.flush_batch(conn.dataset, &mut batch, &mut replies);
                     }
                 }
                 other => {
-                    self.flush_batch(&mut batch, &mut replies);
+                    // Every non-REACH verb flushes first, so a pipelined
+                    // batch always runs against the dataset that was
+                    // selected when its queries arrived.
+                    self.flush_batch(conn.dataset, &mut batch, &mut replies);
                     match other {
+                        Ok(Some(Request::Use(name))) => {
+                            match self.datasets.iter().position(|d| d.name == name) {
+                                Some(i) => {
+                                    conn.dataset = i;
+                                    replies.push_str(&format!("OK use {name}\n"));
+                                }
+                                None => {
+                                    self.stats.record_protocol_error();
+                                    let known: Vec<&str> =
+                                        self.datasets.iter().map(|d| d.name.as_str()).collect();
+                                    replies.push_str(&format!(
+                                        "ERR {PROTOCOL_ERR} unknown dataset {name:?} (have: {})\n",
+                                        known.join(", ")
+                                    ));
+                                }
+                            }
+                        }
                         Ok(Some(Request::Stats)) => {
+                            let index = self.current_index(conn.dataset);
                             let mut snap = self.stats.snapshot();
-                            snap.index_bytes = self.current_index().index_bytes() as u64;
+                            snap.index_bytes = index.index_bytes() as u64;
                             snap.live = self.live_conns.load(Ordering::Acquire) as u64;
                             if let Some(cache) = &self.cache {
                                 snap.cache = cache.stats();
                             }
-                            replies.push_str(&format!("STATS {snap}\n"));
+                            // Routing counters of a sharded router, plus a
+                            // per-shard probe-latency tail appended after
+                            // the fixed fields (absent for plain indexes).
+                            let mut extra = String::new();
+                            if let Some(s) = index.shard_stats() {
+                                snap.shards = s.shards;
+                                snap.probes = s.probes;
+                                snap.pruned = s.pruned;
+                                let p99: Vec<String> =
+                                    s.probe_p99_us.iter().map(u64::to_string).collect();
+                                extra = format!(" probe_p99_us={}", p99.join(","));
+                            }
+                            replies.push_str(&format!("STATS {snap}{extra}\n"));
                         }
                         Ok(Some(Request::Reset)) => {
                             self.stats.reset();
                             if let Some(cache) = &self.cache {
                                 cache.reset_stats();
                             }
+                            for i in 0..self.datasets.len() {
+                                self.current_index(i).reset_shard_stats();
+                            }
                             replies.push_str("OK reset\n");
                         }
-                        Ok(Some(Request::Reload(path))) => match self.reload(&path) {
-                            Ok((index_bytes, load_ms)) => {
-                                replies.push_str(&format!(
-                                    "OK reload index_bytes={index_bytes} load_ms={load_ms}\n"
-                                ));
+                        Ok(Some(Request::Reload(path))) => {
+                            match self.reload(conn.dataset, &path) {
+                                Ok((index_bytes, load_ms)) => {
+                                    replies.push_str(&format!(
+                                        "OK reload index_bytes={index_bytes} load_ms={load_ms}\n"
+                                    ));
+                                }
+                                Err(e) => {
+                                    // The old index keeps serving; the client
+                                    // learns why the swap did not happen.
+                                    self.stats.record_protocol_error();
+                                    replies.push_str(&error_reply(&e));
+                                    replies.push('\n');
+                                }
                             }
-                            Err(e) => {
-                                // The old index keeps serving; the client
-                                // learns why the swap did not happen.
-                                self.stats.record_protocol_error();
-                                replies.push_str(&error_reply(&e));
-                                replies.push('\n');
-                            }
-                        },
+                        }
                         Ok(Some(Request::Shutdown)) => {
                             replies.push_str("OK shutdown\n");
                             self.cancel.cancel();
@@ -565,40 +685,47 @@ impl QueryServer {
                 }
             }
         }
-        self.flush_batch(&mut batch, &mut replies);
+        self.flush_batch(conn.dataset, &mut batch, &mut replies);
         (replies, action)
     }
 
-    /// Handles `RELOAD <path>`: loads and validates the snapshot on a
-    /// dedicated thread (off the worker pool, so a deserializer panic is
-    /// fenced), then swaps the served index and clears the result cache
-    /// under the index write lock. In-flight batches pinned the old
-    /// `Arc`/epoch pair and finish on the old index; new batches see the
-    /// new pair. On any failure the old index keeps serving. Returns the
-    /// new index's heap footprint and the wall-clock load time (which,
-    /// with the v3 mmap path, is the restart cost a replica would pay).
-    fn reload(&self, path: &str) -> Result<(u64, u64), GsrError> {
+    /// Handles `RELOAD <path>` for the connection's selected dataset:
+    /// loads and validates the snapshot on a dedicated thread (off the
+    /// worker pool, so a deserializer panic is fenced), then swaps the
+    /// dataset's `(index, epoch)` pair — with a freshly allocated,
+    /// never-reused epoch — and clears the result cache under the
+    /// dataset's write lock. A directory path loads as a **sharded
+    /// snapshot set** ([`gsr_store::load_served_index`]), so one `RELOAD`
+    /// swaps a whole shard set atomically under one epoch. In-flight
+    /// batches pinned the old pair and finish on the old index; new
+    /// batches see the new pair. On any failure the old index keeps
+    /// serving. Returns the new index's heap footprint and the wall-clock
+    /// load time (which, with the v3 mmap path, is the restart cost a
+    /// replica would pay).
+    fn reload(&self, dataset: usize, path: &str) -> Result<(u64, u64), GsrError> {
         let owned = path.to_string();
         let trust = self.config.trust_snapshot;
         let started = Instant::now();
-        let (loaded, info) = std::thread::Builder::new()
+        let (fresh, info) = std::thread::Builder::new()
             .name("gsr-reload".into())
             .spawn(move || {
-                gsr_store::load_from_path_with(&owned, gsr_store::LoadOptions { trust })
+                gsr_store::load_served_index(&owned, gsr_store::LoadOptions { trust })
             })
             .map_err(|e| GsrError::Internal(format!("reload: spawn loader: {e}")))?
             .join()
             .map_err(|_| GsrError::Internal("reload: snapshot loader panicked".into()))??;
         let load_ms = started.elapsed().as_millis().min(u64::MAX as u128) as u64;
-        let index_bytes = loaded.index_bytes() as u64;
-        let fresh: Arc<dyn RangeReachIndex> = Arc::new(loaded);
+        let index_bytes = fresh.index_bytes() as u64;
+        let epoch = self.epoch_alloc.fetch_add(1, Ordering::Relaxed);
         {
-            let mut g = match self.index.write() {
+            let mut g = match self.datasets[dataset].index.write() {
                 Ok(g) => g,
                 Err(e) => e.into_inner(),
             };
-            *g = fresh;
+            *g = (fresh, epoch);
             if let Some(cache) = &self.cache {
+                // Old entries are unreachable already (their epoch is
+                // retired); dropping them now just frees the memory.
                 cache.clear();
             }
         }
@@ -616,16 +743,18 @@ impl QueryServer {
     /// the misses are evaluated; successful answers are inserted back.
     /// Errors, timeouts and cancellations are never cached, so degraded
     /// replies cannot be replayed once the condition clears.
-    fn flush_batch(&self, batch: &mut Vec<BatchQuery>, replies: &mut String) {
+    fn flush_batch(&self, dataset: usize, batch: &mut Vec<BatchQuery>, replies: &mut String) {
         if batch.is_empty() {
             return;
         }
         let queries = std::mem::take(batch);
-        // Pin the index and cache epoch as one pair for the whole batch: a
-        // concurrent RELOAD redirects *new* batches while this one
-        // finishes on the index it started with, and its cache inserts
-        // stay keyed to that index's epoch (unreachable after a swap).
-        let (index, epoch) = self.pinned();
+        // Pin the dataset's index and cache epoch as one pair for the
+        // whole batch: a concurrent RELOAD redirects *new* batches while
+        // this one finishes on the index it started with, and its cache
+        // inserts stay keyed to that index's epoch (unreachable after a
+        // swap). Epochs are globally unique across datasets, so a batch
+        // for one dataset can never hit another's cached answers.
+        let (index, epoch) = self.pinned(dataset);
         let mut options = BatchOptions::unlimited().with_cancel(self.cancel.clone());
         if let Some(budget) = self.config.budget {
             options = options.with_budget(budget);
@@ -876,6 +1005,124 @@ mod tests {
         assert_eq!(lines[1], "TRUE", "the old index answers as before");
         assert!(lines[2].contains("reloads=0"), "failed swaps are not counted: {}", lines[2]);
         assert_eq!(action, LineAction::Continue);
+    }
+
+    /// Two-dataset server: "default" is the paper example with its points,
+    /// "void" is the same graph with every point stripped (all queries
+    /// FALSE) — so a cross-dataset cache collision flips an answer.
+    fn two_dataset_server(config: ServerConfig) -> QueryServer {
+        let prep = paper_example::prepared();
+        let with_points: Arc<dyn RangeReachIndex> =
+            Arc::new(ThreeDReach::build(&prep, SccSpatialPolicy::Replicate));
+        let net = paper_example::network();
+        let stripped = gsr_core::GeosocialNetwork::new(
+            net.graph().clone(),
+            vec![None; net.num_vertices()],
+        )
+        .unwrap();
+        let void_prep = gsr_core::PreparedNetwork::new(stripped);
+        let void: Arc<dyn RangeReachIndex> =
+            Arc::new(ThreeDReach::build(&void_prep, SccSpatialPolicy::Replicate));
+        QueryServer::bind_many(
+            ("127.0.0.1", 0),
+            vec![("default".to_string(), with_points), ("void".to_string(), void)],
+            config,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn use_switches_datasets_and_unknown_names_are_typed_errors() {
+        let server = two_dataset_server(ServerConfig::default());
+        let r = paper_example::query_region();
+        let reach = format!(
+            "REACH {} {} {} {} {}\n",
+            paper_example::A, r.min_x, r.min_y, r.max_x, r.max_y,
+        );
+        let mut conn = ConnState::default();
+        let input = format!("{reach}USE void\n{reach}USE default\n{reach}USE nope\n");
+        let (replies, action) = server.serve_lines_conn(input.as_bytes(), &mut conn);
+        let lines: Vec<&str> = replies.lines().collect();
+        assert_eq!(lines[0], "TRUE");
+        assert_eq!(lines[1], "OK use void");
+        assert_eq!(lines[2], "FALSE", "the same query against the pointless dataset");
+        assert_eq!(lines[3], "OK use default");
+        assert_eq!(lines[4], "TRUE");
+        assert!(
+            lines[5].starts_with("ERR 2 unknown dataset \"nope\"") && lines[5].contains("void"),
+            "{}",
+            lines[5]
+        );
+        assert_eq!(action, LineAction::Continue);
+        assert_eq!(conn.dataset, 0, "a failed USE must not switch the connection");
+    }
+
+    #[test]
+    fn cache_entries_never_collide_across_datasets() {
+        let server =
+            two_dataset_server(ServerConfig { cache_entries: 64, ..ServerConfig::default() });
+        let r = paper_example::query_region();
+        let reach = format!(
+            "REACH {} {} {} {} {}\n",
+            paper_example::A, r.min_x, r.min_y, r.max_x, r.max_y,
+        );
+        let mut conn = ConnState::default();
+        // Miss + insert under dataset "default"'s epoch.
+        let (first, _) = server.serve_lines_conn(reach.as_bytes(), &mut conn);
+        assert_eq!(first, "TRUE\n");
+        // The identical (vertex, rect) under "void" must be a fresh miss
+        // answering FALSE — a shared-key cache would replay TRUE here.
+        let input = format!("USE void\n{reach}");
+        let (second, _) = server.serve_lines_conn(input.as_bytes(), &mut conn);
+        assert_eq!(second, "OK use void\nFALSE\n");
+        let (stats, _) = server.serve_lines_conn(b"STATS\n", &mut conn);
+        assert!(stats.contains("cache_hits=0"), "{stats}");
+        assert!(stats.contains("cache_misses=2"), "{stats}");
+        // Each dataset replays its own answer from its own entry.
+        let (again, _) = server.serve_lines_conn(reach.as_bytes(), &mut conn);
+        assert_eq!(again, "FALSE\n");
+        let mut fresh = ConnState::default();
+        let (original, _) = server.serve_lines_conn(reach.as_bytes(), &mut fresh);
+        assert_eq!(original, "TRUE\n");
+        let (stats, _) = server.serve_lines_conn(b"STATS\n", &mut conn);
+        assert!(stats.contains("cache_hits=2"), "{stats}");
+    }
+
+    #[test]
+    fn stats_reports_shard_routing_counters_and_reset_zeroes_them() {
+        let net = paper_example::network();
+        let members: Vec<gsr_core::ShardMember> = gsr_core::partition_tiles(&net, 2)
+            .iter()
+            .map(|tile| {
+                let prep = gsr_core::PreparedNetwork::new(
+                    gsr_core::tile_network(&net, tile).unwrap(),
+                );
+                gsr_core::ShardMember {
+                    index: Arc::new(ThreeDReach::build(&prep, SccSpatialPolicy::Replicate)),
+                    mbr: tile.mbr,
+                }
+            })
+            .collect();
+        let sharded: Arc<dyn RangeReachIndex> =
+            Arc::new(gsr_core::ShardedIndex::new(members).unwrap());
+        let server =
+            QueryServer::bind(("127.0.0.1", 0), sharded, ServerConfig::default()).unwrap();
+        let r = paper_example::query_region();
+        let input = format!(
+            "REACH {} {} {} {} {}\nSTATS\n",
+            paper_example::A, r.min_x, r.min_y, r.max_x, r.max_y,
+        );
+        let (replies, _) = server.serve_lines(input.as_bytes());
+        let lines: Vec<&str> = replies.lines().collect();
+        assert_eq!(lines[0], "TRUE");
+        assert!(lines[1].contains("shards=2"), "{}", lines[1]);
+        assert!(!lines[1].contains("probes=0 "), "a served query must probe: {}", lines[1]);
+        assert!(lines[1].contains("probe_p99_us="), "{}", lines[1]);
+        let (after_reset, _) = server.serve_lines(b"RESET\nSTATS\n");
+        assert!(
+            after_reset.contains("shards=2 probes=0 pruned=0"),
+            "RESET must zero the routing counters: {after_reset}"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! REACH <v> <min_x> <min_y> <max_x> <max_y>   ->  TRUE | FALSE | ERR <code> <msg>
+//! USE <dataset>                               ->  OK use <dataset> | ERR 2 unknown dataset (this connection switches index)
 //! STATS                                       ->  STATS queries=N errors=N p50_us=N p99_us=N p999_us=N index_bytes=N ...
 //! RESET                                       ->  OK reset      (zeroes counters, keeps the index)
 //! RELOAD <path>                               ->  OK reload index_bytes=N | ERR <code> <msg> (old index keeps serving)
@@ -32,6 +33,11 @@ pub enum Request {
     /// rectangle is *not* validated here; validation happens inside the
     /// batch executor so invalid regions surface as `ERR 4`, per query.
     Reach(VertexId, Rect),
+    /// `USE <dataset>` — switch this connection's subsequent requests to
+    /// the named dataset (one process can register several indexes; see
+    /// the server's registry). Pipelined `REACH` lines before a `USE` are
+    /// flushed against the previous dataset first.
+    Use(String),
     /// `STATS` — report service counters.
     Stats,
     /// `RESET` — zero the service counters (queries, errors, latency
@@ -111,6 +117,14 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, String> {
         // Struct literal, not `Rect::new`: an inverted rectangle must reach
         // the validating query layer (-> `ERR 4`), not a debug assertion.
         Ok(Some(Request::Reach(v, Rect { min_x, min_y, max_x, max_y })))
+    } else if cmd.eq_ignore_ascii_case("USE") {
+        // The dataset name is everything after the verb (names with
+        // spaces survive); whitespace-only means the argument is missing.
+        let name = line.trim_start()[cmd.len()..].trim();
+        if name.is_empty() {
+            return Err("USE: missing <dataset> (usage: USE <dataset>)".into());
+        }
+        Ok(Some(Request::Use(name.to_string())))
     } else if cmd.eq_ignore_ascii_case("STATS") {
         if tokens.next().is_some() {
             return Err("STATS takes no arguments".into());
@@ -135,7 +149,9 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, String> {
         }
         Ok(Some(Request::Shutdown))
     } else {
-        Err(format!("unknown command {cmd:?} (expected REACH, STATS, RESET, RELOAD or SHUTDOWN)"))
+        Err(format!(
+            "unknown command {cmd:?} (expected REACH, USE, STATS, RESET, RELOAD or SHUTDOWN)"
+        ))
     }
 }
 
@@ -159,6 +175,8 @@ mod tests {
             parse_line("  reload my snapshots/with spaces.gsr \r"),
             Ok(Some(Request::Reload("my snapshots/with spaces.gsr".into())))
         );
+        assert_eq!(parse_line("USE gowalla"), Ok(Some(Request::Use("gowalla".into()))));
+        assert_eq!(parse_line("  use yelp scale 3 \r"), Ok(Some(Request::Use("yelp scale 3".into()))));
         assert_eq!(parse_line("SHUTDOWN\r"), Ok(Some(Request::Shutdown)));
         assert_eq!(parse_line(""), Ok(None));
         assert_eq!(parse_line("   "), Ok(None));
@@ -176,6 +194,8 @@ mod tests {
         assert!(parse_line("RESET hard").unwrap_err().contains("no arguments"));
         assert!(parse_line("RELOAD").unwrap_err().contains("missing <path>"));
         assert!(parse_line("RELOAD   \r").unwrap_err().contains("missing <path>"));
+        assert!(parse_line("USE").unwrap_err().contains("missing <dataset>"));
+        assert!(parse_line("USE   \r").unwrap_err().contains("missing <dataset>"));
     }
 
     #[test]

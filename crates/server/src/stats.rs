@@ -108,6 +108,9 @@ impl ServerStats {
             live: 0,
             load_ms: self.load_ms.load(Ordering::Relaxed),
             snapshot_format: self.snapshot_format.load(Ordering::Relaxed) as u32,
+            shards: 0,
+            probes: 0,
+            pruned: 0,
         }
     }
 }
@@ -153,6 +156,18 @@ pub struct StatsSnapshot {
     /// (2 = streaming decode, 3 = zero-copy mmap); 0 when built
     /// in-process. `RESET` does not touch it.
     pub snapshot_format: u32,
+    /// Shard count of the served index when it is a sharded
+    /// scatter-gather router ([`gsr_core::ShardedIndex`]); 0 for a plain
+    /// single index. Filled in by the server from
+    /// [`gsr_core::RangeReachIndex::shard_stats`].
+    pub shards: u64,
+    /// Shard probes actually executed (post MBR pruning, pre
+    /// short-circuit); 0 for a plain single index. Filled in by the
+    /// server.
+    pub probes: u64,
+    /// Shard probes skipped because the shard's MBR missed the query
+    /// rectangle; 0 for a plain single index. Filled in by the server.
+    pub pruned: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -162,7 +177,7 @@ impl std::fmt::Display for StatsSnapshot {
             "queries={} errors={} p50_us={} p99_us={} p999_us={} index_bytes={} \
              cache_hits={} cache_misses={} cache_evictions={} \
              shed={} rejected={} accept_errors={} reloads={} live={} \
-             load_ms={} snapshot_format={}",
+             load_ms={} snapshot_format={} shards={} probes={} pruned={}",
             self.queries,
             self.errors,
             self.p50_us,
@@ -179,6 +194,9 @@ impl std::fmt::Display for StatsSnapshot {
             self.live,
             self.load_ms,
             self.snapshot_format,
+            self.shards,
+            self.probes,
+            self.pruned,
         )
     }
 }
@@ -227,7 +245,7 @@ mod tests {
             "queries=2 errors=2 p50_us=15 p99_us=15 p999_us=15 index_bytes=0 \
              cache_hits=0 cache_misses=0 cache_evictions=0 \
              shed=2 rejected=1 accept_errors=1 reloads=1 live=0 \
-             load_ms=7 snapshot_format=3"
+             load_ms=7 snapshot_format=3 shards=0 probes=0 pruned=0"
         );
     }
 

@@ -54,6 +54,7 @@
 
 mod arena;
 mod codec;
+pub mod shard;
 mod v3;
 mod wire;
 
@@ -726,6 +727,26 @@ pub fn load_from_path_with(
 /// shared across query worker threads ([`SnapshotIndex`] is `Send + Sync`).
 pub fn load_shared(path: impl AsRef<Path>) -> Result<Arc<SnapshotIndex>, GsrError> {
     load_from_path(path).map(Arc::new)
+}
+
+/// Loads whatever lives at `path` into a servable index: a directory with
+/// a [`shard::SHARD_MANIFEST`] loads as a sharded scatter-gather router
+/// ([`gsr_core::ShardedIndex`]), anything else as a plain single-index
+/// snapshot. This is the entry point servers route startup loads and
+/// `RELOAD` through, so one path argument transparently serves both
+/// layouts.
+pub fn load_served_index(
+    path: impl AsRef<Path>,
+    opts: LoadOptions,
+) -> Result<(Arc<dyn RangeReachIndex>, LoadInfo), GsrError> {
+    let path = path.as_ref();
+    if path.is_dir() {
+        let (sharded, info) = shard::load_sharded_from_path_with(path, opts)?;
+        Ok((Arc::new(sharded), info))
+    } else {
+        let (index, info) = load_from_path_with(path, opts)?;
+        Ok((Arc::new(index), info))
+    }
 }
 
 #[cfg(test)]

@@ -626,6 +626,27 @@ fn load_threed_rev(
 /// `trust` skips only the per-section CRC pass — the structural directory
 /// checks and every `from_cols` invariant still run, so even a trusted
 /// load of garbage is a typed error, not undefined behavior.
+// Little-endian reads over slices the caller has already length-checked;
+// the re-slice makes the width explicit so `copy_from_slice` cannot
+// mismatch.
+fn le_u16(b: &[u8]) -> u16 {
+    let mut a = [0u8; 2];
+    a.copy_from_slice(&b[..2]);
+    u16::from_le_bytes(a)
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(a)
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
+
 pub(crate) fn load_v3(arena: &Arc<ArenaBytes>, trust: bool) -> Result<SnapshotIndex, GsrError> {
     if !cfg!(target_endian = "little") {
         return Err(load_err(
@@ -642,14 +663,14 @@ pub(crate) fn load_v3(arena: &Arc<ArenaBytes>, trust: bool) -> Result<SnapshotIn
     if bytes[0..8] != MAGIC {
         return Err(load_err(format!("bad magic {:02x?}: not a gsr snapshot", &bytes[0..8])));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let version = le_u32(&bytes[8..12]);
     if version != FORMAT_VERSION {
         return Err(load_err(format!(
             "unsupported format version {version} (this build reads version {FORMAT_VERSION})"
         )));
     }
-    let n = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
-    let file_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let n = le_u32(&bytes[12..16]) as usize;
+    let file_len = le_u64(&bytes[16..24]);
     if file_len > bytes.len() as u64 {
         return Err(load_err(format!(
             "truncated: header declares {file_len} bytes, {} present",
@@ -669,12 +690,12 @@ pub(crate) fn load_v3(arena: &Arc<ArenaBytes>, trust: bool) -> Result<SnapshotIn
     let mut cur = dir_end;
     for i in 0..n {
         let e = &bytes[HEADER_LEN + i * DIR_ENTRY_LEN..][..DIR_ENTRY_LEN];
-        let etag = u16::from_le_bytes(e[0..2].try_into().unwrap());
+        let etag = le_u16(&e[0..2]);
         let elem = e[2] as usize;
         let flags = e[3];
-        let crc = u32::from_le_bytes(e[4..8].try_into().unwrap());
-        let off = u64::from_le_bytes(e[8..16].try_into().unwrap());
-        let len = u64::from_le_bytes(e[16..24].try_into().unwrap());
+        let crc = le_u32(&e[4..8]);
+        let off = le_u64(&e[8..16]);
+        let len = le_u64(&e[16..24]);
         let sect = |msg: &str| load_err(format!("section 0x{etag:02x}: {msg}"));
         if flags != 0 {
             return Err(sect(&format!("unknown flags 0x{flags:02x}")));

@@ -290,7 +290,9 @@ fn replay_vs_oracle_agreement_through_gsr_serve() {
 /// The full experiment driver end to end at scale 0: a sweep must produce
 /// at least `min_steps` reconciling steps with zero oracle mismatches, the
 /// overload step must actually shed its flood with tallies that balance,
-/// and the JSON artifact must carry the fields the plots need.
+/// the sharded comparison (here 2 shards) must replay the same schedule
+/// with zero mismatches, and the JSON artifact must carry the fields the
+/// plots need.
 #[test]
 fn sweep_experiment_end_to_end_at_scale_zero() {
     let cfg = gsr_bench::Config { scale: 0.0, queries: 30, seed: 11, threads: 1 };
@@ -300,10 +302,24 @@ fn sweep_experiment_end_to_end_at_scale_zero() {
         rate_qps: 300.0,
         sweep: true,
         cache_entries: 512,
+        shards: 2,
     };
-    let (table, steps, overload) = run_experiment(&cfg, &opts).expect("loadtest experiment");
+    let (table, steps, overload, sharded) =
+        run_experiment(&cfg, &opts).expect("loadtest experiment");
     assert!(steps.len() >= 4, "a sweep maps at least 4 rate steps, got {}", steps.len());
-    assert_eq!(table.len(), steps.len());
+    let sharded = sharded.expect("shards=2 must produce the comparison");
+    assert_eq!(sharded.shards, 2);
+    assert_eq!(
+        sharded.steps.len(),
+        steps.len(),
+        "the sharded sweep replays the same rate schedule"
+    );
+    for (i, step) in sharded.steps.iter().enumerate() {
+        assert_eq!(step.mismatches, 0, "sharded step {i}: replies must match the oracle");
+        step.reconcile(true)
+            .unwrap_or_else(|e| panic!("sharded step {i} does not reconcile: {e}"));
+    }
+    assert_eq!(table.len(), steps.len() + sharded.steps.len());
     for (i, step) in steps.iter().enumerate() {
         step.reconcile(true).unwrap_or_else(|e| panic!("step {i} does not reconcile: {e}"));
         assert!(
@@ -320,10 +336,12 @@ fn sweep_experiment_end_to_end_at_scale_zero() {
         overload.server_shed + overload.server_rejected,
         "every busy reply is one server-side refusal: {overload:?}"
     );
-    let json = gsr_bench::loadtest::loadtest_json(&cfg, &opts, &steps, Some(&overload));
+    let json =
+        gsr_bench::loadtest::loadtest_json(&cfg, &opts, &steps, Some(&overload), Some(&sharded));
     for field in ["\"offered_qps\"", "\"achieved_qps\"", "\"p50_us\"", "\"p99_us\"",
         "\"p999_us\"", "\"cache_hit_rate\"", "\"per_client_completed\"", "\"mismatches\"",
-        "\"overload\"", "\"shed_rate\"", "\"served_p99_us\""]
+        "\"overload\"", "\"shed_rate\"", "\"served_p99_us\"",
+        "\"sharded\": {\"shards\": 2"]
     {
         assert!(json.contains(field), "JSON missing {field}:\n{json}");
     }

@@ -1,0 +1,211 @@
+//! Sharded scatter-gather routing vs a single-index oracle.
+//!
+//! The soundness claim behind `gsr_core::partition`: check-in points are
+//! *partitioned* across tiles while every tile keeps the full social
+//! graph, so `RangeReach(G, v, R)` equals the OR over shards of the
+//! per-shard answer. These tests exercise that claim at 1/2/4/8 shards,
+//! under both SCC spatial policies, with query rectangles deliberately
+//! chosen to straddle tile boundaries — plus the pruning contract that a
+//! rectangle disjoint from every shard MBR answers FALSE with **zero**
+//! probes executed.
+
+use gsr_core::methods::ThreeDReach;
+use gsr_core::{
+    partition_tiles, tile_network, BatchExecutor, BatchQuery, PreparedNetwork, RangeReachIndex,
+    SccSpatialPolicy, ShardMember, ShardedIndex,
+};
+use gsr_datagen::NetworkSpec;
+use gsr_geo::Rect;
+use std::sync::Arc;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn dataset() -> PreparedNetwork {
+    PreparedNetwork::new(NetworkSpec::yelp(0.05).generate())
+}
+
+/// Partitions `prep`'s network into `shards` tiles and assembles the
+/// scatter-gather router, one 3DReach per tile under `policy`.
+fn build_sharded(
+    prep: &PreparedNetwork,
+    shards: usize,
+    policy: SccSpatialPolicy,
+) -> ShardedIndex {
+    let net = prep.network();
+    let members: Vec<ShardMember> = partition_tiles(net, shards)
+        .iter()
+        .map(|tile| {
+            let tile_net = tile_network(net, tile).expect("tile network");
+            let tile_prep = PreparedNetwork::new(tile_net);
+            ShardMember {
+                index: Arc::new(ThreeDReach::build(&tile_prep, policy)),
+                mbr: tile.mbr,
+            }
+        })
+        .collect();
+    ShardedIndex::new(members).expect("assemble sharded index")
+}
+
+/// The query rectangles: per-tile MBRs (fully inside one tile), bands
+/// spanning each pair of consecutive tiles' MBRs (guaranteed to straddle
+/// the cut between them), the global extent, and slivers around tile
+/// corners.
+fn boundary_rects(prep: &PreparedNetwork, shards: usize) -> Vec<Rect> {
+    let net = prep.network();
+    let mbrs: Vec<Rect> =
+        partition_tiles(net, shards).iter().filter_map(|t| t.mbr).collect();
+    let mut rects = Vec::new();
+    for m in &mbrs {
+        rects.push(*m);
+        // A sliver hugging the tile's min corner: partial overlap with
+        // this tile, possibly reaching into a neighbor.
+        rects.push(Rect::new(
+            m.min_x - 0.5,
+            m.min_y - 0.5,
+            m.min_x + m.width() * 0.25,
+            m.min_y + m.height() * 0.25,
+        ));
+    }
+    for pair in mbrs.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        // A band from a's center to b's center straddles the cut line
+        // between the two tiles by construction.
+        let (acx, acy) = ((a.min_x + a.max_x) / 2.0, (a.min_y + a.max_y) / 2.0);
+        let (bcx, bcy) = ((b.min_x + b.max_x) / 2.0, (b.min_y + b.max_y) / 2.0);
+        rects.push(Rect::new(
+            acx.min(bcx),
+            acy.min(bcy),
+            acx.max(bcx),
+            acy.max(bcy),
+        ));
+    }
+    if let Some(first) = mbrs.first() {
+        let global = mbrs.iter().fold(*first, |g, m| {
+            Rect::new(
+                g.min_x.min(m.min_x),
+                g.min_y.min(m.min_y),
+                g.max_x.max(m.max_x),
+                g.max_y.max(m.max_y),
+            )
+        });
+        rects.push(global);
+    }
+    rects
+}
+
+/// Every vertex (stride-sampled) x every boundary rectangle, as a batch.
+fn queries_for(prep: &PreparedNetwork, rects: &[Rect]) -> Vec<BatchQuery> {
+    let n = prep.network().num_vertices() as u32;
+    let mut queries = Vec::new();
+    for v in (0..n).step_by(7) {
+        for r in rects {
+            queries.push((v, *r));
+        }
+    }
+    queries
+}
+
+#[test]
+fn sharded_answers_match_the_single_index_oracle() {
+    let prep = dataset();
+    let exec = BatchExecutor::new(1);
+    for policy in [SccSpatialPolicy::Replicate, SccSpatialPolicy::Mbr] {
+        let oracle = ThreeDReach::build(&prep, policy);
+        for shards in SHARD_COUNTS {
+            let sharded = build_sharded(&prep, shards, policy);
+            assert_eq!(sharded.num_shards(), shards);
+            let queries = queries_for(&prep, &boundary_rects(&prep, shards));
+            let want = exec.run(&oracle, &queries);
+            // Scatter path (the server's batch route) ...
+            let got = sharded.scatter(&exec, &queries);
+            assert_eq!(
+                got, want,
+                "{policy:?} x{shards}: scatter disagrees with the oracle"
+            );
+            // ... and the per-query route path must agree too.
+            for (i, (v, r)) in queries.iter().enumerate().step_by(11) {
+                assert_eq!(
+                    sharded.query(*v, r),
+                    want[i],
+                    "{policy:?} x{shards}: route({v}, {r}) disagrees"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rectangles_outside_every_mbr_answer_false_with_zero_probes() {
+    let prep = dataset();
+    let exec = BatchExecutor::new(1);
+    for shards in SHARD_COUNTS {
+        let sharded = build_sharded(&prep, shards, SccSpatialPolicy::Replicate);
+        let mbrs: Vec<Rect> = sharded.members().iter().filter_map(|m| m.mbr).collect();
+        assert!(!mbrs.is_empty());
+        let max_x = mbrs.iter().fold(f64::MIN, |acc, m| acc.max(m.max_x));
+        let max_y = mbrs.iter().fold(f64::MIN, |acc, m| acc.max(m.max_y));
+        let outside = Rect::new(max_x + 10.0, max_y + 10.0, max_x + 20.0, max_y + 20.0);
+        for m in &mbrs {
+            assert!(!m.intersects(&outside), "fixture rect must miss every MBR");
+        }
+
+        let n = prep.network().num_vertices() as u32;
+        let queries: Vec<BatchQuery> = (0..n).step_by(5).map(|v| (v, outside)).collect();
+
+        sharded.reset_shard_stats();
+        let scatter_answers = sharded.scatter(&exec, &queries);
+        assert!(
+            scatter_answers.iter().all(|a| !a),
+            "{shards} shards: nothing is reachable outside every MBR"
+        );
+        assert_eq!(sharded.probes(), 0, "{shards} shards: scatter must not probe");
+        assert_eq!(
+            sharded.pruned(),
+            (shards * queries.len()) as u64,
+            "{shards} shards: every shard is pruned for every query"
+        );
+
+        sharded.reset_shard_stats();
+        for &(v, r) in queries.iter().step_by(3) {
+            assert!(!sharded.query(v, &r));
+        }
+        assert_eq!(sharded.probes(), 0, "{shards} shards: route must not probe");
+    }
+}
+
+#[test]
+fn sharded_snapshot_round_trips_through_the_store() {
+    let prep = dataset();
+    let exec = BatchExecutor::new(1);
+    let net = prep.network();
+    let tiles = partition_tiles(net, 4);
+    let built: Vec<(gsr_store::SnapshotIndex, Option<Rect>)> = tiles
+        .iter()
+        .map(|tile| {
+            let tile_net = tile_network(net, tile).expect("tile network");
+            let tile_prep = PreparedNetwork::new(tile_net);
+            (
+                gsr_store::SnapshotIndex::ThreeDReach(ThreeDReach::build(
+                    &tile_prep,
+                    SccSpatialPolicy::Replicate,
+                )),
+                tile.mbr,
+            )
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join("gsr_shard_agreement_roundtrip");
+    std::fs::remove_dir_all(&dir).ok();
+    gsr_store::shard::save_sharded_to_path(&dir, &built).expect("save sharded");
+    let (loaded, info) =
+        gsr_store::load_served_index(&dir, gsr_store::LoadOptions { trust: false })
+            .expect("load sharded");
+    assert_eq!(info.format, 3);
+
+    let oracle = ThreeDReach::build(&prep, SccSpatialPolicy::Replicate);
+    let queries = queries_for(&prep, &boundary_rects(&prep, 4));
+    let want = exec.run(&oracle, &queries);
+    let got = exec.run(loaded.as_ref(), &queries);
+    assert_eq!(got, want, "loaded sharded set disagrees with the oracle");
+    std::fs::remove_dir_all(&dir).ok();
+}
